@@ -1,0 +1,41 @@
+"""Ablation B — R-tree filter versus linear-scan filter.
+
+Lemma 1's discussion: candidates can be found in O(|P|^2) by scanning, but
+the paper prefers the R-tree range query (Lemma 2).  This bench measures
+the filter either way; the causality output must be identical.
+"""
+
+import pytest
+
+from conftest import DEFAULT_ALPHA, prsq_workload, register_report
+from repro.bench.harness import run_cp_batch
+from repro.core.cp import CPConfig
+
+_ROWS = []
+_BATCHES = {}
+
+CONFIGS = [
+    ("R-tree filter", CPConfig(use_index=True)),
+    ("linear-scan filter", CPConfig(use_index=False)),
+]
+
+
+@pytest.mark.parametrize("label,config", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_ablation_index(once, label, config):
+    dataset, q, picks = prsq_workload()
+    batch = once(
+        lambda: run_cp_batch(dataset, q, DEFAULT_ALPHA, picks, config=config, label=label)
+    )
+    _BATCHES[label] = batch
+    _ROWS.append(batch.row())
+
+
+def test_ablation_index_report(once):
+    once(lambda: None)
+    indexed = _BATCHES["R-tree filter"]
+    scanned = _BATCHES["linear-scan filter"]
+    for a, b in zip(indexed.results, scanned.results):
+        assert a.same_causality(b)
+    assert indexed.aggregate.mean_node_accesses > 0
+    assert scanned.aggregate.mean_node_accesses == 0
+    register_report("Ablation B: filter implementation", _ROWS)

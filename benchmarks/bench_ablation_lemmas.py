@@ -1,0 +1,52 @@
+"""Ablation A — CP's refinement strategies switched off one at a time.
+
+Not a paper figure, but the paper's Section 3.1 claims each lemma "boosts
+efficiency"; this bench quantifies every switch on the default workload.
+All configurations must produce identical causality (that is the lemmas'
+correctness claim), differing only in subsets examined / CPU time.
+"""
+
+import pytest
+
+from conftest import DEFAULT_ALPHA, NAIVE_MAX_CANDIDATES, prsq_workload, register_report
+from repro.bench.harness import run_cp_batch
+from repro.core.cp import CPConfig
+
+CONFIGS = [
+    ("full CP", CPConfig()),
+    ("no Lemma 4 (Γ₁)", CPConfig(use_lemma4=False)),
+    ("no Lemma 5 (counterfactual excl.)", CPConfig(use_lemma5=False)),
+    ("no Lemma 6 (set reuse)", CPConfig(use_lemma6=False)),
+    ("no bound prune", CPConfig(use_bound_prune=False)),
+    ("refinement lemmas all off", CPConfig.naive_refinement()),
+]
+
+_ROWS = []
+_BATCHES = {}
+
+
+def workload():
+    return prsq_workload(max_candidates=NAIVE_MAX_CANDIDATES)
+
+
+@pytest.mark.parametrize("label,config", CONFIGS, ids=[c[0] for c in CONFIGS])
+def test_ablation_lemmas(once, label, config):
+    dataset, q, picks = workload()
+    batch = once(
+        lambda: run_cp_batch(dataset, q, DEFAULT_ALPHA, picks, config=config, label=label)
+    )
+    _BATCHES[label] = batch
+    _ROWS.append(batch.row())
+
+
+def test_ablation_output_identical_and_report(once):
+    once(lambda: None)
+    reference = _BATCHES["full CP"]
+    for label, batch in _BATCHES.items():
+        for a, b in zip(reference.results, batch.results):
+            assert a.same_causality(b), label
+        # No ablation may *reduce* the enumeration work below full CP.
+        assert (
+            batch.aggregate.mean_subsets >= reference.aggregate.mean_subsets - 1e-9
+        ), label
+    register_report("Ablation A: CP refinement strategies", _ROWS)

@@ -1,0 +1,115 @@
+"""Extension — CRP on other queries (the paper's Section-7 future work).
+
+Reverse k-skyband, bichromatic reverse skyline, and reverse top-k all
+admit Lemma-7-style closed forms, so their causality cost is one filter
+pass.  This bench reports the cost of each against the certain-data
+baseline CR.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import CERTAIN_N, RUNS, register_report, rsq_workload
+from repro.bench.metrics import Aggregate
+from repro.core.cr import compute_causality_certain
+from repro.exceptions import NotANonAnswerError
+from repro.rtopk.causality import compute_causality_rtopk
+from repro.rtopk.query import WeightSet, rank_of_query
+from repro.skyline.bichromatic import compute_causality_bichromatic
+from repro.skyline.skyband import compute_causality_k_skyband
+from repro.uncertain.dataset import CertainDataset
+
+_ROWS = []
+
+
+def _row(label, aggregate):
+    row = {"query": label}
+    row.update(aggregate.as_row())
+    _ROWS.append(row)
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+def test_ext_k_skyband(once, k):
+    dataset, q, picks = rsq_workload(max_candidates=64, min_candidates=4)
+
+    def run():
+        aggregate = Aggregate()
+        for an in picks:
+            try:
+                result = compute_causality_k_skyband(dataset, an, q, k=k)
+            except NotANonAnswerError:
+                continue
+            aggregate.add(result.stats)
+        return aggregate
+
+    aggregate = once(run)
+    assert aggregate.count > 0
+    _row(f"reverse {k}-skyband", aggregate)
+
+
+def test_ext_bichromatic(once):
+    customers, q, picks = rsq_workload(max_candidates=64, min_candidates=1)
+    rng = np.random.default_rng(41)
+    products = CertainDataset(
+        rng.uniform(0, 10_000, size=(CERTAIN_N // 2, customers.dims)),
+        ids=[f"prod-{i}" for i in range(CERTAIN_N // 2)],
+    )
+
+    def run():
+        aggregate = Aggregate()
+        for customer in picks:
+            try:
+                result = compute_causality_bichromatic(
+                    customers, products, customer, q
+                )
+            except NotANonAnswerError:
+                continue
+            aggregate.add(result.stats)
+        return aggregate
+
+    aggregate = once(run)
+    _row("bichromatic reverse skyline", aggregate)
+
+
+def test_ext_rtopk(once):
+    rng = np.random.default_rng(43)
+    products = CertainDataset(
+        rng.uniform(0, 10_000, size=(CERTAIN_N, 2)),
+        ids=[f"prod-{i}" for i in range(CERTAIN_N)],
+    )
+    users = WeightSet(rng.dirichlet([2.0, 2.0], size=8 * RUNS))
+    # A competitive product: ranks land in the tens, the regime a vendor
+    # would actually analyze (rank-thousands non-answers are hopeless).
+    q = rng.uniform(200, 700, size=2)
+    k = 10
+    non_answers = [
+        user for user in users.ids
+        if k < rank_of_query(products, users.vector(user), q) <= 150
+    ][:RUNS]
+
+    def run():
+        aggregate = Aggregate()
+        for user in non_answers:
+            result = compute_causality_rtopk(products, users, user, q, k)
+            aggregate.add(result.stats)
+        return aggregate
+
+    aggregate = once(run)
+    assert aggregate.count == len(non_answers)
+    _row(f"reverse top-{k}", aggregate)
+
+
+def test_ext_cr_baseline_and_report(once):
+    dataset, q, picks = rsq_workload(max_candidates=64, min_candidates=4)
+
+    def run():
+        aggregate = Aggregate()
+        for an in picks:
+            aggregate.add(compute_causality_certain(dataset, an, q).stats)
+        return aggregate
+
+    aggregate = once(run)
+    _row("reverse skyline (CR)", aggregate)
+    register_report(
+        "Extension: CRP on other queries (Sec. 7 future work)", _ROWS
+    )

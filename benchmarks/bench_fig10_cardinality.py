@@ -1,0 +1,33 @@
+"""Figure 10 — CP cost versus dataset cardinality.
+
+Paper finding: I/O and CPU both grow with |P| — denser data means more
+candidate causes per non-answer and a larger R-tree to traverse.
+"""
+
+import pytest
+
+from conftest import CARDINALITIES, DEFAULT_ALPHA, prsq_workload, register_report
+from repro.bench.harness import run_cp_batch
+from repro.bench.reporting import is_non_decreasing
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("cardinality", CARDINALITIES)
+def test_fig10_cp_cardinality(once, cardinality):
+    dataset, q, picks = prsq_workload(n=cardinality)
+    batch = once(lambda: run_cp_batch(dataset, q, DEFAULT_ALPHA, picks))
+    assert batch.aggregate.count == len(picks)
+    row = {"cardinality": cardinality}
+    row.update(batch.row())
+    _ROWS.append(row)
+
+
+def test_fig10_report(once):
+    once(lambda: None)
+    assert len(_ROWS) == len(CARDINALITIES)
+    register_report("Fig. 10: CP cost vs cardinality (lUrU)", _ROWS)
+    # The R-tree grows with |P|; the filter must touch more nodes at the
+    # top end than at the bottom end.
+    ios = [row["io"] for row in _ROWS]
+    assert ios[-1] >= ios[0]

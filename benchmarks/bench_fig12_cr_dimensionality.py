@@ -1,0 +1,50 @@
+"""Figure 12 — CR cost versus dimensionality (2-5) on the four certain
+distributions.
+
+Paper finding: performance improves with dimensionality — objects are
+dominated by fewer objects in higher dimensions, so non-answers have fewer
+causes.
+"""
+
+import pytest
+
+from conftest import DIMENSIONS, register_report, rsq_workload
+from repro.bench.harness import run_cr_batch
+
+DISTRIBUTIONS = ["independent", "correlated", "clustered", "anticorrelated"]
+
+_ROWS = []
+_CAUSES = {}
+
+
+def workload(distribution, dims):
+    try:
+        # CR is linear in the candidate count, so the workload is uncapped —
+        # unlike the Naive-II comparisons — which lets the paper's
+        # fewer-causes-in-higher-dimensions mechanism show through.
+        return rsq_workload(
+            distribution=distribution, dims=dims, max_candidates=1_000_000
+        )
+    except ValueError:
+        return None
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("dims", DIMENSIONS)
+def test_fig12_cr_dimensionality(once, distribution, dims):
+    wl = workload(distribution, dims)
+    if wl is None:
+        pytest.skip(f"not enough bounded non-answers ({distribution}, d={dims})")
+    dataset, q, picks = wl
+    batch = once(lambda: run_cr_batch(dataset, q, picks))
+    assert batch.aggregate.count == len(picks)
+    row = {"dataset": distribution, "d": dims}
+    row.update(batch.row())
+    _ROWS.append(row)
+    _CAUSES[(distribution, dims)] = batch.aggregate.mean_candidates
+
+
+def test_fig12_report(once):
+    once(lambda: None)
+    assert _ROWS
+    register_report("Fig. 12: CR cost vs dimensionality", _ROWS)

@@ -1,0 +1,45 @@
+"""Figure 13 — CR cost versus dataset cardinality on the four certain
+distributions.
+
+Paper finding: node accesses and CPU time grow with |P| — the data becomes
+denser (the domain is fixed), every object is dominated by more objects,
+and the causality sets grow.
+"""
+
+import pytest
+
+from conftest import CARDINALITIES, register_report, rsq_workload
+from repro.bench.harness import run_cr_batch
+
+DISTRIBUTIONS = ["independent", "correlated", "clustered", "anticorrelated"]
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("cardinality", CARDINALITIES)
+def test_fig13_cr_cardinality(once, distribution, cardinality):
+    try:
+        # Uncapped candidates (CR is linear): the paper's growth of the
+        # causality set with density is the point of this figure.
+        dataset, q, picks = rsq_workload(
+            distribution=distribution, n=cardinality, max_candidates=1_000_000
+        )
+    except ValueError:
+        pytest.skip(f"not enough bounded non-answers ({distribution}, n={cardinality})")
+    batch = once(lambda: run_cr_batch(dataset, q, picks))
+    assert batch.aggregate.count == len(picks)
+    row = {"dataset": distribution, "cardinality": cardinality}
+    row.update(batch.row())
+    _ROWS.append(row)
+
+
+def test_fig13_report(once):
+    once(lambda: None)
+    assert _ROWS
+    register_report("Fig. 13: CR cost vs cardinality", _ROWS)
+    # I/O trend per distribution: larger trees at the top end.
+    for distribution in DISTRIBUTIONS:
+        series = [r for r in _ROWS if r["dataset"] == distribution]
+        if len(series) >= 2:
+            assert series[-1]["io"] >= series[0]["io"]

@@ -1,0 +1,41 @@
+"""Figure 8 — CP cost versus the uncertain-region radius range [r_min, r_max].
+
+Paper finding: both I/O and CPU degrade as regions grow — larger regions
+enlarge the non-answer's filter rectangles and admit more (and more
+partial) candidate causes.  Radii are scaled to the quick-scale object
+density (see conftest / EXPERIMENTS.md).
+"""
+
+import pytest
+
+from conftest import DEFAULT_ALPHA, RADIUS_SWEEP, prsq_workload, register_report
+from repro.bench.harness import run_cp_batch
+from repro.bench.reporting import is_non_decreasing
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("radius", RADIUS_SWEEP, ids=[f"r{hi}" for _lo, hi in RADIUS_SWEEP])
+def test_fig8_cp_radius(once, radius):
+    dataset, q, picks = prsq_workload(radius=radius)
+    batch = once(lambda: run_cp_batch(dataset, q, DEFAULT_ALPHA, picks))
+    assert batch.aggregate.count == len(picks)
+    row = {"radius": f"[{radius[0]}, {radius[1]}]"}
+    row.update(batch.row())
+    _ROWS.append(row)
+
+
+def test_fig8_report(once):
+    assert len(_ROWS) == len(RADIUS_SWEEP)
+    register_report("Fig. 8: CP cost vs radius range (lUrU)", _ROWS)
+
+    # Candidate counts are capped by workload selection; the uncapped trend
+    # is visible through the mean MBR size of the datasets themselves.
+    def mean_mbr_margins():
+        sizes = []
+        for radius in RADIUS_SWEEP:
+            dataset, _q, _picks = prsq_workload(radius=radius)
+            sizes.append(sum(obj.mbr.margin() for obj in dataset) / len(dataset))
+        return sizes
+
+    assert is_non_decreasing(once(mean_mbr_margins))

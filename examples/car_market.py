@@ -1,0 +1,57 @@
+"""Used-car market analysis (the paper's Table-4 scenario).
+
+A dealer lists a car an = (price 7510, mileage 10180) and advertises
+against a reference offer q = (11580, 49000).  The reverse skyline of q
+contains the listings for which q is a dynamically non-dominated
+competitor; the dealer's car is *not* among them and the dealer asks which
+rival listings cause that.  Certain data, so algorithm CR answers with a
+single window query (Lemma 7).
+
+Run:  python examples/car_market.py
+"""
+
+from repro import compute_causality_certain
+from repro.datasets.cardb import (
+    DEFAULT_QUERY,
+    NON_ANSWER_CAR,
+    NON_ANSWER_ID,
+    generate_cardb,
+)
+from repro.skyline import is_reverse_skyline
+
+
+def main() -> None:
+    print("synthesizing the CarDB-like dataset (price x mileage)...")
+    market = generate_cardb(n=6000)
+    q = DEFAULT_QUERY
+
+    member = is_reverse_skyline(market, NON_ANSWER_ID, q)
+    print(
+        f"\nreference offer q = {tuple(int(v) for v in q)}"
+        f"\ndealer's car an = {tuple(int(v) for v in NON_ANSWER_CAR)}"
+        f"\nan in reverse skyline of q? {member}"
+    )
+    assert not member
+
+    result = compute_causality_certain(market, NON_ANSWER_ID, q)
+    print(f"\n{len(result)} rival listings cause the exclusion "
+          f"(each with responsibility 1/{len(result)}):\n")
+    print(f"  {'cause id':12s}  {'price':>7s}  {'mileage':>8s}")
+    print(f"  {'-' * 12}  {'-' * 7}  {'-' * 8}")
+    for oid in result.cause_ids():
+        price, mileage = market.point_of(oid)
+        print(f"  {str(oid):12s}  {price:7.0f}  {mileage:8.0f}")
+
+    print(
+        "\nevery cause is closer to the dealer's car than the reference "
+        "offer is, in both price and mileage - the paper's Table-4 sanity "
+        "check."
+    )
+    print(
+        f"[cost: {result.stats.node_accesses} node accesses, "
+        f"{result.stats.cpu_time_s * 1e3:.1f} ms CPU - no verification step]"
+    )
+
+
+if __name__ == "__main__":
+    main()

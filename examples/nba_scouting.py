@@ -1,0 +1,53 @@
+"""NBA scouting (the paper's Table-3 scenario).
+
+A coach posts a new position profile q = (PTS, FG, REB, AST).  Players are
+uncertain objects whose samples are their season records; the probabilistic
+reverse skyline at alpha = 0.5 is the candidate shortlist.  "Steve John"
+finds himself off the list and asks *what causes me to be unqualified, and
+how strongly?* — exactly the CR2PRSQ question.
+
+Run:  python examples/nba_scouting.py
+"""
+
+from fractions import Fraction
+
+from repro import compute_causality, reverse_skyline_probability
+from repro.datasets.nba import DEFAULT_QUERY, STEVE_JOHN, generate_nba
+
+
+def main() -> None:
+    print("synthesizing the NBA-like dataset (career records, 4 attributes)...")
+    league = generate_nba(n_players=1200)
+    q = DEFAULT_QUERY
+    alpha = 0.5
+
+    pr = reverse_skyline_probability(league, STEVE_JOHN, q)
+    print(
+        f"\nposition profile q = {tuple(int(v) for v in q)}  (PTS, FG, REB, AST)"
+        f"\nPr({STEVE_JOHN} makes the shortlist) = {pr:.3f} < alpha = {alpha}"
+        f"\n=> {STEVE_JOHN} is a non-answer; computing his competitors...\n"
+    )
+
+    result = compute_causality(league, STEVE_JOHN, q, alpha)
+    print(f"{len(result)} causes found (algorithm CP):\n")
+    print(f"  {'causality':24s}  responsibility")
+    print(f"  {'-' * 24}  {'-' * 14}")
+    for oid, resp in result.ranked():
+        fraction = Fraction(1, int(round(1.0 / resp)))
+        print(f"  {str(oid):24s}  {str(fraction)}")
+
+    strongest = result.ranked()[0]
+    print(
+        f"\nreading the answer: removing {strongest[0]!r} plus his minimal "
+        f"contingency set of {result.causes[strongest[0]].min_contingency_size} "
+        f"other players would put {STEVE_JOHN} on the shortlist."
+    )
+    print(
+        f"[cost: {result.stats.node_accesses} node accesses, "
+        f"{result.stats.cpu_time_s * 1e3:.1f} ms CPU, "
+        f"{result.stats.candidates} candidate causes verified]"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Sensor-network monitoring with the continuous pdf model (Sec. 3.2).
+
+Sensors report noisy (temperature, humidity) readings, modeled as
+continuous uncertain regions: a uniform box for quantized sensors and a
+truncated Gaussian for analog ones.  An operator sets a reference
+condition q and watches the probabilistic reverse skyline as the set of
+sensors for which q is a "relevant" condition.  When a sensor drops off
+the watch list, the pdf-model CP explains which neighbouring sensors cause
+it.
+
+Run:  python examples/sensor_monitoring.py
+"""
+
+import numpy as np
+
+from repro import TruncatedGaussianObject, UniformBoxObject, compute_causality_pdf
+from repro.geometry.rectangle import Rect
+
+
+def build_sensor_field(rng):
+    """A small field of sensors around a monitored zone."""
+    sensors = []
+    # The sensor under scrutiny: reads near (21 C, 48 %RH).
+    sensors.append(
+        UniformBoxObject("S-07", Rect([20.5, 47.0], [21.5, 49.0]))
+    )
+    # Nearby sensors between S-07 and the reference condition.
+    sensors.append(
+        TruncatedGaussianObject("S-12", Rect([21.5, 49.5], [22.5, 51.5]))
+    )
+    sensors.append(
+        UniformBoxObject("S-19", Rect([22.0, 50.0], [23.0, 52.0]))
+    )
+    # Background sensors far from the zone.
+    for i, (x, y) in enumerate(rng.uniform([5, 20], [15, 35], size=(12, 2))):
+        sensors.append(
+            UniformBoxObject(f"BG-{i:02d}", Rect([x, y], [x + 1.0, y + 1.5]))
+        )
+    return sensors
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+    sensors = build_sensor_field(rng)
+    q = [24.0, 55.0]  # reference condition (temperature, humidity)
+    alpha = 0.5
+
+    print(f"reference condition q = {q}, alpha = {alpha}")
+    print(f"{len(sensors)} sensors; explaining why S-07 left the watch list...\n")
+
+    result, discretized = compute_causality_pdf(
+        sensors, "S-07", q, alpha=alpha, samples_per_object=48, rng=rng
+    )
+
+    print(f"{len(result)} causes (pdf-model CP, Monte-Carlo resolution 48):")
+    for oid, resp in result.ranked():
+        cause = result.causes[oid]
+        print(
+            f"  {str(oid):6s}  responsibility {resp:.3f}  ({cause.kind.value})"
+        )
+    print(
+        f"\n[verification ran on the discretized dataset: "
+        f"{len(discretized)} objects x "
+        f"{discretized.max_samples()} samples each; "
+        f"filter used the exact region geometry of Sec. 3.2]"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The sandboxed environment has setuptools but no ``wheel`` package and no
+network, so PEP-517 editable installs fail with ``invalid command
+'bdist_wheel'``.  This shim lets ``python setup.py develop`` /
+``pip install -e . --no-build-isolation`` fall back to the legacy path.
+Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

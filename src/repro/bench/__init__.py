@@ -1,0 +1,41 @@
+"""Benchmark harness: metrics, workload selection, batch runners, reporting."""
+
+from repro.bench.harness import (
+    BatchResult,
+    run_batch,
+    run_cp_batch,
+    run_cr_batch,
+    run_naive_i_batch,
+    run_naive_ii_batch,
+)
+from repro.bench.metrics import Aggregate
+from repro.bench.reporting import (
+    format_table,
+    is_non_decreasing,
+    is_non_increasing,
+    print_figure,
+    series_summary,
+)
+from repro.bench.workloads import (
+    random_query,
+    select_prsq_non_answers,
+    select_rsq_non_answers,
+)
+
+__all__ = [
+    "Aggregate",
+    "BatchResult",
+    "format_table",
+    "is_non_decreasing",
+    "is_non_increasing",
+    "print_figure",
+    "random_query",
+    "run_batch",
+    "run_cp_batch",
+    "run_cr_batch",
+    "run_naive_i_batch",
+    "run_naive_ii_batch",
+    "select_prsq_non_answers",
+    "select_rsq_non_answers",
+    "series_summary",
+]

@@ -1,0 +1,102 @@
+"""Experiment harness: run an algorithm over a batch of non-answers and
+aggregate the paper's metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Iterable, List, Optional
+
+from repro.bench.metrics import Aggregate
+from repro.core.cp import CPConfig, compute_causality
+from repro.core.cr import compute_causality_certain
+from repro.core.model import CausalityResult
+from repro.core.naive import naive_i, naive_ii
+from repro.exceptions import NotANonAnswerError
+from repro.geometry.point import PointLike
+from repro.uncertain.dataset import CertainDataset, UncertainDataset
+
+
+@dataclass
+class BatchResult:
+    """Aggregated outcome of one (algorithm, configuration) batch."""
+
+    label: str
+    aggregate: Aggregate
+    results: List[CausalityResult]
+
+    def row(self) -> Dict:
+        row = {"algorithm": self.label}
+        row.update(self.aggregate.as_row())
+        return row
+
+
+def run_batch(
+    label: str,
+    runner: Callable[[Hashable], CausalityResult],
+    non_answers: Iterable[Hashable],
+) -> BatchResult:
+    """Invoke *runner* once per non-answer, collecting stats.
+
+    Non-answers that turn out to be answers (selection raced against a
+    different alpha, say) are skipped rather than failing the batch.
+    """
+    aggregate = Aggregate()
+    results: List[CausalityResult] = []
+    for an in non_answers:
+        try:
+            result = runner(an)
+        except NotANonAnswerError:
+            continue
+        aggregate.add(result.stats)
+        results.append(result)
+    return BatchResult(label=label, aggregate=aggregate, results=results)
+
+
+def run_cp_batch(
+    dataset: UncertainDataset,
+    q: PointLike,
+    alpha: float,
+    non_answers: Iterable[Hashable],
+    config: Optional[CPConfig] = None,
+    label: str = "CP",
+) -> BatchResult:
+    config = config or CPConfig()
+    return run_batch(
+        label,
+        lambda an: compute_causality(dataset, an, q, alpha, config=config),
+        non_answers,
+    )
+
+
+def run_naive_i_batch(
+    dataset: UncertainDataset,
+    q: PointLike,
+    alpha: float,
+    non_answers: Iterable[Hashable],
+    label: str = "Naive-I",
+) -> BatchResult:
+    return run_batch(
+        label, lambda an: naive_i(dataset, an, q, alpha), non_answers
+    )
+
+
+def run_cr_batch(
+    dataset: CertainDataset,
+    q: PointLike,
+    non_answers: Iterable[Hashable],
+    label: str = "CR",
+) -> BatchResult:
+    return run_batch(
+        label, lambda an: compute_causality_certain(dataset, an, q), non_answers
+    )
+
+
+def run_naive_ii_batch(
+    dataset: CertainDataset,
+    q: PointLike,
+    non_answers: Iterable[Hashable],
+    label: str = "Naive-II",
+) -> BatchResult:
+    return run_batch(
+        label, lambda an: naive_ii(dataset, an, q), non_answers
+    )

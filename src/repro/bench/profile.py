@@ -1,0 +1,115 @@
+"""Dataset profiling: the structural statistics the paper's trends hinge on.
+
+The evaluation narratives of Figs. 8-13 all reduce to a few structural
+quantities — object-region sizes, dominance density, skyline/causality-set
+sizes.  This module measures them for any dataset, so EXPERIMENTS.md-style
+mechanism claims can be checked directly and workload generators can be
+sanity-checked in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.rng import SeedLike, make_rng
+from repro.geometry.dominance import dynamically_dominates
+from repro.geometry.point import PointLike, as_point
+from repro.skyline.classic import skyline_indices
+from repro.uncertain.dataset import CertainDataset, UncertainDataset
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Structural summary of a dataset."""
+
+    cardinality: int
+    dims: int
+    mean_samples: float
+    max_samples: int
+    mean_mbr_margin: float
+    skyline_size: Optional[int]
+    mean_dominators: Optional[float]
+
+    def as_row(self) -> dict:
+        return {
+            "n": self.cardinality,
+            "d": self.dims,
+            "samples/obj": round(self.mean_samples, 2),
+            "mbr margin": round(self.mean_mbr_margin, 2),
+            "skyline": self.skyline_size,
+            "dominators": (
+                round(self.mean_dominators, 2)
+                if self.mean_dominators is not None
+                else None
+            ),
+        }
+
+
+def profile_dataset(
+    dataset: UncertainDataset,
+    q: Optional[PointLike] = None,
+    dominator_samples: int = 50,
+    seed: SeedLike = 0,
+) -> DatasetProfile:
+    """Measure a dataset's structural statistics.
+
+    The skyline size is computed on expected positions (exact for certain
+    data).  When *q* is given, the mean dynamic-dominator count toward
+    ``q`` is estimated over *dominator_samples* random objects — the
+    quantity that drives candidate-set sizes and hence every cost trend.
+    """
+    rng = make_rng(seed)
+    expected = np.array([obj.expected_position() for obj in dataset])
+    margins = [obj.mbr.margin() for obj in dataset]
+
+    mean_dominators: Optional[float] = None
+    if q is not None:
+        qq = as_point(q, dims=dataset.dims)
+        ids = dataset.ids()
+        probe_count = min(dominator_samples, len(ids))
+        probes = rng.choice(len(ids), size=probe_count, replace=False)
+        counts = []
+        for probe in probes:
+            center = expected[int(probe)]
+            count = sum(
+                1
+                for row in range(len(ids))
+                if row != int(probe)
+                and dynamically_dominates(expected[row], qq, center)
+            )
+            counts.append(count)
+        mean_dominators = float(np.mean(counts)) if counts else 0.0
+
+    return DatasetProfile(
+        cardinality=len(dataset),
+        dims=dataset.dims,
+        mean_samples=float(
+            np.mean([obj.num_samples for obj in dataset])
+        ),
+        max_samples=dataset.max_samples(),
+        mean_mbr_margin=float(np.mean(margins)),
+        skyline_size=len(skyline_indices(expected)),
+        mean_dominators=mean_dominators,
+    )
+
+
+def dominance_density(
+    dataset: CertainDataset, pairs: int = 2_000, seed: SeedLike = 0
+) -> float:
+    """Fraction of random ordered pairs ``(a, b)`` where ``a`` classically
+    dominates ``b`` — the density that makes correlated data easy and
+    anti-correlated data hard for skyline operators."""
+    rng = make_rng(seed)
+    n = len(dataset)
+    if n < 2:
+        return 0.0
+    points = dataset.points
+    a_idx = rng.integers(0, n, size=pairs)
+    b_idx = rng.integers(0, n, size=pairs)
+    valid = a_idx != b_idx
+    a, b = points[a_idx[valid]], points[b_idx[valid]]
+    wins = np.logical_and((a <= b).all(axis=1), (a < b).any(axis=1))
+    return float(wins.mean()) if len(wins) else 0.0

@@ -1,0 +1,53 @@
+"""Plain-text reporting in the shape of the paper's figures and tables.
+
+Each benchmark prints one table whose rows/series correspond to a paper
+figure: the x-axis parameter, and per algorithm the mean node accesses
+(I/O) and mean CPU time.  Absolute CPU numbers differ from the paper's C++
+testbed by a constant factor; the *shape* is what EXPERIMENTS.md compares.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as an aligned monospace table."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        col: max(len(str(col)), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    rule = "  ".join("-" * widths[col] for col in columns)
+    body = [
+        "  ".join(str(row.get(col, "")).ljust(widths[col]) for col in columns)
+        for row in rows
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def print_figure(
+    title: str, rows: Iterable[Dict], columns: Sequence[str] | None = None
+) -> None:
+    """Print one paper-figure-shaped table with a banner."""
+    print()
+    print(f"== {title} ==")
+    print(format_table(list(rows), columns))
+
+
+def series_summary(rows: Sequence[Dict], x: str, y: str) -> List[tuple]:
+    """Extract an ``(x, y)`` series from result rows (for trend assertions)."""
+    return [(row[x], row[y]) for row in rows]
+
+
+def is_non_increasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    return all(b <= a + tolerance for a, b in zip(values, values[1:]))
+
+
+def is_non_decreasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    return all(b + tolerance >= a for a, b in zip(values, values[1:]))

@@ -1,0 +1,109 @@
+"""Workload selection: random non-answers for the experiment protocol.
+
+Section 5.1: *"we select randomly 50 non-answers, and report their average
+performance."*  For CR2PRSQ the refinement step is exponential in the
+candidate-set size in the worst case (Theorem 1), so — like the paper's
+workloads evidently do — we bound the candidate count of the selected
+non-answers; the bound is part of the recorded workload definition and is
+reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+import numpy as np
+
+from repro.core.candidates import find_candidate_causes
+from repro.datasets.rng import SeedLike, make_rng
+from repro.geometry.dominance import dynamically_dominates
+from repro.geometry.point import PointLike, as_point
+from repro.prsq.probability import reverse_skyline_probability
+from repro.uncertain.dataset import CertainDataset, UncertainDataset
+
+
+def select_prsq_non_answers(
+    dataset: UncertainDataset,
+    q: PointLike,
+    alpha: float,
+    count: int,
+    max_candidates: int = 14,
+    min_candidates: int = 1,
+    seed: SeedLike = None,
+    max_probes: Optional[int] = None,
+) -> List[Hashable]:
+    """Randomly pick *count* PRSQ non-answers with bounded candidate sets.
+
+    Probes random objects, keeping those with ``Pr < alpha`` whose Lemma-2
+    candidate set size lies in ``[min_candidates, max_candidates]``.
+    Raises ``ValueError`` when the dataset cannot supply enough qualifying
+    non-answers within *max_probes* probes (default: 20 probes per request).
+    """
+    rng = make_rng(seed)
+    qq = as_point(q, dims=dataset.dims)
+    ids = dataset.ids()
+    order = rng.permutation(len(ids))
+    budget = max_probes if max_probes is not None else max(20 * count, 200)
+
+    selected: List[Hashable] = []
+    for idx in order[:budget]:
+        oid = ids[int(idx)]
+        if reverse_skyline_probability(dataset, oid, qq) >= alpha:
+            continue
+        n_candidates = len(find_candidate_causes(dataset, oid, qq))
+        if not min_candidates <= n_candidates <= max_candidates:
+            continue
+        selected.append(oid)
+        if len(selected) == count:
+            return selected
+    raise ValueError(
+        f"found only {len(selected)}/{count} qualifying non-answers "
+        f"(alpha={alpha}, candidate range [{min_candidates}, {max_candidates}])"
+    )
+
+
+def select_rsq_non_answers(
+    dataset: CertainDataset,
+    q: PointLike,
+    count: int,
+    max_candidates: int = 18,
+    min_candidates: int = 1,
+    seed: SeedLike = None,
+    max_probes: Optional[int] = None,
+) -> List[Hashable]:
+    """Randomly pick *count* reverse-skyline non-answers (certain data)."""
+    rng = make_rng(seed)
+    qq = as_point(q, dims=dataset.dims)
+    ids = dataset.ids()
+    order = rng.permutation(len(ids))
+    budget = max_probes if max_probes is not None else max(20 * count, 200)
+
+    selected: List[Hashable] = []
+    for idx in order[:budget]:
+        oid = ids[int(idx)]
+        an_point = dataset.point_of(oid)
+        dominators = 0
+        for other in dataset:
+            if other.oid == oid:
+                continue
+            if dynamically_dominates(other.samples[0], qq, an_point):
+                dominators += 1
+                if dominators > max_candidates:
+                    break
+        if not min_candidates <= dominators <= max_candidates:
+            continue
+        selected.append(oid)
+        if len(selected) == count:
+            return selected
+    raise ValueError(
+        f"found only {len(selected)}/{count} qualifying non-answers "
+        f"(candidate range [{min_candidates}, {max_candidates}])"
+    )
+
+
+def random_query(
+    dims: int, domain: float = 10_000.0, seed: SeedLike = None
+) -> np.ndarray:
+    """A uniformly random certain query object in the synthetic domain."""
+    rng = make_rng(seed)
+    return rng.uniform(0.35 * domain, 0.65 * domain, size=dims)

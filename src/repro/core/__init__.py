@@ -1,0 +1,45 @@
+"""The paper's contribution: CP, CR, FMCS, and the causality model."""
+
+from repro.core.candidates import (
+    can_influence,
+    filter_rectangles,
+    find_candidate_causes,
+)
+from repro.core.cp import CPConfig, compute_causality, compute_causality_pdf
+from repro.core.cr import compute_causality_certain
+from repro.core.explain import (
+    explain_with_oracle,
+    minimal_repair_set,
+    narrative,
+    responsibility_groups,
+    verify_repair,
+    what_if,
+)
+from repro.core.fmcs import FMCSOutcome, find_minimal_contingency_set
+from repro.core.model import Cause, CauseKind, CausalityResult, RunStats
+from repro.core.naive import brute_force_causality, naive_i, naive_ii
+
+__all__ = [
+    "CPConfig",
+    "Cause",
+    "CauseKind",
+    "CausalityResult",
+    "FMCSOutcome",
+    "RunStats",
+    "brute_force_causality",
+    "can_influence",
+    "compute_causality",
+    "compute_causality_certain",
+    "compute_causality_pdf",
+    "explain_with_oracle",
+    "filter_rectangles",
+    "find_candidate_causes",
+    "find_minimal_contingency_set",
+    "minimal_repair_set",
+    "naive_i",
+    "naive_ii",
+    "narrative",
+    "responsibility_groups",
+    "verify_repair",
+    "what_if",
+]

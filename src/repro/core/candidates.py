@@ -1,0 +1,75 @@
+"""Filter step: candidate cause discovery (Lemmas 1 and 2).
+
+Lemma 1 says only objects that can dynamically dominate ``q`` w.r.t. the
+non-answer in *some* possible world can be causes; Lemma 2 turns that into
+geometry — such an object must place a sample inside one of the dominance
+hyper-rectangles of the non-answer's samples.  The filter is therefore a
+multi-window R-tree scan followed by an exact per-sample confirmation.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Sequence
+
+from repro.geometry.dominance import (
+    dominance_rectangle,
+    dominance_vector,
+)
+from repro.geometry.point import PointLike, as_point
+from repro.geometry.rectangle import Rect
+from repro.uncertain.dataset import UncertainDataset
+from repro.uncertain.object import UncertainObject
+
+
+def filter_rectangles(an: UncertainObject, q: PointLike) -> List[Rect]:
+    """The Lemma-2 rectangle list ``RecList``: one per sample of *an*."""
+    qq = as_point(q, dims=an.dims)
+    return [
+        dominance_rectangle(an.samples[i], qq) for i in range(an.num_samples)
+    ]
+
+
+def can_influence(candidate: UncertainObject, an: UncertainObject, q: PointLike) -> bool:
+    """Exact Lemma-1 test: some sample of *candidate* dominates ``q`` w.r.t.
+    some sample of *an* (equivalently, its Eq. (3) vector is non-zero)."""
+    qq = as_point(q, dims=an.dims)
+    for i in range(an.num_samples):
+        if dominance_vector(candidate.samples, qq, an.samples[i]).any():
+            return True
+    return False
+
+
+def find_candidate_causes(
+    dataset: UncertainDataset,
+    an_oid: Hashable,
+    q: PointLike,
+    use_index: bool = True,
+    windows: Sequence[Rect] | None = None,
+) -> List[Hashable]:
+    """Candidate cause ids for the non-answer *an_oid* (filter step of CP).
+
+    Parameters
+    ----------
+    use_index:
+        When true (the CP configuration), traverse the dataset R-tree in a
+        branch-and-bound manner over the rectangle list (Algorithm 1 lines
+        1-8).  When false, linearly scan the dataset — the ablation baseline
+        with :math:`O(|P|^2)` filtering cost discussed under Lemma 1.
+    windows:
+        Override the rectangle list (the pdf model supplies region-derived
+        rectangles instead of per-sample ones).
+    """
+    an = dataset.get(an_oid)
+    qq = as_point(q, dims=dataset.dims)
+    if windows is None:
+        windows = filter_rectangles(an, qq)
+
+    if use_index:
+        hits = set(dataset.rtree.range_search_any(list(windows)))
+        hits.discard(an_oid)
+        pool = [dataset.get(oid) for oid in hits]
+    else:
+        pool = dataset.others(an_oid)
+
+    confirmed = [obj.oid for obj in pool if can_influence(obj, an, qq)]
+    return sorted(confirmed, key=repr)

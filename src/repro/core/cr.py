@@ -1,0 +1,88 @@
+"""Algorithm CR — causality & responsibility for CRPRSQ (Section 4).
+
+On certain data, Lemma 7 collapses the whole refinement step: every object
+that dynamically dominates ``q`` w.r.t. the non-answer is an actual cause,
+its minimal contingency set is all the *other* such objects, and therefore
+every cause shares responsibility ``1/|C_c|`` (Equation (4)).  CR is a
+single window query on the dataset R-tree followed by exact dominance
+confirmation — time complexity ``O(|R_P|)``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from typing import Hashable
+
+from repro.core.model import Cause, CauseKind, CausalityResult
+from repro.exceptions import NotANonAnswerError
+from repro.geometry.dominance import dominance_rectangle, dynamically_dominates
+from repro.geometry.point import PointLike, as_point
+from repro.uncertain.dataset import CertainDataset
+
+
+def compute_causality_certain(
+    dataset: CertainDataset,
+    an_oid: Hashable,
+    q: PointLike,
+    use_index: bool = True,
+) -> CausalityResult:
+    """Run algorithm CR for the non-reverse-skyline object *an_oid*.
+
+    Parameters
+    ----------
+    use_index:
+        When true, collect candidates with one R-tree window query
+        (algorithm CR); when false, linearly scan the dataset (the filter
+        half of Naive-II).
+
+    Raises
+    ------
+    repro.exceptions.NotANonAnswerError
+        If nothing dominates ``q`` w.r.t. *an_oid* — then *an_oid* is in the
+        reverse skyline and has no non-answer causality.
+    """
+    started = time.perf_counter()
+    an_point = dataset.point_of(an_oid)
+    qq = as_point(q, dims=dataset.dims)
+    window = dominance_rectangle(an_point, qq)
+
+    access_ctx = dataset.rtree.stats.measure() if use_index else nullcontext()
+    with access_ctx as snapshot:
+        if use_index:
+            hits = dataset.rtree.range_search(window)
+        else:
+            hits = dataset.ids()
+        candidates = sorted(
+            (
+                oid
+                for oid in hits
+                if oid != an_oid
+                and dynamically_dominates(dataset.point_of(oid), qq, an_point)
+            ),
+            key=repr,
+        )
+
+    if not candidates:
+        raise NotANonAnswerError(
+            f"object {an_oid!r} is a reverse skyline object of q; "
+            "no non-answer causality to compute"
+        )
+
+    result = CausalityResult(an_oid=an_oid, alpha=None)
+    total = len(candidates)
+    for oid in candidates:  # Lemma 7 / Equation (4)
+        gamma = frozenset(c for c in candidates if c != oid)
+        result.add(
+            Cause(
+                oid=oid,
+                responsibility=1.0 / total,
+                contingency_set=gamma,
+                kind=CauseKind.COUNTERFACTUAL if total == 1 else CauseKind.ACTUAL,
+            )
+        )
+
+    result.stats.node_accesses = snapshot.node_accesses if snapshot else 0
+    result.stats.cpu_time_s = time.perf_counter() - started
+    result.stats.candidates = total
+    return result

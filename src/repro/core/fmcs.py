@@ -1,0 +1,149 @@
+"""FMCS — Finding the Minimal Contingency Set (Algorithm 2).
+
+Given a candidate cause ``cc``, FMCS enumerates candidate contingency sets
+in ascending cardinality so that the first qualifying set found is minimal
+(the responsibility then follows immediately from Definition 2).  The
+search space is pre-shrunk by the paper's lemmas:
+
+* Lemma 3 — only candidate causes are enumerated;
+* Lemma 4 — the must-include set ``Γ₁`` is unioned into every trial set
+  rather than enumerated;
+* Lemma 5 — counterfactual causes are excluded from the enumeration pool;
+* Lemma 6 — a known achievable bound ``n_i`` (witnessed by a propagated
+  set) caps the enumeration: only strictly smaller sets are tried, and if
+  none qualifies the witness itself is minimal.
+
+One deliberate deviation from the published pseudo-code (documented in
+DESIGN.md): Algorithm 2 starts its size loop at 1, but when ``Γ₁`` is
+non-empty the trial set ``Γ = Γ₁`` (zero extra members) is reachable and
+legitimate, so our loop starts at size 0.  With ``Γ₁ = ∅`` size 0 means the
+empty set, i.e. the counterfactual case, which the caller has already
+peeled off — enumerating it again is harmless and keeps the function total.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Optional, Sequence
+
+import numpy as np
+
+from repro.prsq.oracle import MembershipOracle
+
+
+@dataclass
+class FMCSOutcome:
+    """Result of one FMCS invocation.
+
+    ``gamma`` is the minimal contingency set (including ``Γ₁``) or ``None``
+    when the candidate is not an actual cause; ``subsets_examined`` counts
+    the trial sets submitted to the oracle.
+    """
+
+    gamma: Optional[FrozenSet[Hashable]]
+    subsets_examined: int
+
+    @property
+    def is_cause(self) -> bool:
+        return self.gamma is not None
+
+    @property
+    def responsibility(self) -> float:
+        if self.gamma is None:
+            return 0.0
+        return 1.0 / (1.0 + len(self.gamma))
+
+
+def find_minimal_contingency_set(
+    oracle: MembershipOracle,
+    cc: Hashable,
+    pool: Sequence[Hashable],
+    gamma1: FrozenSet[Hashable] = frozenset(),
+    known_bound: Optional[int] = None,
+    use_bound_prune: bool = True,
+) -> FMCSOutcome:
+    """Search for the minimal contingency set of candidate cause *cc*.
+
+    Parameters
+    ----------
+    oracle:
+        Membership oracle for the CR2PRSQ instance.
+    cc:
+        The candidate cause under verification.
+    pool:
+        Enumeration pool — candidate causes minus ``Γ₁`` minus
+        counterfactual causes minus ``cc`` (Lemmas 3/4/5 applied by the
+        caller).
+    gamma1:
+        Must-include set (Lemma 4), excluding *cc* itself.
+    known_bound:
+        A cardinality ``n_i`` already witnessed by Lemma 6; enumeration is
+        limited to strictly smaller sets.  ``None`` means unbounded (up to
+        the pool size).
+    use_bound_prune:
+        Enable the size-level pruning bound (an engineering addition on top
+        of the paper, results provably unchanged): for every world term,
+        ``Pr(an)`` over a restriction keeping a set ``K`` is at most
+        ``∏_{j∈K} max_i(1 − Eq3_j[i])``, so a subset size whose *best
+        possible* kept-product is below ``α`` cannot satisfy Definition
+        1(ii) and is skipped without enumeration.
+
+    Notes
+    -----
+    The first qualifying set found is minimal because sizes are enumerated
+    in ascending order.  When *known_bound* is set and no strictly smaller
+    set qualifies, the caller's witness of size ``known_bound`` is minimal —
+    this function then reports ``gamma=None`` and the caller falls back to
+    the witness (Algorithm 1, lines 23-24).
+    """
+    if cc in pool or cc in gamma1:
+        raise ValueError("cc must be excluded from pool and gamma1 by the caller")
+
+    forced = frozenset(gamma1)
+    max_total = len(pool) + len(forced)
+    limit = max_total if known_bound is None else min(known_bound - 1, max_total)
+
+    # Strongest dominators (smallest max survival) first: removing them
+    # raises Pr(an) the most, so qualifying sets appear early within a size.
+    ordered_pool = sorted(pool, key=lambda oid: (oracle.max_survival(oid), repr(oid)))
+
+    # Size-level bound.  Every survival factor lies in [0, 1], so for each
+    # sample i of an, the product over any m kept pool members is at most
+    # the product of the m largest survivals in that column; influencers
+    # that are never removed (counterfactual causes kept per Lemma 5, plus
+    # anything outside pool ∪ Γ₁ ∪ {cc}) multiply in unconditionally.
+    # ub[m] therefore upper-bounds Pr(an) over *any* restriction keeping m
+    # pool members, and a subset size whose ub is below α cannot satisfy
+    # Definition 1(ii).
+    upper_bound: Optional[np.ndarray] = None
+    if use_bound_prune and pool:
+        pool_set = set(pool)
+        fixed_vec = np.ones(oracle.an.num_samples)
+        for oid in oracle.influencer_ids:
+            if oid != cc and oid not in forced and oid not in pool_set:
+                fixed_vec *= oracle.survival_row(oid)
+        rows = np.vstack([oracle.survival_row(oid) for oid in ordered_pool])
+        cols_desc = np.sort(rows, axis=0)[::-1]          # (k, l) per-column desc
+        prefixes = np.cumprod(cols_desc, axis=0)          # top-m products
+        weights = oracle.an.probabilities
+        upper_bound = np.empty(len(pool) + 1)
+        upper_bound[0] = float(weights @ fixed_vec)
+        for m in range(1, len(pool) + 1):
+            upper_bound[m] = float(weights @ (fixed_vec * prefixes[m - 1]))
+
+    examined = 0
+    for total_size in range(len(forced), limit + 1):
+        extra = total_size - len(forced)
+        if extra > len(pool):
+            break
+        if upper_bound is not None:
+            kept = len(pool) - extra
+            if upper_bound[kept] < oracle.alpha:
+                continue  # Definition 1(ii) unsatisfiable at this size
+        for combo in itertools.combinations(ordered_pool, extra):
+            gamma = forced | frozenset(combo)
+            examined += 1
+            if oracle.is_contingency_set(gamma, cc):
+                return FMCSOutcome(gamma=gamma, subsets_examined=examined)
+    return FMCSOutcome(gamma=None, subsets_examined=examined)

@@ -1,0 +1,79 @@
+"""The paper's pruning lemmas as standalone, individually-testable predicates.
+
+Algorithm CP composes these; keeping them addressable lets the test suite
+verify each lemma against brute force and lets the ablation benchmarks
+switch them off one at a time.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, List, Set
+
+from repro.prsq.oracle import MembershipOracle
+from repro.uncertain.dataset import UncertainDataset
+
+
+def lemma1_is_candidate(
+    oracle: MembershipOracle, oid: Hashable
+) -> bool:
+    """Lemma 1: *oid* can only be a cause if its Eq. (3) vector is non-zero."""
+    return oracle.influences(oid)
+
+
+def lemma3_search_space(oracle: MembershipOracle) -> List[Hashable]:
+    """Lemma 3: minimal contingency sets draw only from the candidate set."""
+    return list(oracle.influencer_ids)
+
+
+def lemma4_must_include(oracle: MembershipOracle) -> List[Hashable]:
+    """Lemma 4: objects dominating ``q`` w.r.t. *every* sample of ``an`` with
+    probability 1 (contained in all Lemma-2 rectangles) belong to every
+    qualifying contingency set."""
+    return oracle.certain_blockers()
+
+
+def lemma5_is_counterfactual(oracle: MembershipOracle, oid: Hashable) -> bool:
+    """Counterfactual test: removing *oid* alone makes ``an`` an answer.
+
+    Lemma 5 then excludes such objects from every *other* cause's minimal
+    contingency set.
+    """
+    return oracle.is_answer({oid})
+
+
+def lemma6_propagate(
+    oracle: MembershipOracle,
+    cause: Hashable,
+    gamma: FrozenSet[Hashable],
+    pending: Iterable[Hashable],
+) -> dict:
+    """Lemma 6: reuse a found minimal contingency set *gamma* of *cause*.
+
+    For each pending candidate ``c' ∈ gamma``, if
+    ``(P − (gamma − {c'}) − {cause})`` is still a non-answer, then
+    ``(gamma − {c'}) ∪ {cause}`` is a contingency set for ``c'`` of the same
+    cardinality.  Returns ``{c': witness_set}`` for the candidates this
+    certifies.
+    """
+    witnesses = {}
+    pending_set = set(pending)
+    for member in gamma:
+        if member not in pending_set:
+            continue
+        witness = (gamma - {member}) | {cause}
+        if oracle.is_non_answer(witness):
+            witnesses[member] = frozenset(witness)
+    return witnesses
+
+
+def lemma7_certain_candidates_are_causes(
+    dataset: UncertainDataset, candidates: Set[Hashable]
+) -> dict:
+    """Lemma 7 (certain data): every candidate is an actual cause whose
+    minimal contingency set is all the *other* candidates.
+
+    Returns ``{oid: frozenset(contingency)}``.
+    """
+    return {
+        oid: frozenset(candidates - {oid}) for oid in candidates
+    }

@@ -1,0 +1,134 @@
+"""Causality and responsibility result model (Definitions 1, 2, 5, 6).
+
+* A **counterfactual cause** makes the non-answer an answer all by itself
+  (empty contingency set, responsibility 1).
+* An **actual cause** needs a contingency set Γ; its responsibility is
+  ``1 / (1 + |Γ_min|)``.
+* Objects that are not causes have responsibility 0 by convention.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+
+class CauseKind(enum.Enum):
+    """How the cause qualifies under Definition 1."""
+
+    COUNTERFACTUAL = "counterfactual"
+    ACTUAL = "actual"
+
+
+@dataclass(frozen=True)
+class Cause:
+    """One actual cause for a non-answer, with a minimal witness."""
+
+    oid: Hashable
+    responsibility: float
+    contingency_set: FrozenSet[Hashable]
+    kind: CauseKind
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.responsibility <= 1.0:
+            raise ValueError(
+                f"responsibility must be in (0, 1], got {self.responsibility}"
+            )
+        expected = 1.0 / (1.0 + len(self.contingency_set))
+        if abs(self.responsibility - expected) > 1e-12:
+            raise ValueError(
+                f"responsibility {self.responsibility} inconsistent with "
+                f"|Γ|={len(self.contingency_set)} (expected {expected})"
+            )
+        if self.kind is CauseKind.COUNTERFACTUAL and self.contingency_set:
+            raise ValueError("a counterfactual cause has an empty contingency set")
+
+    @property
+    def min_contingency_size(self) -> int:
+        return len(self.contingency_set)
+
+
+@dataclass
+class RunStats:
+    """Cost counters for one algorithm invocation (the paper's two metrics
+    plus the refinement-step internals)."""
+
+    node_accesses: int = 0
+    cpu_time_s: float = 0.0
+    candidates: int = 0
+    oracle_evaluations: int = 0
+    subsets_examined: int = 0
+
+    def merge(self, other: "RunStats") -> "RunStats":
+        return RunStats(
+            node_accesses=self.node_accesses + other.node_accesses,
+            cpu_time_s=self.cpu_time_s + other.cpu_time_s,
+            candidates=self.candidates + other.candidates,
+            oracle_evaluations=self.oracle_evaluations + other.oracle_evaluations,
+            subsets_examined=self.subsets_examined + other.subsets_examined,
+        )
+
+
+@dataclass
+class CausalityResult:
+    """The full CR2PRSQ / CRPRSQ output for one non-answer."""
+
+    an_oid: Hashable
+    alpha: Optional[float]
+    causes: Dict[Hashable, Cause] = field(default_factory=dict)
+    stats: RunStats = field(default_factory=RunStats)
+
+    # ------------------------------------------------------------------
+    def add(self, cause: Cause) -> None:
+        if cause.oid in self.causes:
+            raise ValueError(f"duplicate cause {cause.oid!r}")
+        if cause.oid == self.an_oid:
+            raise ValueError("the non-answer cannot cause itself")
+        self.causes[cause.oid] = cause
+
+    def responsibility(self, oid: Hashable) -> float:
+        """Responsibility of *oid*; 0 when it is not a cause (convention)."""
+        cause = self.causes.get(oid)
+        return cause.responsibility if cause is not None else 0.0
+
+    def cause_ids(self) -> List[Hashable]:
+        return sorted(self.causes, key=repr)
+
+    def counterfactual_ids(self) -> List[Hashable]:
+        return [
+            oid
+            for oid in self.cause_ids()
+            if self.causes[oid].kind is CauseKind.COUNTERFACTUAL
+        ]
+
+    def ranked(self) -> List[Tuple[Hashable, float]]:
+        """Causes sorted by decreasing responsibility (ties by id repr)."""
+        return sorted(
+            ((oid, cause.responsibility) for oid, cause in self.causes.items()),
+            key=lambda pair: (-pair[1], repr(pair[0])),
+        )
+
+    def responsibilities(self) -> Dict[Hashable, float]:
+        return {oid: cause.responsibility for oid, cause in self.causes.items()}
+
+    def same_causality(self, other: "CausalityResult") -> bool:
+        """Equality of the semantic output (causes + responsibilities),
+        ignoring witnesses and cost counters — minimal contingency sets need
+        not be unique, but their sizes are."""
+        if set(self.causes) != set(other.causes):
+            return False
+        return all(
+            abs(self.causes[oid].responsibility - other.causes[oid].responsibility)
+            < 1e-12
+            for oid in self.causes
+        )
+
+    def __len__(self) -> int:
+        return len(self.causes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CausalityResult an={self.an_oid!r} causes={len(self.causes)} "
+            f"alpha={self.alpha}>"
+        )

@@ -1,0 +1,181 @@
+"""Baselines: Naive-I, Naive-II, and a Definition-1 brute-force oracle.
+
+* **Naive-I** (Sec. 5.3): finds candidate causes exactly like CP, then
+  refines each by plain ascending-cardinality enumeration over all subsets
+  of the candidate set — no Γ₁ forcing, no counterfactual exclusion, no
+  Lemma-6 reuse.  Same I/O as CP, strictly more CPU.
+* **Naive-II** (Sec. 5.4): certain-data analogue — window-query filter,
+  then per-candidate subset-enumeration verification instead of Lemma 7.
+* **brute_force_causality**: the semantics itself, straight from
+  Definition 1 — enumerate every subset of ``P`` as a potential contingency
+  set.  Exponential in ``|P|``; the ground truth for correctness tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from contextlib import nullcontext
+from typing import Hashable, Optional
+
+from repro.core.cp import CPConfig, compute_causality
+from repro.core.model import Cause, CauseKind, CausalityResult
+from repro.exceptions import NotANonAnswerError
+from repro.geometry.dominance import dominance_rectangle, dynamically_dominates
+from repro.geometry.point import PointLike, as_point
+from repro.prsq.probability import reverse_skyline_probability
+from repro.uncertain.dataset import CertainDataset, UncertainDataset
+
+MAX_NAIVE_CANDIDATES = 24
+
+
+def naive_i(
+    dataset: UncertainDataset,
+    an_oid: Hashable,
+    q: PointLike,
+    alpha: float,
+) -> CausalityResult:
+    """Naive-I: CP's filter with lemma-free subset-enumeration refinement."""
+    return compute_causality(
+        dataset, an_oid, q, alpha, config=CPConfig.naive_refinement()
+    )
+
+
+def naive_ii(
+    dataset: CertainDataset,
+    an_oid: Hashable,
+    q: PointLike,
+    use_index: bool = True,
+    max_candidates: int = MAX_NAIVE_CANDIDATES,
+) -> CausalityResult:
+    """Naive-II: window-query filter + per-candidate subset verification.
+
+    Produces the same causality as algorithm CR (Lemma 7 guarantees it)
+    while paying :math:`O(|C_c| \\cdot 2^{|C_c|})` verification work.
+    *max_candidates* guards against accidentally exponential invocations.
+    """
+    started = time.perf_counter()
+    an_point = dataset.point_of(an_oid)
+    qq = as_point(q, dims=dataset.dims)
+    window = dominance_rectangle(an_point, qq)
+
+    access_ctx = dataset.rtree.stats.measure() if use_index else nullcontext()
+    with access_ctx as snapshot:
+        hits = dataset.rtree.range_search(window) if use_index else dataset.ids()
+        candidates = sorted(
+            (
+                oid
+                for oid in hits
+                if oid != an_oid
+                and dynamically_dominates(dataset.point_of(oid), qq, an_point)
+            ),
+            key=repr,
+        )
+
+    if not candidates:
+        raise NotANonAnswerError(
+            f"object {an_oid!r} is a reverse skyline object of q"
+        )
+    if len(candidates) > max_candidates:
+        raise ValueError(
+            f"Naive-II would enumerate 2^{len(candidates)} subsets; "
+            f"cap is {max_candidates} candidates"
+        )
+
+    candidate_set = set(candidates)
+
+    def an_in_rsq_without(removed: frozenset) -> bool:
+        # an is a reverse skyline object of q over P - removed iff no
+        # remaining object dominates q w.r.t. an; only candidates can.
+        return candidate_set <= removed
+
+    result = CausalityResult(an_oid=an_oid, alpha=None)
+    subsets = 0
+    for cc in candidates:
+        others = [oid for oid in candidates if oid != cc]
+        found = None
+        for size in range(len(others) + 1):
+            for combo in itertools.combinations(others, size):
+                subsets += 1
+                gamma = frozenset(combo)
+                if not an_in_rsq_without(gamma) and an_in_rsq_without(
+                    gamma | {cc}
+                ):
+                    found = gamma
+                    break
+            if found is not None:
+                break
+        if found is not None:
+            result.add(
+                Cause(
+                    oid=cc,
+                    responsibility=1.0 / (1.0 + len(found)),
+                    contingency_set=found,
+                    kind=(
+                        CauseKind.COUNTERFACTUAL if not found else CauseKind.ACTUAL
+                    ),
+                )
+            )
+
+    result.stats.node_accesses = snapshot.node_accesses if snapshot else 0
+    result.stats.cpu_time_s = time.perf_counter() - started
+    result.stats.candidates = len(candidates)
+    result.stats.subsets_examined = subsets
+    return result
+
+
+def brute_force_causality(
+    dataset: UncertainDataset,
+    an_oid: Hashable,
+    q: PointLike,
+    alpha: float,
+    max_objects: int = 14,
+) -> CausalityResult:
+    """Definition 1 applied literally: enumerate all ``Γ ⊆ P``.
+
+    Probabilities are evaluated analytically (Eq. (2)) without any index or
+    lemma, so this shares *no* optimized code path with CP — it is the
+    independent ground truth the test suite compares CP and Naive-I against.
+    Certain datasets work unchanged (alpha is then irrelevant as
+    probabilities are 0/1; pass any threshold in ``(0, 1]``).
+    """
+    if len(dataset) > max_objects:
+        raise ValueError(
+            f"brute force over {len(dataset)} objects would enumerate "
+            f"2^{len(dataset) - 1} subsets per object; cap is {max_objects}"
+        )
+    qq = as_point(q, dims=dataset.dims)
+
+    def pr_without(removed: frozenset) -> float:
+        return reverse_skyline_probability(
+            dataset, an_oid, qq, use_index=False, exclude=removed
+        )
+
+    if pr_without(frozenset()) >= alpha:
+        raise NotANonAnswerError(f"object {an_oid!r} is an answer at alpha={alpha}")
+
+    result = CausalityResult(an_oid=an_oid, alpha=alpha)
+    others = [oid for oid in dataset.ids() if oid != an_oid]
+    for p in others:
+        rest = [oid for oid in others if oid != p]
+        found: Optional[frozenset] = None
+        for size in range(len(rest) + 1):
+            for combo in itertools.combinations(rest, size):
+                gamma = frozenset(combo)
+                if pr_without(gamma) < alpha <= pr_without(gamma | {p}):
+                    found = gamma
+                    break
+            if found is not None:
+                break
+        if found is not None:
+            result.add(
+                Cause(
+                    oid=p,
+                    responsibility=1.0 / (1.0 + len(found)),
+                    contingency_set=found,
+                    kind=(
+                        CauseKind.COUNTERFACTUAL if not found else CauseKind.ACTUAL
+                    ),
+                )
+            )
+    return result

@@ -1,0 +1,46 @@
+"""Workload generators: synthetic uncertain/certain data and the real-data
+substitutes for the paper's NBA and CarDB case studies."""
+
+from repro.datasets.cardb import (
+    DEFAULT_QUERY as CARDB_QUERY,
+    NON_ANSWER_CAR,
+    NON_ANSWER_ID,
+    generate_cardb,
+    pinned_cause_points,
+)
+from repro.datasets.nba import (
+    DEFAULT_QUERY as NBA_QUERY,
+    STEVE_JOHN,
+    generate_nba,
+    legend_names,
+)
+from repro.datasets.rng import make_rng
+from repro.datasets.synthetic_certain import (
+    CERTAIN_DISTRIBUTIONS,
+    LABELS as CERTAIN_LABELS,
+    generate_certain_dataset,
+)
+from repro.datasets.synthetic_uncertain import (
+    DISTRIBUTION_NAMES,
+    generate_named,
+    generate_uncertain_dataset,
+)
+
+__all__ = [
+    "CARDB_QUERY",
+    "CERTAIN_DISTRIBUTIONS",
+    "CERTAIN_LABELS",
+    "DISTRIBUTION_NAMES",
+    "NBA_QUERY",
+    "NON_ANSWER_CAR",
+    "NON_ANSWER_ID",
+    "STEVE_JOHN",
+    "generate_cardb",
+    "generate_certain_dataset",
+    "generate_named",
+    "generate_nba",
+    "generate_uncertain_dataset",
+    "legend_names",
+    "make_rng",
+    "pinned_cause_points",
+]

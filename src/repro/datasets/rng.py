@@ -1,0 +1,45 @@
+"""Deterministic random-number helpers shared by the generators."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Normalize a seed-or-generator argument into a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def uniform_centers(rng: np.random.Generator, n: int, dims: int, domain: float) -> np.ndarray:
+    """Uniformly distributed object centres (the paper's ``lU`` mode)."""
+    return rng.uniform(0.0, domain, size=(n, dims))
+
+
+def skewed_centers(
+    rng: np.random.Generator, n: int, dims: int, domain: float, shape: float = 3.0
+) -> np.ndarray:
+    """Skewed centres concentrated toward the origin (the paper's ``lS`` mode)."""
+    return domain * rng.beta(1.0, shape, size=(n, dims))
+
+
+def uniform_radii(
+    rng: np.random.Generator, n: int, r_min: float, r_max: float
+) -> np.ndarray:
+    """Uniform radii in ``[r_min, r_max]`` (the paper's ``rU`` mode)."""
+    return rng.uniform(r_min, r_max, size=n)
+
+
+def gaussian_radii(
+    rng: np.random.Generator, n: int, r_min: float, r_max: float
+) -> np.ndarray:
+    """Gaussian radii centred mid-range, truncated to ``[r_min, r_max]``
+    (the paper's ``rG`` mode)."""
+    mean = (r_min + r_max) / 2.0
+    std = max((r_max - r_min) / 6.0, 1e-12)
+    return np.clip(rng.normal(mean, std, size=n), r_min, r_max)

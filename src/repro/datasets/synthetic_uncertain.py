@@ -1,0 +1,133 @@
+"""Synthetic uncertain datasets (Sec. 5.1).
+
+Following the paper (which follows [26], [27]): each uncertain object gets
+
+1. a centre ``C_u`` drawn in ``[0, 10000]^d`` — *Uniform* (``lU``) or
+   *Skew* (``lS``);
+2. a radius ``r`` in ``[r_min, r_max]`` — *Uniform* (``rU``) or *Gaussian*
+   (``rG``) — bounding the maximum deviation from ``C_u``;
+3. a random hyper-rectangle tightly bounded by the sphere of radius ``r``
+   around ``C_u`` (we inscribe it: random positive direction scaled to
+   Euclidean norm ``r``);
+4. uniformly distributed samples inside that rectangle, with equal
+   appearance probabilities.
+
+The four combinations are named ``lUrU``, ``lUrG``, ``lSrU``, ``lSrG``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.datasets.rng import (
+    SeedLike,
+    gaussian_radii,
+    make_rng,
+    skewed_centers,
+    uniform_centers,
+    uniform_radii,
+)
+from repro.uncertain.dataset import UncertainDataset
+from repro.uncertain.object import UncertainObject
+
+DOMAIN = 10_000.0
+CENTER_DISTRIBUTIONS = ("uniform", "skew")
+RADIUS_DISTRIBUTIONS = ("uniform", "gauss")
+DISTRIBUTION_NAMES = ("lUrU", "lUrG", "lSrU", "lSrG")
+
+
+def _parse_name(name: str) -> Tuple[str, str]:
+    mapping = {
+        "lUrU": ("uniform", "uniform"),
+        "lUrG": ("uniform", "gauss"),
+        "lSrU": ("skew", "uniform"),
+        "lSrG": ("skew", "gauss"),
+    }
+    if name not in mapping:
+        raise ValueError(
+            f"unknown distribution {name!r}; expected one of {sorted(mapping)}"
+        )
+    return mapping[name]
+
+
+def generate_uncertain_dataset(
+    n: int,
+    dims: int,
+    center_distribution: str = "uniform",
+    radius_distribution: str = "uniform",
+    radius_range: Tuple[float, float] = (0.0, 5.0),
+    samples_range: Tuple[int, int] = (2, 4),
+    domain: float = DOMAIN,
+    seed: SeedLike = None,
+) -> UncertainDataset:
+    """Generate one synthetic uncertain dataset.
+
+    Parameters mirror Table 2 of the paper: *radius_range* is
+    ``[r_min, r_max]``; *samples_range* is the inclusive range of samples
+    per object (the running example uses two through four).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0 <= radius_range[0] <= radius_range[1]:
+        raise ValueError(f"invalid radius range {radius_range}")
+    if not 1 <= samples_range[0] <= samples_range[1]:
+        raise ValueError(f"invalid samples range {samples_range}")
+    rng = make_rng(seed)
+
+    if center_distribution == "uniform":
+        centers = uniform_centers(rng, n, dims, domain)
+    elif center_distribution == "skew":
+        centers = skewed_centers(rng, n, dims, domain)
+    else:
+        raise ValueError(
+            f"center_distribution must be one of {CENTER_DISTRIBUTIONS}, "
+            f"got {center_distribution!r}"
+        )
+
+    if radius_distribution == "uniform":
+        radii = uniform_radii(rng, n, *radius_range)
+    elif radius_distribution == "gauss":
+        radii = gaussian_radii(rng, n, *radius_range)
+    else:
+        raise ValueError(
+            f"radius_distribution must be one of {RADIUS_DISTRIBUTIONS}, "
+            f"got {radius_distribution!r}"
+        )
+
+    # Random rectangle inscribed in the radius-r sphere: positive random
+    # direction normalized to Euclidean length r gives the half-extents.
+    directions = np.abs(rng.normal(size=(n, dims))) + 1e-9
+    directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+    half_extents = directions * radii[:, None]
+
+    counts = rng.integers(samples_range[0], samples_range[1] + 1, size=n)
+    objects = []
+    for i in range(n):
+        lo = np.clip(centers[i] - half_extents[i], 0.0, domain)
+        hi = np.clip(centers[i] + half_extents[i], 0.0, domain)
+        samples = rng.uniform(lo, hi, size=(int(counts[i]), dims))
+        objects.append(UncertainObject(i, samples))
+    return UncertainDataset(objects)
+
+
+def generate_named(
+    name: str,
+    n: int,
+    dims: int,
+    radius_range: Tuple[float, float] = (0.0, 5.0),
+    samples_range: Tuple[int, int] = (2, 4),
+    seed: SeedLike = None,
+) -> UncertainDataset:
+    """Generate one of the paper's four named distributions (``lUrU`` ...)."""
+    center_dist, radius_dist = _parse_name(name)
+    return generate_uncertain_dataset(
+        n,
+        dims,
+        center_distribution=center_dist,
+        radius_distribution=radius_dist,
+        radius_range=radius_range,
+        samples_range=samples_range,
+        seed=seed,
+    )

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+``except ReproError`` to catch any failure coming from this package while
+letting programming errors (``TypeError`` and friends raised by Python
+itself) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class DimensionalityError(ReproError):
+    """Two geometric arguments disagree on the number of dimensions."""
+
+    def __init__(self, expected: int, actual: int, what: str = "argument"):
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            f"{what} has {actual} dimension(s), expected {expected}"
+        )
+
+
+class InvalidProbabilityError(ReproError):
+    """A probability or probability vector is outside [0, 1] / not normalized."""
+
+
+class NotANonAnswerError(ReproError):
+    """The designated object is actually an answer to the query.
+
+    The causality and responsibility problem (Definitions 5 and 6 of the
+    paper) is only defined for *non-answers*; asking for the causes of an
+    answer is a caller error that we surface explicitly rather than
+    returning an empty-but-plausible result.
+    """
+
+
+class EmptyDatasetError(ReproError):
+    """An operation that requires at least one object received none."""
+
+
+class IndexError_(ReproError):
+    """An R-tree structural invariant was violated (corrupt index)."""

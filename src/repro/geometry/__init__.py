@@ -1,0 +1,45 @@
+"""Geometry kernel: points, hyper-rectangles, dominance, quadrants."""
+
+from repro.geometry.dominance import (
+    dominance_rectangle,
+    dominance_vector,
+    dominated_by_any,
+    dominates,
+    dynamically_dominates,
+    strictly_dominates,
+)
+from repro.geometry.point import (
+    as_point,
+    as_point_matrix,
+    euclidean,
+    l_infinity,
+    points_equal,
+)
+from repro.geometry.quadrant import (
+    clip_to_quadrant,
+    overlapped_quadrants,
+    quadrant_of,
+    quadrant_rect,
+    split_by_quadrants,
+)
+from repro.geometry.rectangle import Rect
+
+__all__ = [
+    "Rect",
+    "as_point",
+    "as_point_matrix",
+    "clip_to_quadrant",
+    "dominance_rectangle",
+    "dominance_vector",
+    "dominated_by_any",
+    "dominates",
+    "dynamically_dominates",
+    "euclidean",
+    "l_infinity",
+    "overlapped_quadrants",
+    "points_equal",
+    "quadrant_of",
+    "quadrant_rect",
+    "split_by_quadrants",
+    "strictly_dominates",
+]

@@ -1,0 +1,74 @@
+"""Point utilities.
+
+Points in this library are plain one-dimensional :class:`numpy.ndarray`
+objects of dtype ``float64``.  Using raw arrays (rather than a wrapper
+class) keeps the hot dominance-test loops allocation-free; these helpers
+centralize validation and coercion at the API boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import DimensionalityError
+
+PointLike = Union[Sequence[float], np.ndarray]
+
+
+def as_point(values: PointLike, dims: int | None = None) -> np.ndarray:
+    """Coerce *values* to a float64 point array.
+
+    Parameters
+    ----------
+    values:
+        Any sequence of numbers (list, tuple, array).
+    dims:
+        If given, the required dimensionality; a mismatch raises
+        :class:`~repro.exceptions.DimensionalityError`.
+    """
+    point = np.asarray(values, dtype=np.float64)
+    if point.ndim != 1:
+        raise DimensionalityError(1, point.ndim, what="point array rank")
+    if dims is not None and point.shape[0] != dims:
+        raise DimensionalityError(dims, point.shape[0], what="point")
+    return point
+
+
+def as_point_matrix(rows: Iterable[PointLike], dims: int | None = None) -> np.ndarray:
+    """Coerce an iterable of points into an ``(n, d)`` float64 matrix."""
+    matrix = np.atleast_2d(np.asarray(list(rows), dtype=np.float64))
+    if matrix.size == 0:
+        matrix = matrix.reshape(0, dims if dims is not None else 0)
+    if dims is not None and matrix.shape[1] != dims:
+        raise DimensionalityError(dims, matrix.shape[1], what="point matrix")
+    return matrix
+
+
+def points_equal(a: PointLike, b: PointLike, tol: float = 0.0) -> bool:
+    """Exact (or tolerance-based) point equality."""
+    pa, pb = as_point(a), as_point(b)
+    if pa.shape != pb.shape:
+        return False
+    if tol == 0.0:
+        return bool(np.array_equal(pa, pb))
+    return bool(np.all(np.abs(pa - pb) <= tol))
+
+
+def l_infinity(a: PointLike, b: PointLike) -> float:
+    """Chebyshev (coordinate-wise maximum) distance between two points."""
+    pa, pb = as_point(a), as_point(b)
+    if pa.shape != pb.shape:
+        raise DimensionalityError(pa.shape[0], pb.shape[0], what="point")
+    if pa.size == 0:
+        return 0.0
+    return float(np.max(np.abs(pa - pb)))
+
+
+def euclidean(a: PointLike, b: PointLike) -> float:
+    """Euclidean distance between two points."""
+    pa, pb = as_point(a), as_point(b)
+    if pa.shape != pb.shape:
+        raise DimensionalityError(pa.shape[0], pb.shape[0], what="point")
+    return float(np.linalg.norm(pa - pb))

@@ -1,0 +1,106 @@
+"""Sub-quadrant decomposition around a query object.
+
+The pdf-model extension of algorithm CP (Section 3.2 of the paper) reasons
+about the sub-quadrants that the query object ``q`` induces: ``q`` splits
+the space into ``2**d`` orthants, and an uncertain region that spans several
+of them contributes one dominance rectangle per overlapped orthant (formed
+from the region's farthest corner to ``q`` inside that orthant).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.geometry.point import PointLike, as_point
+from repro.geometry.rectangle import Rect
+
+
+def quadrant_of(point: PointLike, q: PointLike) -> int:
+    """Bitmask orthant index of *point* relative to *q*.
+
+    Bit ``i`` is set when ``point[i] >= q[i]``.  Points lying exactly on a
+    splitting hyperplane are assigned to the upper orthant, which keeps the
+    mapping a function (each point belongs to exactly one orthant).
+    """
+    p, qq = as_point(point), as_point(q)
+    mask = 0
+    for i, (pi, qi) in enumerate(zip(p, qq)):
+        if pi >= qi:
+            mask |= 1 << i
+    return mask
+
+
+def quadrant_rect(mask: int, q: PointLike, bounds: Rect) -> Rect:
+    """The (clipped) orthant *mask* of *q* inside the universe *bounds*."""
+    qq = as_point(q)
+    lo = bounds.lo.copy()
+    hi = bounds.hi.copy()
+    for i in range(qq.shape[0]):
+        if (mask >> i) & 1:
+            lo[i] = max(lo[i], qq[i])
+        else:
+            hi[i] = min(hi[i], qq[i])
+    if np.any(lo > hi):
+        raise ValueError(f"orthant {mask} of {qq} does not intersect {bounds}")
+    return Rect(lo, hi)
+
+
+def overlapped_quadrants(region: Rect, q: PointLike) -> Iterator[int]:
+    """Yield the orthant masks of *q* that *region* overlaps with positive extent.
+
+    A region touching a splitting hyperplane only at its boundary is not
+    reported on the degenerate side.
+    """
+    qq = as_point(q)
+    d = qq.shape[0]
+    per_dim: List[List[int]] = []
+    for i in range(d):
+        sides = []
+        if region.lo[i] < qq[i]:
+            sides.append(0)
+        if region.hi[i] > qq[i]:
+            sides.append(1)
+        if not sides:  # region is flat exactly on the hyperplane
+            sides.append(1)
+        per_dim.append(sides)
+
+    def rec(i: int, mask: int) -> Iterator[int]:
+        if i == d:
+            yield mask
+            return
+        for side in per_dim[i]:
+            yield from rec(i + 1, mask | (side << i))
+
+    yield from rec(0, 0)
+
+
+def clip_to_quadrant(region: Rect, q: PointLike, mask: int) -> Rect | None:
+    """Clip *region* to orthant *mask* of *q*; ``None`` when the clip is empty."""
+    qq = as_point(q)
+    lo = region.lo.copy()
+    hi = region.hi.copy()
+    for i in range(qq.shape[0]):
+        if (mask >> i) & 1:
+            lo[i] = max(lo[i], qq[i])
+        else:
+            hi[i] = min(hi[i], qq[i])
+    if np.any(lo > hi):
+        return None
+    return Rect(lo, hi)
+
+
+def split_by_quadrants(region: Rect, q: PointLike) -> List[Tuple[int, Rect]]:
+    """Decompose *region* into per-orthant pieces around *q*.
+
+    Returns ``(mask, piece)`` pairs whose pieces tile *region* (up to shared
+    boundaries).  Used by the pdf model to build one dominance rectangle per
+    overlapped orthant, per the Section 3.2 discussion and Fig. 3.
+    """
+    pieces = []
+    for mask in overlapped_quadrants(region, q):
+        piece = clip_to_quadrant(region, q, mask)
+        if piece is not None:
+            pieces.append((mask, piece))
+    return pieces

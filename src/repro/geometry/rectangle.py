@@ -1,0 +1,185 @@
+"""Axis-aligned hyper-rectangles.
+
+:class:`Rect` is the single rectangle type used across the library: R-tree
+minimum bounding rectangles, the dominance rectangles of Lemma 2, window
+query ranges, and uncertain regions of pdf-model objects are all ``Rect``
+instances.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DimensionalityError
+from repro.geometry.point import PointLike, as_point
+
+
+class Rect:
+    """A closed axis-aligned hyper-rectangle ``[lo, hi]`` in D dimensions.
+
+    Instances are immutable by convention (the underlying arrays have
+    ``writeable=False``); all combinators return new rectangles.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: PointLike, hi: PointLike):
+        lo_arr = as_point(lo)
+        hi_arr = as_point(hi, dims=lo_arr.shape[0])
+        if np.any(lo_arr > hi_arr):
+            raise ValueError(
+                f"rectangle lower corner {lo_arr} exceeds upper corner {hi_arr}"
+            )
+        lo_arr.flags.writeable = False
+        hi_arr.flags.writeable = False
+        self.lo = lo_arr
+        self.hi = hi_arr
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, point: PointLike) -> "Rect":
+        """Degenerate rectangle covering a single point."""
+        p = as_point(point)
+        return cls(p, p.copy())
+
+    @classmethod
+    def from_center(cls, center: PointLike, half_extent: PointLike) -> "Rect":
+        """Rectangle centred at *center* with per-dimension *half_extent*."""
+        c = as_point(center)
+        h = np.abs(as_point(half_extent, dims=c.shape[0]))
+        return cls(c - h, c + h)
+
+    @classmethod
+    def bounding(cls, points: Iterable[PointLike]) -> "Rect":
+        """Minimum bounding rectangle of a non-empty collection of points."""
+        matrix = np.atleast_2d(np.asarray(list(points), dtype=np.float64))
+        if matrix.size == 0:
+            raise ValueError("cannot bound an empty point collection")
+        return cls(matrix.min(axis=0), matrix.max(axis=0))
+
+    @classmethod
+    def union_all(cls, rects: Sequence["Rect"]) -> "Rect":
+        """Minimum bounding rectangle of a non-empty collection of rects."""
+        if not rects:
+            raise ValueError("cannot union an empty rectangle collection")
+        lo = np.minimum.reduce([r.lo for r in rects])
+        hi = np.maximum.reduce([r.hi for r in rects])
+        return cls(lo, hi)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        return self.lo.shape[0]
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def extents(self) -> np.ndarray:
+        """Per-dimension side lengths."""
+        return self.hi - self.lo
+
+    def area(self) -> float:
+        """Hyper-volume (product of side lengths)."""
+        return float(np.prod(self.extents))
+
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree margin heuristic)."""
+        return float(np.sum(self.extents))
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, point: PointLike) -> bool:
+        p = as_point(point)
+        if p.shape[0] != self.dims:
+            raise DimensionalityError(self.dims, p.shape[0], what="point")
+        return bool(np.all(self.lo <= p) and np.all(p <= self.hi))
+
+    def contains_points(self, matrix: np.ndarray) -> np.ndarray:
+        """Vectorized containment test for an ``(n, d)`` point matrix."""
+        return np.logical_and(
+            (matrix >= self.lo).all(axis=1), (matrix <= self.hi).all(axis=1)
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return bool(np.all(self.lo <= other.lo) and np.all(other.hi <= self.hi))
+
+    def intersects(self, other: "Rect") -> bool:
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    # ------------------------------------------------------------------
+    # combinators
+    # ------------------------------------------------------------------
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Intersection rectangle, or ``None`` when disjoint."""
+        lo = np.maximum(self.lo, other.lo)
+        hi = np.minimum(self.hi, other.hi)
+        if np.any(lo > hi):
+            return None
+        return Rect(lo, hi)
+
+    def overlap_area(self, other: "Rect") -> float:
+        inter = self.intersection(other)
+        return 0.0 if inter is None else inter.area()
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed for this rect to also cover *other*."""
+        return self.union(other).area() - self.area()
+
+    def expanded_to_point(self, point: PointLike) -> "Rect":
+        p = as_point(point, dims=self.dims)
+        return Rect(np.minimum(self.lo, p), np.maximum(self.hi, p))
+
+    # ------------------------------------------------------------------
+    # distances / corners
+    # ------------------------------------------------------------------
+    def min_distance_sq(self, point: PointLike) -> float:
+        """Squared Euclidean distance from *point* to the rectangle."""
+        p = as_point(point, dims=self.dims)
+        delta = np.maximum(np.maximum(self.lo - p, p - self.hi), 0.0)
+        return float(np.dot(delta, delta))
+
+    def farthest_corner(self, point: PointLike) -> np.ndarray:
+        """The rectangle corner with maximal coordinate-wise distance to *point*."""
+        p = as_point(point, dims=self.dims)
+        return np.where(np.abs(self.lo - p) >= np.abs(self.hi - p), self.lo, self.hi)
+
+    def nearest_corner(self, point: PointLike) -> np.ndarray:
+        """The rectangle corner with minimal coordinate-wise distance to *point*."""
+        p = as_point(point, dims=self.dims)
+        return np.where(np.abs(self.lo - p) <= np.abs(self.hi - p), self.lo, self.hi)
+
+    def corners(self) -> np.ndarray:
+        """All ``2**d`` corners as an ``(2**d, d)`` matrix (small d only)."""
+        d = self.dims
+        grid = np.array(
+            [[(self.hi if (i >> k) & 1 else self.lo)[k] for k in range(d)]
+             for i in range(1 << d)],
+            dtype=np.float64,
+        )
+        return grid
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rect):
+            return NotImplemented
+        return np.array_equal(self.lo, other.lo) and np.array_equal(self.hi, other.hi)
+
+    def __hash__(self) -> int:
+        return hash((self.lo.tobytes(), self.hi.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"Rect(lo={self.lo.tolist()}, hi={self.hi.tolist()})"

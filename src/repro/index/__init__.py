@@ -1,0 +1,19 @@
+"""R-tree indexing with node-access (I/O) accounting."""
+
+from repro.index.bulk import bulk_load
+from repro.index.knn import k_nearest, nearest
+from repro.index.node import Node
+from repro.index.rtree import DEFAULT_PAGE_SIZE, RTree, fanout_for_page
+from repro.index.stats import AccessSnapshot, AccessStats
+
+__all__ = [
+    "AccessSnapshot",
+    "AccessStats",
+    "DEFAULT_PAGE_SIZE",
+    "Node",
+    "RTree",
+    "bulk_load",
+    "fanout_for_page",
+    "k_nearest",
+    "nearest",
+]

@@ -1,0 +1,67 @@
+"""Best-first k-nearest-neighbour search on the R-tree.
+
+Used by workload tooling (picking the non-answers nearest to a query
+object) and provided for substrate completeness; standard min-heap
+best-first traversal ordered by squared Euclidean mindist, with node
+accesses counted like every other query.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, List, Tuple
+
+from repro.geometry.point import PointLike, as_point
+from repro.index.rtree import RTree
+
+
+def k_nearest(tree: RTree, point: PointLike, k: int) -> List[Tuple[float, Any]]:
+    """The *k* entries nearest to *point* as ``(distance_sq, payload)``,
+    ascending.  Returns fewer when the tree holds fewer entries."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    target = as_point(point, dims=tree.dims)
+    tree.stats.record_query()
+
+    counter = itertools.count()
+    heap: list = [(0.0, next(counter), True, tree.root)]
+    out: List[Tuple[float, Any]] = []
+    while heap and len(out) < k:
+        dist, _tie, is_node, item = heapq.heappop(heap)
+        if is_node:
+            if item.mbr is None:
+                continue
+            tree.stats.record_node(item.is_leaf)
+            if item.is_leaf:
+                for rect, payload in item.entries:
+                    heapq.heappush(
+                        heap,
+                        (
+                            rect.min_distance_sq(target),
+                            next(counter),
+                            False,
+                            payload,
+                        ),
+                    )
+            else:
+                for child in item.children:
+                    if child.mbr is not None:
+                        heapq.heappush(
+                            heap,
+                            (
+                                child.mbr.min_distance_sq(target),
+                                next(counter),
+                                True,
+                                child,
+                            ),
+                        )
+        else:
+            out.append((dist, item))
+    return out
+
+
+def nearest(tree: RTree, point: PointLike) -> Any:
+    """Payload of the single nearest entry (``None`` for an empty tree)."""
+    result = k_nearest(tree, point, 1)
+    return result[0][1] if result else None

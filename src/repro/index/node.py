@@ -1,0 +1,57 @@
+"""R-tree node structures.
+
+A node is either a *leaf* holding ``(rect, payload)`` entries or an
+*internal* node holding child nodes.  Nodes cache their minimum bounding
+rectangle; mutation helpers keep the cache coherent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.geometry.rectangle import Rect
+
+LeafEntry = Tuple[Rect, Any]
+
+
+class Node:
+    """One R-tree node (leaf or internal)."""
+
+    __slots__ = ("is_leaf", "entries", "children", "mbr", "parent")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.entries: List[LeafEntry] = []        # populated when leaf
+        self.children: List["Node"] = []          # populated when internal
+        self.mbr: Optional[Rect] = None
+        self.parent: Optional["Node"] = None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries) if self.is_leaf else len(self.children)
+
+    def rects(self) -> List[Rect]:
+        """Bounding rectangles of this node's entries/children."""
+        if self.is_leaf:
+            return [rect for rect, _payload in self.entries]
+        return [child.mbr for child in self.children if child.mbr is not None]
+
+    def recompute_mbr(self) -> None:
+        rects = self.rects()
+        self.mbr = Rect.union_all(rects) if rects else None
+
+    def add_leaf_entry(self, rect: Rect, payload: Any) -> None:
+        assert self.is_leaf
+        self.entries.append((rect, payload))
+        self.mbr = rect if self.mbr is None else self.mbr.union(rect)
+
+    def add_child(self, child: "Node") -> None:
+        assert not self.is_leaf
+        self.children.append(child)
+        child.parent = self
+        if child.mbr is not None:
+            self.mbr = child.mbr if self.mbr is None else self.mbr.union(child.mbr)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"<Node {kind} fanout={len(self)} mbr={self.mbr}>"

@@ -1,0 +1,66 @@
+"""Index access statistics.
+
+The paper's primary efficiency metric is the number of R-tree *node
+accesses* (its "I/O" axis).  Every node visited during a tree traversal is
+counted once through the tree's :class:`AccessStats` instance; benchmark
+harnesses snapshot and difference these counters around each measured call.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class AccessStats:
+    """Mutable counters for one R-tree instance."""
+
+    node_accesses: int = 0
+    leaf_accesses: int = 0
+    queries: int = 0
+    _marks: list = field(default_factory=list, repr=False)
+
+    def record_node(self, is_leaf: bool) -> None:
+        self.node_accesses += 1
+        if is_leaf:
+            self.leaf_accesses += 1
+
+    def record_query(self) -> None:
+        self.queries += 1
+
+    def reset(self) -> None:
+        self.node_accesses = 0
+        self.leaf_accesses = 0
+        self.queries = 0
+
+    @contextmanager
+    def measure(self) -> Iterator["AccessSnapshot"]:
+        """Context manager yielding a snapshot that fills in deltas on exit.
+
+        >>> stats = AccessStats()
+        >>> with stats.measure() as snap:
+        ...     stats.record_node(is_leaf=False)
+        >>> snap.node_accesses
+        1
+        """
+        start_nodes = self.node_accesses
+        start_leaves = self.leaf_accesses
+        start_queries = self.queries
+        snapshot = AccessSnapshot()
+        try:
+            yield snapshot
+        finally:
+            snapshot.node_accesses = self.node_accesses - start_nodes
+            snapshot.leaf_accesses = self.leaf_accesses - start_leaves
+            snapshot.queries = self.queries - start_queries
+
+
+@dataclass
+class AccessSnapshot:
+    """Deltas observed inside one :meth:`AccessStats.measure` block."""
+
+    node_accesses: int = 0
+    leaf_accesses: int = 0
+    queries: int = 0

@@ -1,0 +1,29 @@
+"""Dataset and result (de)serialization plus the command-line interface."""
+
+from repro.io.csvio import (
+    load_certain_csv,
+    load_uncertain_csv,
+    save_certain_csv,
+    save_uncertain_csv,
+)
+from repro.io.jsonio import (
+    dataset_from_dict,
+    dataset_to_dict,
+    load_dataset_json,
+    result_to_dict,
+    save_dataset_json,
+    save_result_json,
+)
+
+__all__ = [
+    "dataset_from_dict",
+    "dataset_to_dict",
+    "load_certain_csv",
+    "load_dataset_json",
+    "load_uncertain_csv",
+    "result_to_dict",
+    "save_certain_csv",
+    "save_dataset_json",
+    "save_result_json",
+    "save_uncertain_csv",
+]

@@ -1,0 +1,116 @@
+"""JSON import/export and in-memory (de)serialization for datasets and
+causality results.
+
+The JSON shape is self-describing::
+
+    {
+      "kind": "uncertain",
+      "dims": 2,
+      "objects": [
+        {"id": "a", "name": null,
+         "samples": [[1.0, 2.0], [1.5, 2.5]],
+         "probabilities": [0.5, 0.5]},
+        ...
+      ]
+    }
+
+Causality results serialize to::
+
+    {"an": "...", "alpha": 0.5,
+     "causes": [{"id": ..., "responsibility": ..., "kind": ...,
+                 "contingency_set": [...]}],
+     "stats": {...}}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.model import CausalityResult
+from repro.uncertain.dataset import CertainDataset, UncertainDataset
+from repro.uncertain.object import UncertainObject
+
+PathLike = Union[str, Path]
+
+
+def dataset_to_dict(dataset: UncertainDataset) -> Dict:
+    """JSON-ready dict for a dataset (certain datasets marked as such)."""
+    kind = "certain" if isinstance(dataset, CertainDataset) else "uncertain"
+    return {
+        "kind": kind,
+        "dims": dataset.dims,
+        "objects": [
+            {
+                "id": obj.oid,
+                "name": obj.name,
+                "samples": obj.samples.tolist(),
+                "probabilities": obj.probabilities.tolist(),
+            }
+            for obj in dataset
+        ],
+    }
+
+
+def dataset_from_dict(payload: Dict) -> UncertainDataset:
+    """Inverse of :func:`dataset_to_dict`."""
+    kind = payload.get("kind")
+    if kind not in ("certain", "uncertain"):
+        raise ValueError(f"unknown dataset kind {kind!r}")
+    objects = [
+        UncertainObject(
+            item["id"],
+            item["samples"],
+            item.get("probabilities"),
+            name=item.get("name"),
+        )
+        for item in payload["objects"]
+    ]
+    if kind == "certain":
+        if not all(obj.is_certain for obj in objects):
+            raise ValueError("certain dataset contains multi-sample objects")
+        return CertainDataset(
+            [obj.samples[0] for obj in objects],
+            ids=[obj.oid for obj in objects],
+            names=[obj.name for obj in objects],
+        )
+    return UncertainDataset(objects)
+
+
+def save_dataset_json(dataset: UncertainDataset, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(dataset_to_dict(dataset), indent=2))
+
+
+def load_dataset_json(path: PathLike) -> UncertainDataset:
+    return dataset_from_dict(json.loads(Path(path).read_text()))
+
+
+def result_to_dict(result: CausalityResult) -> Dict:
+    """JSON-ready dict for a causality result."""
+    return {
+        "an": result.an_oid,
+        "alpha": result.alpha,
+        "causes": [
+            {
+                "id": cause.oid,
+                "responsibility": cause.responsibility,
+                "kind": cause.kind.value,
+                "contingency_set": sorted(map(str, cause.contingency_set)),
+            }
+            for _oid, cause in sorted(
+                result.causes.items(), key=lambda kv: repr(kv[0])
+            )
+        ],
+        "stats": {
+            "node_accesses": result.stats.node_accesses,
+            "cpu_time_s": result.stats.cpu_time_s,
+            "candidates": result.stats.candidates,
+            "oracle_evaluations": result.stats.oracle_evaluations,
+            "subsets_examined": result.stats.subsets_examined,
+        },
+    }
+
+
+def save_result_json(result: CausalityResult, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))

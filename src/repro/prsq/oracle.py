@@ -1,0 +1,170 @@
+"""Fast PRSQ membership oracle for contingency-set verification.
+
+Algorithm CP (and every baseline) must answer thousands of queries of the
+form *"is ``an`` an answer to the PRSQ over ``P − Γ`` (optionally also
+minus one cause)?"* while it enumerates candidate contingency sets.
+Re-running Eq. (2) from scratch each time would re-scan the dataset; the
+oracle instead precomputes the Eq. (3) dominance-probability matrix once —
+only candidate causes have non-zero rows (Lemma 1/3) — and then evaluates
+any restriction in :math:`O(|C_c| \\cdot l_{an})` numpy work with
+memoization on the removed-set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry.point import PointLike, as_point
+from repro.prsq.probability import dominance_probability_matrix
+from repro.uncertain.dataset import UncertainDataset
+from repro.uncertain.object import UncertainObject
+
+
+class MembershipOracle:
+    """Answers ``(P − removed) ⊨ PRSQ(an)`` queries against a fixed dataset.
+
+    Parameters
+    ----------
+    dataset, an_oid, q, alpha:
+        The CR2PRSQ instance.
+    relevant_ids:
+        Object ids that may influence ``Pr(an)`` (the candidate causes from
+        the filter step).  When omitted, every other object is checked —
+        exact but slower; the zero rows are dropped either way.
+    """
+
+    def __init__(
+        self,
+        dataset: UncertainDataset,
+        an_oid: Hashable,
+        q: PointLike,
+        alpha: float,
+        relevant_ids: Optional[Iterable[Hashable]] = None,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.dataset = dataset
+        self.an = dataset.get(an_oid)
+        self.q = as_point(q, dims=dataset.dims)
+        self.alpha = alpha
+
+        if relevant_ids is None:
+            pool = dataset.others(an_oid)
+        else:
+            wanted = set(relevant_ids)
+            wanted.discard(an_oid)
+            pool = [dataset.get(oid) for oid in wanted]
+        matrix = dominance_probability_matrix(self.an, pool, self.q)
+
+        # Stack non-zero rows into one (k, l) survival matrix for vector math.
+        self.influencer_ids: List[Hashable] = sorted(matrix, key=repr)
+        self._row_of: Dict[Hashable, int] = {
+            oid: i for i, oid in enumerate(self.influencer_ids)
+        }
+        if self.influencer_ids:
+            self._survival = np.vstack(
+                [1.0 - matrix[oid] for oid in self.influencer_ids]
+            )
+        else:
+            self._survival = np.zeros((0, self.an.num_samples))
+        self._matrix = matrix
+        self._cache: Dict[FrozenSet[Hashable], float] = {}
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def an_oid(self) -> Hashable:
+        return self.an.oid
+
+    def eq3_vector(self, oid: Hashable) -> np.ndarray:
+        """The Eq. (3) vector of an influencer (zeros for non-influencers)."""
+        vector = self._matrix.get(oid)
+        if vector is None:
+            return np.zeros(self.an.num_samples)
+        return vector
+
+    def influences(self, oid: Hashable) -> bool:
+        """Does *oid* have a non-zero Eq. (3) vector against ``an``?"""
+        return oid in self._row_of
+
+    def survival_row(self, oid: Hashable) -> np.ndarray:
+        """Per-sample survival ``1 - Eq3(oid)`` (ones for non-influencers)."""
+        row = self._row_of.get(oid)
+        if row is None:
+            return np.ones(self.an.num_samples)
+        return self._survival[row]
+
+    def max_survival(self, oid: Hashable) -> float:
+        """``max_i (1 - Eq3_i)`` — the largest per-sample survival factor.
+
+        ``Pr(an)`` over any restriction that keeps *oid* is at most the
+        product of the kept objects' max survivals (each world term is),
+        which is the size-level pruning bound used by FMCS.
+        """
+        return float(self.survival_row(oid).max())
+
+    def certain_blockers(self) -> List[Hashable]:
+        """Objects whose Eq. (3) vector is identically 1 (Lemma 4's ``Γ₁``).
+
+        While any of them remains, ``Pr(an) = 0``, so each must belong to
+        every qualifying contingency set.
+        """
+        return [
+            oid
+            for oid in self.influencer_ids
+            if bool(np.all(self._survival[self._row_of[oid]] == 0.0))
+        ]
+
+    # ------------------------------------------------------------------
+    def probability(self, removed: Iterable[Hashable] = ()) -> float:
+        """``Pr(an)`` over ``P − removed`` (Eq. (2))."""
+        key = frozenset(removed) & frozenset(self._row_of)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        self.evaluations += 1
+        if len(key) == 0:
+            survival = self._survival
+        else:
+            keep_rows = [
+                i for oid, i in self._row_of.items() if oid not in key
+            ]
+            survival = self._survival[keep_rows]
+        per_sample = survival.prod(axis=0) if survival.shape[0] else np.ones(
+            self.an.num_samples
+        )
+        value = float(np.dot(self.an.probabilities, per_sample))
+        self._cache[key] = value
+        return value
+
+    def is_answer(self, removed: Iterable[Hashable] = ()) -> bool:
+        """``(P − removed) ⊨ PRSQ(an)``?"""
+        return self.probability(removed) >= self.alpha
+
+    def is_non_answer(self, removed: Iterable[Hashable] = ()) -> bool:
+        """``(P − removed) ⊭ PRSQ(an)``?"""
+        return not self.is_answer(removed)
+
+    def is_contingency_set(
+        self, gamma: Iterable[Hashable], cause: Hashable
+    ) -> bool:
+        """Definition 1(ii): ``(P−Γ) ⊭ PRSQ(an)`` and ``(P−Γ−{cause}) ⊨ PRSQ(an)``."""
+        gamma_set = frozenset(gamma)
+        if cause in gamma_set or cause == self.an.oid:
+            raise ValueError("the cause may appear in neither Γ nor be an itself")
+        return self.is_non_answer(gamma_set) and self.is_answer(
+            gamma_set | {cause}
+        )
+
+    def validate_non_answer(self) -> None:
+        """Raise unless ``an`` really is a non-answer over the full dataset."""
+        from repro.exceptions import NotANonAnswerError
+
+        pr = self.probability()
+        if pr >= self.alpha:
+            raise NotANonAnswerError(
+                f"object {self.an.oid!r} has Pr={pr:.6f} >= alpha={self.alpha}; "
+                "it is an answer, not a non-answer"
+            )

@@ -1,0 +1,128 @@
+"""Probabilistic reverse skyline probabilities (Eqs. (2) and (3)).
+
+For an uncertain object ``u`` with samples ``u_i``:
+
+.. math::
+
+   Pr(u) = \\sum_i u_i.p \\prod_{u' \\in P - \\{u\\}}
+           \\bigl(1 - Pr\\{u' \\prec_{u_i} q\\}\\bigr)
+
+where ``Pr{u' ≺_{u_i} q}`` (Eq. (3)) sums the appearance probabilities of
+the samples of ``u'`` that dynamically dominate ``q`` w.r.t. ``u_i``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional
+
+import numpy as np
+
+from repro.geometry.dominance import dominance_rectangle, dominance_vector
+from repro.geometry.point import PointLike, as_point
+from repro.uncertain.dataset import UncertainDataset
+from repro.uncertain.object import UncertainObject
+
+
+def sample_dominance_probability(
+    dominator: UncertainObject, center_sample: PointLike, q: PointLike
+) -> float:
+    """Eq. (3): probability that *dominator* dynamically dominates ``q``
+    w.r.t. the fixed *center_sample*."""
+    mask = dominance_vector(dominator.samples, as_point(q), as_point(center_sample))
+    if not mask.any():
+        return 0.0
+    return float(dominator.probabilities[mask].sum())
+
+
+def dominance_probability_vector(
+    dominator: UncertainObject, center: UncertainObject, q: PointLike
+) -> np.ndarray:
+    """Vector of Eq. (3) probabilities, one entry per sample of *center*.
+
+    Entry ``i`` is ``Pr{dominator ≺_{center_i} q}``.
+    """
+    qq = as_point(q, dims=center.dims)
+    return np.array(
+        [
+            sample_dominance_probability(dominator, center.samples[i], qq)
+            for i in range(center.num_samples)
+        ]
+    )
+
+
+def dominance_probability_matrix(
+    center: UncertainObject,
+    others: Iterable[UncertainObject],
+    q: PointLike,
+) -> Dict[Hashable, np.ndarray]:
+    """Eq. (3) vectors for every object in *others*, keyed by object id.
+
+    Objects whose vector is identically zero are omitted — they contribute a
+    factor of exactly 1 to every term of Eq. (2) (this is Lemma 1's
+    irrelevance argument in matrix form).
+    """
+    matrix: Dict[Hashable, np.ndarray] = {}
+    for other in others:
+        vector = dominance_probability_vector(other, center, q)
+        if vector.any():
+            matrix[other.oid] = vector
+    return matrix
+
+
+def reverse_skyline_probability(
+    dataset: UncertainDataset,
+    oid: Hashable,
+    q: PointLike,
+    use_index: bool = True,
+    exclude: Optional[Iterable[Hashable]] = None,
+) -> float:
+    """Eq. (2): the probability of *oid* being a reverse skyline object of ``q``.
+
+    Parameters
+    ----------
+    use_index:
+        When true, prune with the dataset R-tree: only objects whose MBR
+        crosses one of *oid*'s dominance rectangles can have a non-zero
+        Eq. (3) vector (Lemma 2), so only those are evaluated exactly.
+    exclude:
+        Treat these object ids as removed (evaluates ``Pr`` over ``P - Γ``).
+    """
+    target = dataset.get(oid)
+    qq = as_point(q, dims=dataset.dims)
+    excluded = set(exclude) if exclude is not None else set()
+    excluded.add(oid)
+
+    if use_index:
+        windows = [
+            dominance_rectangle(target.samples[i], qq)
+            for i in range(target.num_samples)
+        ]
+        hit_ids = set(dataset.rtree.range_search_any(windows))
+        relevant = [
+            dataset.get(hit) for hit in hit_ids if hit not in excluded
+        ]
+    else:
+        relevant = [obj for obj in dataset if obj.oid not in excluded]
+
+    matrix = dominance_probability_matrix(target, relevant, qq)
+    return probability_from_matrix(target, matrix)
+
+
+def probability_from_matrix(
+    center: UncertainObject,
+    matrix: Dict[Hashable, np.ndarray],
+    keep: Optional[Iterable[Hashable]] = None,
+) -> float:
+    """Evaluate Eq. (2) from a precomputed Eq. (3) matrix.
+
+    *keep* restricts the product to a subset of the matrix rows (used when
+    evaluating ``Pr`` over ``P - Γ`` without recomputing dominance).
+    """
+    if keep is None:
+        rows: List[np.ndarray] = list(matrix.values())
+    else:
+        rows = [matrix[k] for k in keep if k in matrix]
+    survival = np.ones(center.num_samples)
+    for vector in rows:
+        survival *= 1.0 - vector
+    return float(np.dot(center.probabilities, survival))

@@ -1,0 +1,61 @@
+"""Probabilistic reverse skyline query processing (Definition 4).
+
+Implements the Lian & Chen query the paper builds on: return every
+uncertain object whose probability of being a reverse skyline object of
+``q`` is at least ``alpha``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+from repro.geometry.point import PointLike, as_point
+from repro.prsq.probability import reverse_skyline_probability
+from repro.uncertain.dataset import UncertainDataset
+
+
+def prsq_probabilities(
+    dataset: UncertainDataset, q: PointLike, use_index: bool = True
+) -> Dict[Hashable, float]:
+    """``Pr(u)`` for every object in the dataset."""
+    qq = as_point(q, dims=dataset.dims)
+    return {
+        obj.oid: reverse_skyline_probability(dataset, obj.oid, qq, use_index=use_index)
+        for obj in dataset
+    }
+
+
+def probabilistic_reverse_skyline(
+    dataset: UncertainDataset,
+    q: PointLike,
+    alpha: float,
+    use_index: bool = True,
+) -> List[Hashable]:
+    """Object ids whose ``Pr(u) >= alpha`` (the PRSQ answer set)."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    probabilities = prsq_probabilities(dataset, q, use_index=use_index)
+    return [oid for oid, pr in probabilities.items() if pr >= alpha]
+
+
+def prsq_non_answers(
+    dataset: UncertainDataset,
+    q: PointLike,
+    alpha: float,
+    use_index: bool = True,
+) -> List[Hashable]:
+    """Object ids that are *non-answers* (the CRP inputs)."""
+    probabilities = prsq_probabilities(dataset, q, use_index=use_index)
+    return [oid for oid, pr in probabilities.items() if pr < alpha]
+
+
+def is_prsq_answer(
+    dataset: UncertainDataset,
+    oid: Hashable,
+    q: PointLike,
+    alpha: float,
+    use_index: bool = True,
+) -> Tuple[bool, float]:
+    """Membership plus the underlying probability for one object."""
+    pr = reverse_skyline_probability(dataset, oid, q, use_index=use_index)
+    return pr >= alpha, pr

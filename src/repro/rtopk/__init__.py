@@ -1,0 +1,27 @@
+"""Reverse top-k queries and their non-answer causality (paper future work)."""
+
+from repro.rtopk.causality import (
+    brute_force_causality_rtopk,
+    compute_causality_rtopk,
+)
+from repro.rtopk.query import (
+    WeightSet,
+    better_products,
+    rank_of_query,
+    rank_profile,
+    reverse_top_k,
+    score,
+    top_k_products,
+)
+
+__all__ = [
+    "WeightSet",
+    "better_products",
+    "brute_force_causality_rtopk",
+    "compute_causality_rtopk",
+    "rank_of_query",
+    "rank_profile",
+    "reverse_top_k",
+    "score",
+    "top_k_products",
+]

@@ -1,0 +1,122 @@
+"""Reverse top-k queries (the substrate for the paper's future-work CRP).
+
+Following the monochromatic/bichromatic reverse top-k formulation the
+paper cites as [17]: given a product dataset ``P`` (smaller-is-better
+attributes), a set ``W`` of user preference vectors (non-negative weights,
+one per attribute), a query product ``q``, and ``k``, the reverse top-k
+query returns the users ``w ∈ W`` for which ``q`` ranks among the top-k
+products of ``P ∪ {q}`` under the linear score ``score_w(p) = w · p``
+(lower is better).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence
+
+import numpy as np
+
+from repro.geometry.point import PointLike, as_point, as_point_matrix
+from repro.uncertain.dataset import CertainDataset
+
+
+class WeightSet:
+    """A named collection of user preference vectors."""
+
+    def __init__(self, weights: Sequence[PointLike], ids: Sequence[Hashable] | None = None):
+        matrix = as_point_matrix(weights)
+        if matrix.shape[0] == 0:
+            raise ValueError("at least one weight vector is required")
+        if np.any(matrix < 0):
+            raise ValueError("preference weights must be non-negative")
+        if np.any(matrix.sum(axis=1) == 0):
+            raise ValueError("a weight vector must have a positive entry")
+        if ids is None:
+            # Users and products live in different id namespaces; the
+            # default prefix keeps a user id from colliding with a product
+            # id (causality results mix both kinds).
+            ids = [f"user-{i}" for i in range(matrix.shape[0])]
+        if len(ids) != matrix.shape[0]:
+            raise ValueError(
+                f"{matrix.shape[0]} weight vectors but {len(ids)} ids"
+            )
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate user ids")
+        self.matrix = matrix
+        self.ids = list(ids)
+
+    @property
+    def dims(self) -> int:
+        return self.matrix.shape[1]
+
+    def __len__(self) -> int:
+        return self.matrix.shape[0]
+
+    def vector(self, user_id: Hashable) -> np.ndarray:
+        return self.matrix[self.ids.index(user_id)]
+
+
+def score(weight: np.ndarray, point: np.ndarray) -> float:
+    """Linear preference score; smaller is better."""
+    return float(np.dot(weight, point))
+
+
+def better_products(
+    products: CertainDataset, weight: PointLike, q: PointLike
+) -> List[Hashable]:
+    """Products strictly better than ``q`` for the given preference vector.
+
+    Ties are resolved in ``q``'s favour, following the usual reverse top-k
+    convention that the query product wins equal scores.
+    """
+    w = as_point(weight, dims=products.dims)
+    q_score = score(w, as_point(q, dims=products.dims))
+    scores = products.points @ w
+    return [
+        oid for oid, s in zip(products.ids(), scores) if s < q_score
+    ]
+
+
+def rank_of_query(
+    products: CertainDataset, weight: PointLike, q: PointLike
+) -> int:
+    """1-based rank of ``q`` within ``P ∪ {q}`` under *weight*."""
+    return len(better_products(products, weight, q)) + 1
+
+
+def reverse_top_k(
+    products: CertainDataset,
+    users: WeightSet,
+    q: PointLike,
+    k: int,
+) -> List[Hashable]:
+    """Users for whom ``q`` is a top-k product."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return [
+        user_id
+        for user_id in users.ids
+        if rank_of_query(products, users.vector(user_id), q) <= k
+    ]
+
+
+def top_k_products(
+    products: CertainDataset, weight: PointLike, k: int
+) -> List[Hashable]:
+    """The top-k products for one preference vector (ids, best first)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    w = as_point(weight, dims=products.dims)
+    scores = products.points @ w
+    order = np.argsort(scores, kind="stable")[:k]
+    ids = products.ids()
+    return [ids[int(i)] for i in order]
+
+
+def rank_profile(
+    products: CertainDataset, users: WeightSet, q: PointLike
+) -> Dict[Hashable, int]:
+    """The rank of ``q`` for every user (diagnostics / examples)."""
+    return {
+        user_id: rank_of_query(products, users.vector(user_id), q)
+        for user_id in users.ids
+    }

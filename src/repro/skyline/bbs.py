@@ -1,0 +1,118 @@
+"""BBS — branch-and-bound skyline over an R-tree (Papadias et al. [35]).
+
+The paper's dominance machinery builds on the progressive skyline work of
+Papadias et al.; this module provides that substrate: an index-based
+skyline that expands R-tree entries in ascending order of their minimum
+coordinate-sum and prunes every entry dominated by an already-reported
+skyline point.  A transformed variant computes *dynamic* skylines (the
+operator underlying reverse skylines) by measuring every coordinate as a
+distance to a center point.
+
+Both functions touch only the nodes they must (counted through the tree's
+:class:`~repro.index.stats.AccessStats`), and are validated against the
+quadratic operators in :mod:`repro.skyline.classic` / ``.dynamic``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Hashable, List, Optional
+
+import numpy as np
+
+from repro.geometry.dominance import dominates
+from repro.geometry.point import PointLike, as_point
+from repro.geometry.rectangle import Rect
+from repro.index.rtree import RTree
+from repro.uncertain.dataset import CertainDataset
+
+
+def _transformed_lo(rect: Rect, center: Optional[np.ndarray]) -> np.ndarray:
+    """Lower corner of *rect* in skyline space.
+
+    Plain skyline: the rect's own lower corner.  Dynamic skyline around
+    *center*: the coordinate-wise minimum of ``|x - center|`` over the
+    rect, which is 0 inside the projection and the nearer edge outside.
+    """
+    if center is None:
+        return rect.lo
+    below = center - rect.hi   # positive where rect is entirely below center
+    above = rect.lo - center   # positive where rect is entirely above center
+    return np.maximum(np.maximum(below, above), 0.0)
+
+
+def _transformed_point(point: np.ndarray, center: Optional[np.ndarray]) -> np.ndarray:
+    if center is None:
+        return point
+    return np.abs(point - center)
+
+
+def skyline_bbs(
+    tree: RTree, center: Optional[PointLike] = None
+) -> List[Hashable]:
+    """Skyline payloads of a point R-tree via best-first branch-and-bound.
+
+    With *center* given, computes the dynamic skyline w.r.t. *center*
+    (coordinates transformed to ``|x - center|``); otherwise the classic
+    minimising skyline.  Entries whose (transformed) lower corner is
+    dominated by a found skyline point are pruned unexpanded — the BBS
+    access-optimality argument.
+    """
+    center_arr = as_point(center, dims=tree.dims) if center is not None else None
+    tree.stats.record_query()
+    counter = itertools.count()  # tie-breaker: heap entries must not compare nodes
+    heap: list = []
+
+    def push(node_or_entry, is_node: bool) -> None:
+        if is_node:
+            rect = node_or_entry.mbr
+            if rect is None:
+                return
+            lo = _transformed_lo(rect, center_arr)
+        else:
+            rect, _payload = node_or_entry
+            lo = _transformed_point(rect.lo, center_arr)
+        heapq.heappush(
+            heap, (float(lo.sum()), next(counter), lo, is_node, node_or_entry)
+        )
+
+    push(tree.root, True)
+    skyline_points: List[np.ndarray] = []
+    result: List[Hashable] = []
+
+    while heap:
+        _key, _tie, lo, is_node, item = heapq.heappop(heap)
+        if any(dominates(s, lo) for s in skyline_points):
+            continue  # the whole entry is dominated
+        if is_node:
+            tree.stats.record_node(item.is_leaf)
+            if item.is_leaf:
+                for entry in item.entries:
+                    push(entry, False)
+            else:
+                for child in item.children:
+                    push(child, True)
+        else:
+            rect, payload = item
+            point = _transformed_point(rect.lo, center_arr)
+            if not any(dominates(s, point) for s in skyline_points):
+                skyline_points.append(point)
+                result.append(payload)
+    return result
+
+
+def dynamic_skyline_bbs(dataset: CertainDataset, center: PointLike) -> List[Hashable]:
+    """Dynamic skyline of *center* over a certain dataset, index-based.
+
+    The object at *center* itself (distance vector 0) would dominate
+    everything, so objects located exactly at *center* are excluded, as in
+    the definition's ``p' ≠ p`` quantification.
+    """
+    center_arr = as_point(center, dims=dataset.dims)
+    members = skyline_bbs(dataset.rtree, center=center_arr)
+    return [
+        oid
+        for oid in members
+        if not np.array_equal(dataset.point_of(oid), center_arr)
+    ]

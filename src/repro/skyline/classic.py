@@ -1,0 +1,62 @@
+"""Classic (static) skyline operator, smaller-is-better.
+
+The skyline of a point set is the subset not dominated by any other point.
+This is the building block the dynamic and reverse skyline operators reduce
+to after coordinate transformation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.geometry.point import as_point_matrix
+
+
+def skyline_indices(points: np.ndarray) -> List[int]:
+    """Indices of skyline points of an ``(n, d)`` matrix.
+
+    Block-nested-loop with a presort on coordinate sum: a point can only be
+    dominated by points with a smaller or equal sum, so one pass over the
+    sorted order with an incremental window suffices.  Duplicates of a
+    skyline point are all kept (dominance is strict in one dimension).
+    """
+    matrix = as_point_matrix(points)
+    n = matrix.shape[0]
+    if n == 0:
+        return []
+    order = np.argsort(matrix.sum(axis=1), kind="stable")
+    window: List[int] = []
+    result: List[int] = []
+    for idx in order:
+        candidate = matrix[idx]
+        dominated = False
+        for kept in window:
+            keeper = matrix[kept]
+            if np.all(keeper <= candidate) and np.any(keeper < candidate):
+                dominated = True
+                break
+        if not dominated:
+            window.append(int(idx))
+            result.append(int(idx))
+    return sorted(result)
+
+
+def skyline_points(points: np.ndarray) -> np.ndarray:
+    """The skyline rows themselves."""
+    matrix = as_point_matrix(points)
+    return matrix[skyline_indices(matrix)]
+
+
+def is_skyline_point(points: np.ndarray, index: int) -> bool:
+    """Is row *index* of *points* on the skyline?"""
+    matrix = as_point_matrix(points)
+    target = matrix[index]
+    others = np.delete(matrix, index, axis=0)
+    if others.shape[0] == 0:
+        return True
+    dominated = np.logical_and(
+        (others <= target).all(axis=1), (others < target).any(axis=1)
+    )
+    return not bool(dominated.any())

@@ -1,0 +1,41 @@
+"""Dynamic skyline operator.
+
+The *dynamic skyline* of a point ``p`` over a dataset contains every point
+not dynamically dominated w.r.t. ``p`` by any other point — equivalently,
+the classic skyline after the coordinate transform ``x ↦ |x − p|``.
+The reverse skyline of ``q`` (Definition 3) is the set of points whose
+dynamic skyline contains ``q``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.geometry.dominance import dominance_vector
+from repro.geometry.point import PointLike, as_point, as_point_matrix
+from repro.skyline.classic import skyline_indices
+
+
+def dynamic_skyline_indices(points: np.ndarray, center: PointLike) -> List[int]:
+    """Indices of the dynamic skyline of *center* over *points*."""
+    matrix = as_point_matrix(points)
+    transformed = np.abs(matrix - as_point(center, dims=matrix.shape[1]))
+    return skyline_indices(transformed)
+
+
+def q_in_dynamic_skyline(
+    points: np.ndarray, center: PointLike, q: PointLike
+) -> bool:
+    """Does ``q`` belong to the dynamic skyline of *center* over *points*?
+
+    True iff no point in *points* dynamically dominates ``q`` w.r.t.
+    *center* — the membership test at the heart of the reverse skyline
+    definition.  *points* must exclude *center* itself.
+    """
+    matrix = as_point_matrix(points)
+    if matrix.shape[0] == 0:
+        return True
+    qq = as_point(q, dims=matrix.shape[1])
+    return not bool(dominance_vector(matrix, qq, as_point(center)).any())

@@ -1,0 +1,139 @@
+"""Datasets of uncertain and certain objects, indexed by an R-tree.
+
+The R-tree indexes one entry per object: its sample MBR (uncertain) or its
+point (certain), exactly as the paper assumes when algorithm CP traverses
+``R_P`` in a branch-and-bound manner.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError
+from repro.geometry.point import PointLike, as_point_matrix
+from repro.index.bulk import bulk_load
+from repro.index.rtree import DEFAULT_PAGE_SIZE, RTree
+from repro.uncertain.object import UncertainObject
+
+
+class UncertainDataset:
+    """An ordered collection of :class:`UncertainObject` with a lazy R-tree."""
+
+    def __init__(
+        self,
+        objects: Iterable[UncertainObject],
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ):
+        self._objects: List[UncertainObject] = list(objects)
+        if not self._objects:
+            raise EmptyDatasetError("dataset must contain at least one object")
+        dims = self._objects[0].dims
+        for obj in self._objects:
+            if obj.dims != dims:
+                raise ValueError(
+                    f"object {obj.oid!r} has {obj.dims} dims, dataset has {dims}"
+                )
+        self._by_id: Dict[Hashable, UncertainObject] = {}
+        for obj in self._objects:
+            if obj.oid in self._by_id:
+                raise ValueError(f"duplicate object id {obj.oid!r}")
+            self._by_id[obj.oid] = obj
+        self.dims = dims
+        self.page_size = page_size
+        self._rtree: Optional[RTree] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def rtree(self) -> RTree:
+        """R-tree over object MBRs, bulk-loaded on first use."""
+        if self._rtree is None:
+            self._rtree = bulk_load(
+                [(obj.mbr, obj.oid) for obj in self._objects],
+                dims=self.dims,
+                page_size=self.page_size,
+            )
+        return self._rtree
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[UncertainObject]:
+        return iter(self._objects)
+
+    def __contains__(self, oid: Hashable) -> bool:
+        return oid in self._by_id
+
+    def get(self, oid: Hashable) -> UncertainObject:
+        return self._by_id[oid]
+
+    def ids(self) -> List[Hashable]:
+        return [obj.oid for obj in self._objects]
+
+    def objects(self) -> List[UncertainObject]:
+        return list(self._objects)
+
+    def others(self, oid: Hashable) -> List[UncertainObject]:
+        """All objects except *oid* (the ``P - {u}`` of the definitions)."""
+        return [obj for obj in self._objects if obj.oid != oid]
+
+    def without(self, removed: Iterable[Hashable]) -> "UncertainDataset":
+        """A new dataset with *removed* ids deleted (``P - Γ``).
+
+        Used by tests and naive baselines; the optimized algorithms never
+        materialize removals — they evaluate restricted probabilities through
+        :class:`repro.prsq.oracle.MembershipOracle` instead.
+        """
+        removed_set = set(removed)
+        kept = [obj for obj in self._objects if obj.oid not in removed_set]
+        return UncertainDataset(kept, page_size=self.page_size)
+
+    def max_samples(self) -> int:
+        return max(obj.num_samples for obj in self._objects)
+
+    def __repr__(self) -> str:
+        return (
+            f"<UncertainDataset n={len(self._objects)} dims={self.dims} "
+            f"max_samples={self.max_samples()}>"
+        )
+
+
+class CertainDataset(UncertainDataset):
+    """A dataset of certain points (Section 4), stored as 1-sample objects."""
+
+    def __init__(
+        self,
+        points: Sequence[PointLike] | np.ndarray,
+        ids: Optional[Sequence[Hashable]] = None,
+        names: Optional[Sequence[str]] = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ):
+        matrix = as_point_matrix(points)
+        if ids is None:
+            ids = list(range(matrix.shape[0]))
+        if len(ids) != matrix.shape[0]:
+            raise ValueError(
+                f"{matrix.shape[0]} points but {len(ids)} ids supplied"
+            )
+        objects = []
+        for i, oid in enumerate(ids):
+            name = names[i] if names is not None else None
+            objects.append(UncertainObject.certain(oid, matrix[i], name=name))
+        super().__init__(objects, page_size=page_size)
+        self.points = matrix
+
+    def point_of(self, oid: Hashable) -> np.ndarray:
+        return self.get(oid).samples[0]
+
+    def without(self, removed: Iterable[Hashable]) -> "CertainDataset":
+        """A new certain dataset with *removed* ids deleted (``P - Γ``)."""
+        removed_set = set(removed)
+        kept = [obj for obj in self._objects if obj.oid not in removed_set]
+        return CertainDataset(
+            [obj.samples[0] for obj in kept],
+            ids=[obj.oid for obj in kept],
+            names=[obj.name for obj in kept],
+            page_size=self.page_size,
+        )

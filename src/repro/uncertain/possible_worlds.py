@@ -1,0 +1,87 @@
+"""Exact possible-world semantics (ground truth for Eq. (2)).
+
+A *possible world* of an uncertain dataset instantiates every object at
+exactly one of its samples; its probability is the product of the chosen
+samples' appearance probabilities (objects are independent, Sec. 2.2).
+Enumeration is exponential and only used for validation on small inputs —
+it is the oracle the fast analytic computation in :mod:`repro.prsq` is
+tested against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Iterator, Tuple
+
+import numpy as np
+
+from repro.geometry.dominance import dynamically_dominates
+from repro.geometry.point import PointLike, as_point
+from repro.uncertain.dataset import UncertainDataset
+
+World = Tuple[int, ...]
+
+MAX_ENUMERABLE_WORLDS = 2_000_000
+
+
+def world_count(dataset: UncertainDataset) -> int:
+    count = 1
+    for obj in dataset:
+        count *= obj.num_samples
+    return count
+
+
+def iter_worlds(dataset: UncertainDataset) -> Iterator[Tuple[World, float]]:
+    """Yield ``(sample-index tuple, probability)`` for every possible world.
+
+    Raises ``ValueError`` when the world count exceeds
+    :data:`MAX_ENUMERABLE_WORLDS` to protect callers from runaway loops.
+    """
+    total = world_count(dataset)
+    if total > MAX_ENUMERABLE_WORLDS:
+        raise ValueError(
+            f"{total} possible worlds exceed the enumeration cap "
+            f"({MAX_ENUMERABLE_WORLDS}); use the analytic computation instead"
+        )
+    ranges = [range(obj.num_samples) for obj in dataset]
+    for choice in itertools.product(*ranges):
+        prob = 1.0
+        for obj, idx in zip(dataset, choice):
+            prob *= float(obj.probabilities[idx])
+        yield choice, prob
+
+
+def world_points(dataset: UncertainDataset, world: World) -> Dict[Hashable, np.ndarray]:
+    """Instantiated object locations for one world."""
+    return {
+        obj.oid: obj.samples[idx] for obj, idx in zip(dataset, world)
+    }
+
+
+def is_reverse_skyline_in_world(
+    dataset: UncertainDataset, world: World, oid: Hashable, q: PointLike
+) -> bool:
+    """Is *oid* a reverse skyline object of *q* in the given world?
+
+    True iff no other instantiated object dynamically dominates ``q``
+    w.r.t. *oid*'s instantiated location.
+    """
+    points = world_points(dataset, world)
+    center = points[oid]
+    qq = as_point(q)
+    return not any(
+        dynamically_dominates(point, qq, center)
+        for other_id, point in points.items()
+        if other_id != oid
+    )
+
+
+def reverse_skyline_probability_bruteforce(
+    dataset: UncertainDataset, oid: Hashable, q: PointLike
+) -> float:
+    """``Pr(u)`` of Eq. (2) by exhaustive possible-world enumeration."""
+    probability = 0.0
+    for world, world_prob in iter_worlds(dataset):
+        if is_reverse_skyline_in_world(dataset, world, oid, q):
+            probability += world_prob
+    return probability

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.uncertain.dataset import CertainDataset, UncertainDataset
+from repro.uncertain.object import UncertainObject
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+def make_uncertain_dataset(
+    rng: np.random.Generator,
+    n: int,
+    dims: int = 2,
+    max_samples: int = 3,
+    domain: float = 10.0,
+) -> UncertainDataset:
+    """A small random uncertain dataset with equal-probability samples."""
+    objects = [
+        UncertainObject(
+            i,
+            rng.uniform(0.0, domain, size=(int(rng.integers(1, max_samples + 1)), dims)),
+        )
+        for i in range(n)
+    ]
+    return UncertainDataset(objects)
+
+
+@pytest.fixture
+def tiny_uncertain(rng) -> UncertainDataset:
+    """Six 2-D uncertain objects — small enough for possible-world checks."""
+    return make_uncertain_dataset(rng, n=6)
+
+
+@pytest.fixture
+def small_certain(rng) -> CertainDataset:
+    """Twelve 2-D certain points."""
+    return CertainDataset(rng.uniform(0.0, 10.0, size=(12, 2)))
+
+
+@pytest.fixture
+def paper_style_example() -> UncertainDataset:
+    """A hand-laid-out 2-D dataset in the spirit of the running example
+    (Fig. 2): objects with 2-4 equal-probability samples around distinct
+    locations, one of which ("c") is a non-answer for the query below."""
+    return UncertainDataset(
+        [
+            UncertainObject("a", [[8.2, 1.0], [8.6, 1.4]]),
+            UncertainObject("b", [[6.5, 5.2], [6.4, 5.4], [9.5, 1.0]]),
+            UncertainObject("c", [[6.0, 6.0], [6.3, 5.7], [5.8, 6.2], [6.1, 5.9]]),
+            UncertainObject("d", [[5.4, 5.5], [5.6, 5.6]]),
+            UncertainObject("e", [[5.6, 6.5], [5.7, 6.3]]),
+            UncertainObject("f", [[6.9, 6.1], [6.8, 6.3], [1.0, 1.0]]),
+            UncertainObject("g", [[1.2, 8.0], [1.6, 8.5]]),
+            UncertainObject("h", [[6.4, 6.7], [6.5, 6.6]]),
+            UncertainObject("i", [[5.9, 5.6], [6.0, 5.8]]),
+        ]
+    )
+
+
+@pytest.fixture
+def paper_style_query() -> np.ndarray:
+    return np.array([5.0, 5.0])

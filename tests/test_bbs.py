@@ -1,0 +1,87 @@
+"""Unit tests for BBS (branch-and-bound skyline over the R-tree)."""
+
+import numpy as np
+import pytest
+
+from repro.index.bulk import bulk_load
+from repro.skyline.bbs import dynamic_skyline_bbs, skyline_bbs
+from repro.skyline.classic import skyline_indices
+from repro.skyline.dynamic import dynamic_skyline_indices
+from repro.uncertain.dataset import CertainDataset
+
+
+def point_tree(points, max_entries=6):
+    return bulk_load(
+        [(np.asarray(p, dtype=float), i) for i, p in enumerate(points)],
+        dims=len(points[0]),
+        max_entries=max_entries,
+    )
+
+
+class TestClassicBBS:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_quadratic_skyline(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 10, size=(80, 2))
+        tree = point_tree(points)
+        assert sorted(skyline_bbs(tree)) == skyline_indices(points)
+
+    def test_three_dims(self, rng):
+        points = rng.uniform(0, 10, size=(60, 3))
+        tree = point_tree(points)
+        assert sorted(skyline_bbs(tree)) == skyline_indices(points)
+
+    def test_single_point(self):
+        tree = point_tree([[3.0, 4.0]])
+        assert skyline_bbs(tree) == [0]
+
+    def test_empty_tree(self):
+        from repro.index.rtree import RTree
+
+        assert skyline_bbs(RTree(dims=2)) == []
+
+    def test_duplicates_kept(self):
+        tree = point_tree([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert sorted(skyline_bbs(tree)) == [0, 1]
+
+    def test_access_pruning(self, rng):
+        """BBS must not read the whole tree when the skyline is tiny."""
+        points = rng.uniform(5, 10, size=(2000, 2))
+        points[0] = [0.0, 0.0]  # one point dominating everything
+        tree = point_tree(points, max_entries=16)
+        tree.stats.reset()
+        result = skyline_bbs(tree)
+        assert result == [0]
+        assert tree.stats.node_accesses < tree.node_count()
+
+
+class TestDynamicBBS:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_quadratic_dynamic_skyline(self, seed):
+        rng = np.random.default_rng(seed + 10)
+        points = rng.uniform(0, 10, size=(60, 2))
+        center = rng.uniform(0, 10, size=2)
+        ds = CertainDataset(points)
+        expected = sorted(dynamic_skyline_indices(points, center))
+        assert sorted(dynamic_skyline_bbs(ds, center)) == expected
+
+    def test_center_object_excluded(self):
+        ds = CertainDataset([[5.0, 5.0], [6.0, 6.0], [1.0, 9.0]])
+        members = dynamic_skyline_bbs(ds, [5.0, 5.0])
+        assert 0 not in members  # the object at the center itself
+
+    def test_transformed_lo_inside_projection_is_zero(self):
+        from repro.geometry.rectangle import Rect
+        from repro.skyline.bbs import _transformed_lo
+
+        rect = Rect([2.0, 2.0], [4.0, 4.0])
+        lo = _transformed_lo(rect, np.array([3.0, 3.0]))
+        assert lo.tolist() == [0.0, 0.0]
+
+    def test_transformed_lo_outside(self):
+        from repro.geometry.rectangle import Rect
+        from repro.skyline.bbs import _transformed_lo
+
+        rect = Rect([2.0, 2.0], [4.0, 4.0])
+        lo = _transformed_lo(rect, np.array([0.0, 5.0]))
+        assert lo.tolist() == [2.0, 1.0]

@@ -1,0 +1,145 @@
+"""Unit tests for the benchmark harness package."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import run_cp_batch, run_cr_batch, run_naive_i_batch
+from repro.bench.metrics import Aggregate
+from repro.bench.reporting import (
+    format_table,
+    is_non_decreasing,
+    is_non_increasing,
+    series_summary,
+)
+from repro.bench.workloads import (
+    random_query,
+    select_prsq_non_answers,
+    select_rsq_non_answers,
+)
+from repro.core.model import RunStats
+from repro.datasets.synthetic_certain import generate_certain_dataset
+from repro.datasets.synthetic_uncertain import generate_uncertain_dataset
+from repro.prsq.probability import reverse_skyline_probability
+
+
+@pytest.fixture(scope="module")
+def uncertain_ds():
+    return generate_uncertain_dataset(
+        300, 2, radius_range=(0, 100), seed=5
+    )
+
+
+@pytest.fixture(scope="module")
+def certain_ds():
+    return generate_certain_dataset(300, 2, seed=5)
+
+
+class TestAggregate:
+    def test_means(self):
+        agg = Aggregate()
+        agg.add(RunStats(node_accesses=10, cpu_time_s=0.2, candidates=4))
+        agg.add(RunStats(node_accesses=20, cpu_time_s=0.4, candidates=6))
+        assert agg.mean_node_accesses == 15.0
+        assert agg.mean_cpu_time_s == pytest.approx(0.3)
+        assert agg.mean_candidates == 5.0
+        assert agg.count == 2
+
+    def test_empty_aggregate_zero(self):
+        agg = Aggregate()
+        assert agg.mean_node_accesses == 0.0
+        assert agg.as_row()["runs"] == 0
+
+
+class TestWorkloadSelection:
+    def test_prsq_selection_yields_non_answers(self, uncertain_ds):
+        q = random_query(2, seed=0)
+        picks = select_prsq_non_answers(
+            uncertain_ds, q, alpha=0.5, count=5, max_candidates=20, seed=0
+        )
+        assert len(picks) == 5
+        for oid in picks:
+            assert reverse_skyline_probability(uncertain_ds, oid, q) < 0.5
+
+    def test_prsq_selection_respects_candidate_cap(self, uncertain_ds):
+        from repro.core.candidates import find_candidate_causes
+
+        q = random_query(2, seed=0)
+        picks = select_prsq_non_answers(
+            uncertain_ds, q, alpha=0.5, count=5, max_candidates=10, seed=0
+        )
+        for oid in picks:
+            assert 1 <= len(find_candidate_causes(uncertain_ds, oid, q)) <= 10
+
+    def test_prsq_selection_exhaustion_raises(self, uncertain_ds):
+        q = random_query(2, seed=0)
+        with pytest.raises(ValueError):
+            select_prsq_non_answers(
+                uncertain_ds, q, alpha=0.5, count=10_000, seed=0, max_probes=30
+            )
+
+    def test_rsq_selection(self, certain_ds):
+        q = random_query(2, seed=1)
+        picks = select_rsq_non_answers(certain_ds, q, count=5, seed=1)
+        assert len(picks) == 5
+
+    def test_random_query_in_domain(self):
+        q = random_query(3, seed=2)
+        assert q.shape == (3,)
+        assert (q >= 0).all() and (q <= 10_000).all()
+
+
+class TestBatchRunners:
+    def test_cp_batch(self, uncertain_ds):
+        q = random_query(2, seed=0)
+        picks = select_prsq_non_answers(
+            uncertain_ds, q, alpha=0.5, count=3, max_candidates=12, seed=0
+        )
+        batch = run_cp_batch(uncertain_ds, q, 0.5, picks)
+        assert batch.aggregate.count == 3
+        assert batch.row()["algorithm"] == "CP"
+        assert batch.aggregate.mean_node_accesses > 0
+
+    def test_cp_and_naive_agree_in_batch(self, uncertain_ds):
+        q = random_query(2, seed=0)
+        picks = select_prsq_non_answers(
+            uncertain_ds, q, alpha=0.5, count=3, max_candidates=10, seed=0
+        )
+        cp = run_cp_batch(uncertain_ds, q, 0.5, picks)
+        nv = run_naive_i_batch(uncertain_ds, q, 0.5, picks)
+        for a, b in zip(cp.results, nv.results):
+            assert a.same_causality(b)
+
+    def test_cr_batch(self, certain_ds):
+        q = random_query(2, seed=1)
+        picks = select_rsq_non_answers(certain_ds, q, count=4, seed=1)
+        batch = run_cr_batch(certain_ds, q, picks)
+        assert batch.aggregate.count == 4
+
+    def test_batch_skips_accidental_answers(self, certain_ds):
+        q = random_query(2, seed=1)
+        from repro.skyline.reverse import reverse_skyline
+
+        member = reverse_skyline(certain_ds, q)[0]
+        batch = run_cr_batch(certain_ds, q, [member])
+        assert batch.aggregate.count == 0
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_series_helpers(self):
+        rows = [{"x": 1, "y": 5.0}, {"x": 2, "y": 4.0}]
+        series = series_summary(rows, "x", "y")
+        assert series == [(1, 5.0), (2, 4.0)]
+        assert is_non_increasing([5.0, 4.0, 4.0])
+        assert not is_non_increasing([1.0, 2.0])
+        assert is_non_decreasing([1.0, 1.0, 3.0])
+        assert not is_non_decreasing([3.0, 1.0])

@@ -1,0 +1,66 @@
+"""Unit tests for STR bulk loading."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rectangle import Rect
+from repro.index.bulk import bulk_load
+from repro.index.rtree import RTree
+
+
+def random_items(rng, n, dims=2):
+    pts = rng.uniform(0, 100, size=(n, dims))
+    return [(Rect.from_point(pts[i]), i) for i in range(n)]
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = bulk_load([], dims=2)
+        assert len(tree) == 0
+
+    def test_single_item(self):
+        tree = bulk_load([(Rect.from_point([1.0, 2.0]), "a")], dims=2)
+        assert tree.range_search(Rect([0, 0], [5, 5])) == ["a"]
+
+    def test_accepts_raw_points(self):
+        tree = bulk_load([([1.0, 2.0], "a"), ([3.0, 4.0], "b")], dims=2)
+        assert sorted(tree.all_payloads()) == ["a", "b"]
+
+    @pytest.mark.parametrize("n", [5, 50, 500, 3000])
+    def test_all_items_present(self, rng, n):
+        tree = bulk_load(random_items(rng, n), dims=2)
+        assert len(tree) == n
+        assert sorted(tree.all_payloads()) == list(range(n))
+
+    @pytest.mark.parametrize("dims", [1, 2, 3, 4])
+    def test_structurally_valid(self, rng, dims):
+        tree = bulk_load(random_items(rng, 400, dims=dims), dims=dims)
+        tree.validate(allow_underfull=True)
+
+    def test_capacity_respected(self, rng):
+        tree = bulk_load(random_items(rng, 300), dims=2, max_entries=8)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            assert len(node) <= 8
+            if not node.is_leaf:
+                stack.extend(node.children)
+
+    def test_queries_match_insertion_built_tree(self, rng):
+        items = random_items(rng, 250)
+        bulk = bulk_load(items, dims=2, max_entries=8)
+        incremental = RTree(dims=2, max_entries=8)
+        for rect, payload in items:
+            incremental.insert(rect, payload)
+        for _ in range(25):
+            lo = rng.uniform(0, 90, size=2)
+            window = Rect(lo, lo + rng.uniform(1, 25, size=2))
+            assert sorted(bulk.range_search(window)) == sorted(
+                incremental.range_search(window)
+            )
+
+    def test_bulk_tree_fewer_node_accesses_than_scan(self, rng):
+        tree = bulk_load(random_items(rng, 2000), dims=2)
+        tree.stats.reset()
+        tree.range_search(Rect([0, 0], [5, 5]))
+        assert tree.stats.node_accesses < tree.node_count()

@@ -1,0 +1,91 @@
+"""Unit tests for the filter step (Lemmas 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import (
+    can_influence,
+    filter_rectangles,
+    find_candidate_causes,
+)
+from repro.geometry.dominance import dominance_rectangle
+from repro.prsq.probability import dominance_probability_vector
+from repro.uncertain.dataset import UncertainDataset
+from repro.uncertain.object import UncertainObject
+from tests.conftest import make_uncertain_dataset
+
+
+class TestFilterRectangles:
+    def test_one_rectangle_per_sample(self):
+        an = UncertainObject("an", [[1, 1], [2, 2], [3, 3]])
+        rects = filter_rectangles(an, [5.0, 5.0])
+        assert len(rects) == 3
+        for i, rect in enumerate(rects):
+            assert rect == dominance_rectangle(an.samples[i], [5.0, 5.0])
+
+
+class TestCanInfluence:
+    def test_equivalent_to_nonzero_eq3_vector(self, rng):
+        ds = make_uncertain_dataset(rng, n=10, dims=2)
+        q = rng.uniform(0, 10, size=2)
+        an = ds.get(ds.ids()[0])
+        for obj in ds.others(an.oid):
+            vec = dominance_probability_vector(obj, an, q)
+            assert can_influence(obj, an, q) == bool(vec.any())
+
+
+class TestFindCandidateCauses:
+    def test_index_matches_linear_scan(self, rng):
+        ds = make_uncertain_dataset(rng, n=30, dims=2)
+        q = rng.uniform(0, 10, size=2)
+        for oid in ds.ids()[:5]:
+            with_index = find_candidate_causes(ds, oid, q, use_index=True)
+            without = find_candidate_causes(ds, oid, q, use_index=False)
+            assert with_index == without
+
+    def test_excludes_the_non_answer_itself(self, rng):
+        ds = make_uncertain_dataset(rng, n=15, dims=2)
+        q = rng.uniform(0, 10, size=2)
+        for oid in ds.ids():
+            assert oid not in find_candidate_causes(ds, oid, q)
+
+    def test_lemma1_completeness(self, rng):
+        """Objects outside the candidate set have all-zero Eq. (3) vectors."""
+        ds = make_uncertain_dataset(rng, n=20, dims=2)
+        q = rng.uniform(0, 10, size=2)
+        an_oid = ds.ids()[0]
+        an = ds.get(an_oid)
+        candidates = set(find_candidate_causes(ds, an_oid, q))
+        for obj in ds.others(an_oid):
+            vec = dominance_probability_vector(obj, an, q)
+            if obj.oid in candidates:
+                assert vec.any()
+            else:
+                assert not vec.any()
+
+    def test_custom_windows_respected(self):
+        ds = UncertainDataset(
+            [
+                UncertainObject("an", [[5.0, 5.0]]),
+                UncertainObject("near", [[5.2, 5.2]]),
+                UncertainObject("far", [[9.5, 9.5]]),
+            ]
+        )
+        q = [6.0, 6.0]
+        default = find_candidate_causes(ds, "an", q)
+        assert default == ["near"]
+        # A huge window brings nothing new: the exact confirmation still
+        # rejects "far" (its Eq. (3) vector is zero).
+        from repro.geometry.rectangle import Rect
+
+        wide = [Rect([0.0, 0.0], [10.0, 10.0])]
+        assert find_candidate_causes(ds, "an", q, windows=wide) == ["near"]
+
+    def test_running_example_shape(self, paper_style_example, paper_style_query):
+        """In the Fig.-2-style layout, nearby objects (not the remote g or
+        the opposite-quadrant a) are the candidates of c."""
+        candidates = find_candidate_causes(
+            paper_style_example, "c", paper_style_query
+        )
+        assert "g" not in candidates
+        assert len(candidates) >= 3

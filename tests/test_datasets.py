@@ -1,0 +1,182 @@
+"""Unit tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cardb import (
+    DEFAULT_QUERY as CARDB_QUERY,
+    NON_ANSWER_CAR,
+    NON_ANSWER_ID,
+    generate_cardb,
+    pinned_cause_points,
+)
+from repro.datasets.nba import (
+    DEFAULT_QUERY as NBA_QUERY,
+    STEVE_JOHN,
+    generate_nba,
+    legend_names,
+)
+from repro.datasets.synthetic_certain import generate_certain_dataset
+from repro.datasets.synthetic_uncertain import (
+    generate_named,
+    generate_uncertain_dataset,
+)
+
+
+class TestSyntheticUncertain:
+    def test_cardinality_and_dims(self):
+        ds = generate_uncertain_dataset(50, 3, seed=0)
+        assert len(ds) == 50
+        assert ds.dims == 3
+
+    def test_sample_counts_in_range(self):
+        ds = generate_uncertain_dataset(80, 2, samples_range=(2, 4), seed=0)
+        counts = {obj.num_samples for obj in ds}
+        assert counts <= {2, 3, 4}
+        assert len(counts) > 1
+
+    def test_radius_bounds_object_extent(self):
+        r_max = 5.0
+        ds = generate_uncertain_dataset(
+            60, 2, radius_range=(0.0, r_max), seed=1
+        )
+        for obj in ds:
+            # Samples live in a rectangle inscribed in the radius-r sphere;
+            # the MBR diagonal is at most the sphere diameter.
+            diag = float(np.linalg.norm(obj.mbr.extents))
+            assert diag <= 2 * r_max + 1e-9
+
+    def test_deterministic_with_seed(self):
+        a = generate_uncertain_dataset(20, 2, seed=42)
+        b = generate_uncertain_dataset(20, 2, seed=42)
+        for oa, ob in zip(a, b):
+            assert np.array_equal(oa.samples, ob.samples)
+
+    def test_skewed_centers_lean_low(self):
+        uniform = generate_uncertain_dataset(
+            400, 2, center_distribution="uniform", seed=2
+        )
+        skewed = generate_uncertain_dataset(
+            400, 2, center_distribution="skew", seed=2
+        )
+        mean_u = np.mean([obj.expected_position() for obj in uniform])
+        mean_s = np.mean([obj.expected_position() for obj in skewed])
+        assert mean_s < mean_u
+
+    def test_gaussian_radii_concentrate(self):
+        wide = generate_uncertain_dataset(
+            300, 2, radius_distribution="uniform", radius_range=(0, 10), seed=3
+        )
+        tight = generate_uncertain_dataset(
+            300, 2, radius_distribution="gauss", radius_range=(0, 10), seed=3
+        )
+        spread_w = np.std([obj.mbr.margin() for obj in wide])
+        spread_t = np.std([obj.mbr.margin() for obj in tight])
+        assert spread_t < spread_w
+
+    @pytest.mark.parametrize("name", ["lUrU", "lUrG", "lSrU", "lSrG"])
+    def test_named_distributions(self, name):
+        ds = generate_named(name, 30, 2, seed=4)
+        assert len(ds) == 30
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            generate_named("lXrX", 10, 2)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generate_uncertain_dataset(0, 2)
+        with pytest.raises(ValueError):
+            generate_uncertain_dataset(5, 2, radius_range=(5.0, 1.0))
+        with pytest.raises(ValueError):
+            generate_uncertain_dataset(5, 2, samples_range=(0, 2))
+        with pytest.raises(ValueError):
+            generate_uncertain_dataset(5, 2, center_distribution="weird")
+        with pytest.raises(ValueError):
+            generate_uncertain_dataset(5, 2, radius_distribution="weird")
+
+
+class TestSyntheticCertain:
+    @pytest.mark.parametrize(
+        "distribution", ["independent", "correlated", "anticorrelated", "clustered"]
+    )
+    def test_generation(self, distribution):
+        ds = generate_certain_dataset(200, 2, distribution=distribution, seed=0)
+        assert len(ds) == 200
+        assert ds.points.shape == (200, 2)
+        assert (ds.points >= 0).all() and (ds.points <= 10_000).all()
+
+    def test_correlated_has_positive_correlation(self):
+        ds = generate_certain_dataset(2000, 2, distribution="correlated", seed=1)
+        corr = np.corrcoef(ds.points[:, 0], ds.points[:, 1])[0, 1]
+        assert corr > 0.8
+
+    def test_anticorrelated_has_negative_correlation(self):
+        ds = generate_certain_dataset(2000, 2, distribution="anticorrelated", seed=1)
+        corr = np.corrcoef(ds.points[:, 0], ds.points[:, 1])[0, 1]
+        assert corr < -0.3
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            generate_certain_dataset(10, 2, distribution="mystery")
+
+    def test_deterministic_with_seed(self):
+        a = generate_certain_dataset(50, 3, seed=9)
+        b = generate_certain_dataset(50, 3, seed=9)
+        assert np.array_equal(a.points, b.points)
+
+
+class TestNBA:
+    def test_roster_present(self):
+        ds = generate_nba(n_players=200)
+        assert STEVE_JOHN in ds
+        for name in legend_names():
+            assert name in ds
+
+    def test_shape(self):
+        ds = generate_nba(n_players=200)
+        assert ds.dims == 4
+        assert len(ds) == 200
+        assert all(1 <= obj.num_samples <= 17 for obj in ds)
+
+    def test_equal_season_probabilities(self):
+        ds = generate_nba(n_players=100)
+        obj = ds.get(STEVE_JOHN)
+        assert np.allclose(obj.probabilities, 1.0 / obj.num_samples)
+
+    def test_minimum_roster_size_enforced(self):
+        with pytest.raises(ValueError):
+            generate_nba(n_players=5)
+
+    def test_steve_john_is_non_answer(self):
+        from repro.prsq.probability import reverse_skyline_probability
+
+        ds = generate_nba(n_players=300)
+        assert reverse_skyline_probability(ds, STEVE_JOHN, NBA_QUERY) < 0.5
+
+
+class TestCarDB:
+    def test_case_study_actors_present(self):
+        ds = generate_cardb(n=500)
+        assert NON_ANSWER_ID in ds
+        assert ds.point_of(NON_ANSWER_ID).tolist() == list(NON_ANSWER_CAR)
+
+    def test_negative_price_mileage_correlation(self):
+        ds = generate_cardb(n=5000, include_case_study=False)
+        corr = np.corrcoef(ds.points[:, 0], ds.points[:, 1])[0, 1]
+        assert corr < -0.5
+
+    def test_pinned_causes_dominate_q(self):
+        from repro.geometry.dominance import dynamically_dominates
+
+        an = np.array(NON_ANSWER_CAR)
+        for point in pinned_cause_points():
+            assert dynamically_dominates(np.array(point), CARDB_QUERY, an)
+
+    def test_cardinality(self):
+        ds = generate_cardb(n=1000)
+        assert len(ds) == 1000
+
+    def test_too_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            generate_cardb(n=3)

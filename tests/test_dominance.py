@@ -1,0 +1,118 @@
+"""Unit tests for repro.geometry.dominance."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.dominance import (
+    dominance_rectangle,
+    dominance_vector,
+    dominated_by_any,
+    dominates,
+    dynamically_dominates,
+    strictly_dominates,
+)
+
+
+class TestClassicDominance:
+    def test_dominates_strict_everywhere(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+
+    def test_dominates_with_tie(self):
+        assert dominates([1.0, 2.0], [1.0, 3.0])
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates([1.0, 2.0], [1.0, 2.0])
+
+    def test_incomparable(self):
+        assert not dominates([1.0, 3.0], [2.0, 2.0])
+        assert not dominates([2.0, 2.0], [1.0, 3.0])
+
+    def test_strictly_dominates(self):
+        assert strictly_dominates([0.0, 0.0], [1.0, 1.0])
+        assert not strictly_dominates([0.0, 1.0], [1.0, 1.0])
+
+
+class TestDynamicDominance:
+    def test_closer_in_all_dims(self):
+        # center 0; p1 at ±1 vs p2 at ±2
+        assert dynamically_dominates([1.0, -1.0], [2.0, 2.0], [0.0, 0.0])
+
+    def test_requires_strict_in_one(self):
+        assert not dynamically_dominates([1.0, 1.0], [-1.0, -1.0], [0.0, 0.0])
+
+    def test_sign_irrelevant_only_distance(self):
+        assert dynamically_dominates([-1.0, 1.0], [2.0, -2.0], [0.0, 0.0])
+
+    def test_incomparable_mixed(self):
+        assert not dynamically_dominates([1.0, 3.0], [2.0, 2.0], [0.0, 0.0])
+
+    def test_definition_3_example_reflexivity_fails(self):
+        p = [2.0, 3.0]
+        assert not dynamically_dominates(p, p, [0.0, 0.0])
+
+    def test_asymmetry(self):
+        center = [5.0, 5.0]
+        a, b = [5.5, 5.5], [7.0, 7.0]
+        assert dynamically_dominates(a, b, center)
+        assert not dynamically_dominates(b, a, center)
+
+
+class TestDominanceVector:
+    def test_matches_scalar_calls(self, rng):
+        points = rng.uniform(0, 10, size=(40, 3))
+        target = rng.uniform(0, 10, size=3)
+        center = rng.uniform(0, 10, size=3)
+        vec = dominance_vector(points, target, center)
+        for k in range(40):
+            assert vec[k] == dynamically_dominates(points[k], target, center)
+
+    def test_empty_matrix(self):
+        vec = dominance_vector(np.empty((0, 2)), [1.0, 1.0], [0.0, 0.0])
+        assert vec.shape == (0,)
+
+    def test_dominated_by_any(self):
+        pts = np.array([[9.0, 9.0], [0.5, 0.5]])
+        assert dominated_by_any(pts, [1.0, 1.0], [0.0, 0.0])
+        assert not dominated_by_any(pts[:1], [1.0, 1.0], [0.0, 0.0])
+
+    def test_dominated_by_any_empty(self):
+        assert not dominated_by_any(np.empty((0, 2)), [1.0, 1.0], [0.0, 0.0])
+
+
+class TestDominanceRectangle:
+    def test_centered_on_sample(self):
+        rect = dominance_rectangle([2.0, 2.0], [3.0, 4.0])
+        assert rect.center.tolist() == [2.0, 2.0]
+
+    def test_half_extent_is_distance_to_q(self):
+        rect = dominance_rectangle([2.0, 2.0], [3.0, 4.0])
+        assert rect.lo.tolist() == [1.0, 0.0]
+        assert rect.hi.tolist() == [3.0, 4.0]
+
+    def test_contains_q_on_boundary(self):
+        q = [3.0, 4.0]
+        rect = dominance_rectangle([2.0, 2.0], q)
+        assert rect.contains_point(q)
+
+    def test_rectangle_is_complete_filter(self, rng):
+        """Every point that dynamically dominates q w.r.t. s lies in the rect."""
+        for _ in range(50):
+            s = rng.uniform(0, 10, size=2)
+            q = rng.uniform(0, 10, size=2)
+            p = rng.uniform(0, 10, size=2)
+            rect = dominance_rectangle(s, q)
+            if dynamically_dominates(p, q, s):
+                assert rect.contains_point(p)
+
+    def test_interior_point_dominates(self, rng):
+        """A strictly interior point always dominates q w.r.t. s."""
+        for _ in range(50):
+            s = rng.uniform(0, 10, size=2)
+            q = rng.uniform(0, 10, size=2)
+            rect = dominance_rectangle(s, q)
+            if rect.area() == 0.0:
+                continue
+            p = rect.center + (rect.extents * 0.2) * rng.uniform(-1, 1, 2)
+            assert dynamically_dominates(p, q, s) or np.allclose(
+                np.abs(p - s), np.abs(np.asarray(q) - s)
+            )

@@ -1,0 +1,152 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CPConfig,
+    compute_causality,
+    compute_causality_certain,
+    naive_i,
+    naive_ii,
+    prsq_non_answers,
+)
+from repro.bench.harness import run_cp_batch, run_cr_batch
+from repro.bench.workloads import (
+    random_query,
+    select_prsq_non_answers,
+    select_rsq_non_answers,
+)
+from repro.datasets import (
+    CARDB_QUERY,
+    NBA_QUERY,
+    NON_ANSWER_ID,
+    STEVE_JOHN,
+    generate_cardb,
+    generate_certain_dataset,
+    generate_nba,
+    generate_uncertain_dataset,
+    legend_names,
+)
+from repro.prsq.oracle import MembershipOracle
+
+
+class TestNBAScenario:
+    """Scaled-down Table-3 case study."""
+
+    @pytest.fixture(scope="class")
+    def nba(self):
+        return generate_nba(n_players=400)
+
+    def test_steve_john_causes_are_the_legends(self, nba):
+        result = compute_causality(nba, STEVE_JOHN, NBA_QUERY, alpha=0.5)
+        assert set(legend_names()) <= set(result.cause_ids())
+
+    def test_responsibilities_vary(self, nba):
+        result = compute_causality(nba, STEVE_JOHN, NBA_QUERY, alpha=0.5)
+        assert len(set(round(r, 9) for r in result.responsibilities().values())) >= 2
+
+    def test_witnesses_verify(self, nba):
+        result = compute_causality(nba, STEVE_JOHN, NBA_QUERY, alpha=0.5)
+        oracle = MembershipOracle(
+            nba, STEVE_JOHN, NBA_QUERY, 0.5, relevant_ids=result.cause_ids()
+        )
+        for oid, cause in result.causes.items():
+            assert oracle.is_contingency_set(cause.contingency_set, oid)
+
+
+class TestCarDBScenario:
+    """Scaled-down Table-4 case study."""
+
+    @pytest.fixture(scope="class")
+    def cardb(self):
+        return generate_cardb(n=800)
+
+    def test_pinned_causes_found(self, cardb):
+        result = compute_causality_certain(cardb, NON_ANSWER_ID, CARDB_QUERY)
+        cause_ids = set(result.cause_ids())
+        assert {f"cause-{k:02d}" for k in range(10)} <= cause_ids
+
+    def test_equal_responsibility(self, cardb):
+        result = compute_causality_certain(cardb, NON_ANSWER_ID, CARDB_QUERY)
+        values = set(result.responsibilities().values())
+        assert len(values) == 1
+        assert values.pop() == pytest.approx(1.0 / len(result))
+
+    def test_naive_ii_agrees(self, cardb):
+        cr = compute_causality_certain(cardb, NON_ANSWER_ID, CARDB_QUERY)
+        nv = naive_ii(cardb, NON_ANSWER_ID, CARDB_QUERY)
+        assert cr.same_causality(nv)
+
+
+class TestSyntheticPipelines:
+    def test_uncertain_pipeline(self):
+        ds = generate_uncertain_dataset(250, 2, radius_range=(0, 120), seed=6)
+        q = random_query(2, seed=6)
+        picks = select_prsq_non_answers(
+            ds, q, alpha=0.5, count=4, max_candidates=10, seed=6
+        )
+        batch = run_cp_batch(ds, q, 0.5, picks)
+        assert batch.aggregate.count == 4
+        for result in batch.results:
+            assert len(result) >= 1
+
+    def test_naive_i_equivalence_on_workload(self):
+        ds = generate_uncertain_dataset(200, 2, radius_range=(0, 150), seed=7)
+        q = random_query(2, seed=7)
+        picks = select_prsq_non_answers(
+            ds, q, alpha=0.6, count=3, max_candidates=9, seed=7
+        )
+        for an in picks:
+            a = compute_causality(ds, an, q, 0.6)
+            b = naive_i(ds, an, q, 0.6)
+            assert a.same_causality(b)
+
+    def test_certain_pipeline_all_distributions(self):
+        q = random_query(2, seed=8)
+        for distribution in ("independent", "correlated", "anticorrelated", "clustered"):
+            ds = generate_certain_dataset(300, 2, distribution=distribution, seed=8)
+            picks = select_rsq_non_answers(ds, q, count=3, seed=8)
+            batch = run_cr_batch(ds, q, picks)
+            assert batch.aggregate.count == 3
+
+    def test_alpha_sweep_runs(self):
+        ds = generate_uncertain_dataset(150, 2, radius_range=(0, 120), seed=9)
+        q = random_query(2, seed=9)
+        picks = select_prsq_non_answers(
+            ds, q, alpha=0.2, count=3, max_candidates=10, seed=9
+        )
+        for alpha in (0.2, 0.4, 0.6, 0.8, 1.0):
+            batch = run_cp_batch(ds, q, alpha, picks)
+            # picks are non-answers at alpha=0.2, hence at every larger alpha
+            assert batch.aggregate.count == 3
+
+    def test_dimensionality_sweep_runs(self):
+        for d in (2, 3, 4):
+            ds = generate_uncertain_dataset(120, d, radius_range=(0, 150), seed=10)
+            q = random_query(d, seed=10)
+            try:
+                picks = select_prsq_non_answers(
+                    ds, q, alpha=0.5, count=2, max_candidates=10, seed=10
+                )
+            except ValueError:
+                continue  # high dims may have too few bounded non-answers
+            batch = run_cp_batch(ds, q, 0.5, picks)
+            assert batch.aggregate.count == len(picks)
+
+
+class TestPublicAPI:
+    def test_star_import_surface(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_prsq_non_answers_roundtrip(self):
+        ds = generate_uncertain_dataset(60, 2, radius_range=(0, 200), seed=11)
+        q = random_query(2, seed=11)
+        nas = prsq_non_answers(ds, q, 0.5)
+        if not nas:
+            pytest.skip("no non-answers in draw")
+        res = compute_causality(ds, nas[0], q, 0.5, config=CPConfig())
+        assert res.an_oid == nas[0]

@@ -1,0 +1,70 @@
+"""Unit tests for best-first kNN on the R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.index.bulk import bulk_load
+from repro.index.knn import k_nearest, nearest
+from repro.index.rtree import RTree
+
+
+def point_tree(points, max_entries=6):
+    return bulk_load(
+        [(np.asarray(p, dtype=float), i) for i, p in enumerate(points)],
+        dims=len(points[0]),
+        max_entries=max_entries,
+    )
+
+
+def linear_knn(points, target, k):
+    d2 = ((np.asarray(points) - np.asarray(target)) ** 2).sum(axis=1)
+    order = np.argsort(d2, kind="stable")[:k]
+    return [(float(d2[i]), int(i)) for i in order]
+
+
+class TestKNearest:
+    @pytest.mark.parametrize("k", [1, 3, 10, 50])
+    def test_matches_linear_scan(self, rng, k):
+        points = rng.uniform(0, 100, size=(200, 2))
+        tree = point_tree(points)
+        target = rng.uniform(0, 100, size=2)
+        got = k_nearest(tree, target, k)
+        expected = linear_knn(points, target, k)
+        assert [round(d, 9) for d, _p in got] == [
+            round(d, 9) for d, _p in expected
+        ]
+
+    def test_fewer_entries_than_k(self):
+        tree = point_tree([[1.0, 1.0], [2.0, 2.0]])
+        assert len(k_nearest(tree, [0.0, 0.0], 10)) == 2
+
+    def test_empty_tree(self):
+        tree = RTree(dims=2)
+        assert k_nearest(tree, [0.0, 0.0], 3) == []
+        assert nearest(tree, [0.0, 0.0]) is None
+
+    def test_nearest_single(self, rng):
+        points = rng.uniform(0, 100, size=(50, 3))
+        tree = point_tree(points.tolist())
+        target = rng.uniform(0, 100, size=3)
+        expected = linear_knn(points, target, 1)[0][1]
+        assert nearest(tree, target) == expected
+
+    def test_invalid_k(self):
+        tree = point_tree([[1.0, 1.0]])
+        with pytest.raises(ValueError):
+            k_nearest(tree, [0.0, 0.0], 0)
+
+    def test_pruning_beats_full_scan(self, rng):
+        points = rng.uniform(0, 100, size=(3000, 2))
+        tree = point_tree(points, max_entries=16)
+        tree.stats.reset()
+        k_nearest(tree, [50.0, 50.0], 3)
+        assert tree.stats.node_accesses < tree.node_count()
+
+    def test_results_sorted_ascending(self, rng):
+        points = rng.uniform(0, 100, size=(100, 2))
+        tree = point_tree(points)
+        result = k_nearest(tree, [10.0, 10.0], 20)
+        distances = [d for d, _p in result]
+        assert distances == sorted(distances)

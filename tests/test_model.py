@@ -1,0 +1,97 @@
+"""Unit tests for the causality result model."""
+
+import pytest
+
+from repro.core.model import Cause, CauseKind, CausalityResult, RunStats
+
+
+def make_cause(oid="x", gamma=("a", "b")):
+    gamma = frozenset(gamma)
+    return Cause(
+        oid=oid,
+        responsibility=1.0 / (1.0 + len(gamma)),
+        contingency_set=gamma,
+        kind=CauseKind.COUNTERFACTUAL if not gamma else CauseKind.ACTUAL,
+    )
+
+
+class TestCause:
+    def test_responsibility_formula_enforced(self):
+        with pytest.raises(ValueError):
+            Cause("x", 0.5, frozenset({"a", "b"}), CauseKind.ACTUAL)
+
+    def test_counterfactual_requires_empty_gamma(self):
+        with pytest.raises(ValueError):
+            Cause("x", 1.0 / 3.0, frozenset({"a", "b"}), CauseKind.COUNTERFACTUAL)
+
+    def test_counterfactual_responsibility_one(self):
+        c = make_cause(gamma=())
+        assert c.kind is CauseKind.COUNTERFACTUAL
+        assert c.responsibility == 1.0
+
+    def test_out_of_range_responsibility(self):
+        with pytest.raises(ValueError):
+            Cause("x", 0.0, frozenset(), CauseKind.COUNTERFACTUAL)
+
+    def test_min_contingency_size(self):
+        assert make_cause().min_contingency_size == 2
+
+
+class TestCausalityResult:
+    def test_add_and_lookup(self):
+        res = CausalityResult(an_oid="an", alpha=0.5)
+        res.add(make_cause("x"))
+        assert res.responsibility("x") == pytest.approx(1 / 3)
+        assert res.responsibility("not-a-cause") == 0.0
+        assert len(res) == 1
+
+    def test_duplicate_rejected(self):
+        res = CausalityResult(an_oid="an", alpha=0.5)
+        res.add(make_cause("x"))
+        with pytest.raises(ValueError):
+            res.add(make_cause("x"))
+
+    def test_self_cause_rejected(self):
+        res = CausalityResult(an_oid="an", alpha=0.5)
+        with pytest.raises(ValueError):
+            res.add(make_cause("an"))
+
+    def test_ranked_orders_by_responsibility(self):
+        res = CausalityResult(an_oid="an", alpha=0.5)
+        res.add(make_cause("weak", gamma=("a", "b", "c")))
+        res.add(make_cause("strong", gamma=()))
+        assert [oid for oid, _r in res.ranked()] == ["strong", "weak"]
+
+    def test_counterfactual_ids(self):
+        res = CausalityResult(an_oid="an", alpha=0.5)
+        res.add(make_cause("cf", gamma=()))
+        res.add(make_cause("ac"))
+        assert res.counterfactual_ids() == ["cf"]
+
+    def test_same_causality_ignores_witnesses(self):
+        a = CausalityResult(an_oid="an", alpha=0.5)
+        b = CausalityResult(an_oid="an", alpha=0.5)
+        a.add(make_cause("x", gamma=("p", "q")))
+        b.add(make_cause("x", gamma=("r", "s")))  # different witness, same size
+        assert a.same_causality(b)
+
+    def test_same_causality_detects_differences(self):
+        a = CausalityResult(an_oid="an", alpha=0.5)
+        b = CausalityResult(an_oid="an", alpha=0.5)
+        a.add(make_cause("x"))
+        b.add(make_cause("y"))
+        assert not a.same_causality(b)
+        c = CausalityResult(an_oid="an", alpha=0.5)
+        c.add(make_cause("x", gamma=("p",)))  # different size
+        assert not a.same_causality(c)
+
+
+class TestRunStats:
+    def test_merge_adds_counters(self):
+        a = RunStats(node_accesses=3, cpu_time_s=0.5, candidates=2)
+        b = RunStats(node_accesses=4, cpu_time_s=0.25, oracle_evaluations=7)
+        merged = a.merge(b)
+        assert merged.node_accesses == 7
+        assert merged.cpu_time_s == 0.75
+        assert merged.candidates == 2
+        assert merged.oracle_evaluations == 7

@@ -1,0 +1,81 @@
+"""Unit tests for the Monte-Carlo PRSQ probability estimator."""
+
+import numpy as np
+import pytest
+
+from repro.prsq.montecarlo import (
+    ProbabilityEstimate,
+    sample_reverse_skyline_probability,
+)
+from repro.prsq.probability import reverse_skyline_probability
+from repro.uncertain.dataset import UncertainDataset
+from repro.uncertain.object import UncertainObject
+from tests.conftest import make_uncertain_dataset
+
+
+class TestEstimateContainer:
+    def test_confidence_interval_clamped(self):
+        est = ProbabilityEstimate(value=0.98, std_error=0.05, worlds=100)
+        lo, hi = est.confidence_interval()
+        assert 0.0 <= lo <= hi <= 1.0
+
+    def test_contains_uses_wide_interval(self):
+        est = ProbabilityEstimate(value=0.5, std_error=0.05, worlds=100)
+        assert 0.55 in est
+        assert 0.99 not in est
+
+
+class TestEstimator:
+    def test_deterministic_case_exact(self):
+        """With certain objects the estimate is exact regardless of worlds."""
+        ds = UncertainDataset(
+            [
+                UncertainObject("u", [[2.0, 2.0]]),
+                UncertainObject("v", [[2.5, 2.5]]),
+            ]
+        )
+        est = sample_reverse_skyline_probability(ds, "u", [3.0, 3.0], worlds=50)
+        assert est.value == 0.0
+        est2 = sample_reverse_skyline_probability(ds, "v", [3.0, 3.0], worlds=50)
+        assert est2.value == 1.0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_converges_to_exact_probability(self, seed):
+        rng = np.random.default_rng(seed)
+        ds = make_uncertain_dataset(rng, n=6, dims=2)
+        q = rng.uniform(0, 10, size=2)
+        target = ds.ids()[0]
+        exact = reverse_skyline_probability(ds, target, q, use_index=False)
+        est = sample_reverse_skyline_probability(
+            ds, target, q, worlds=3_000, rng=np.random.default_rng(seed + 100)
+        )
+        assert exact in est  # inside the ~99.9% interval
+
+    def test_respects_sample_probabilities(self):
+        ds = UncertainDataset(
+            [
+                UncertainObject("u", [[2.0, 2.0]]),
+                UncertainObject("v", [[2.5, 2.5], [9.0, 9.0]], [0.9, 0.1]),
+            ]
+        )
+        est = sample_reverse_skyline_probability(
+            ds, "u", [3.0, 3.0], worlds=4_000, rng=np.random.default_rng(1)
+        )
+        assert est.value == pytest.approx(0.1, abs=0.03)
+
+    def test_worlds_validation(self, rng):
+        ds = make_uncertain_dataset(rng, n=3, dims=2)
+        with pytest.raises(ValueError):
+            sample_reverse_skyline_probability(ds, ds.ids()[0], [1.0, 1.0], worlds=0)
+
+    def test_std_error_shrinks_with_worlds(self, rng):
+        ds = make_uncertain_dataset(rng, n=6, dims=2)
+        q = rng.uniform(0, 10, size=2)
+        target = ds.ids()[0]
+        small = sample_reverse_skyline_probability(
+            ds, target, q, worlds=100, rng=np.random.default_rng(0)
+        )
+        large = sample_reverse_skyline_probability(
+            ds, target, q, worlds=10_000, rng=np.random.default_rng(0)
+        )
+        assert large.std_error <= small.std_error

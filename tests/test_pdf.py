@@ -1,0 +1,125 @@
+"""Unit tests for the continuous pdf uncertain model (Sec. 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.dominance import dominance_rectangle
+from repro.geometry.rectangle import Rect
+from repro.uncertain.pdf import TruncatedGaussianObject, UniformBoxObject
+
+
+@pytest.fixture
+def box_object():
+    return UniformBoxObject("u", Rect([6.0, 6.0], [8.0, 7.0]))
+
+
+class TestSampling:
+    def test_uniform_samples_inside_region(self, box_object, rng):
+        pts = box_object.sample(500, rng)
+        assert pts.shape == (500, 2)
+        assert box_object.region.contains_points(pts).all()
+
+    def test_gaussian_samples_inside_region(self, rng):
+        obj = TruncatedGaussianObject("g", Rect([0.0, 0.0], [4.0, 4.0]))
+        pts = obj.sample(500, rng)
+        assert obj.region.contains_points(pts).all()
+
+    def test_gaussian_concentrates_near_center(self, rng):
+        obj = TruncatedGaussianObject("g", Rect([0.0, 0.0], [4.0, 4.0]), sigma=0.5)
+        pts = obj.sample(2000, rng)
+        assert np.abs(pts.mean(axis=0) - [2.0, 2.0]).max() < 0.15
+
+    def test_uniform_mean_near_center(self, box_object, rng):
+        pts = box_object.sample(4000, rng)
+        assert np.abs(pts.mean(axis=0) - box_object.region.center).max() < 0.1
+
+
+class TestPdfValues:
+    def test_uniform_density(self, box_object):
+        assert box_object.pdf([7.0, 6.5]) == pytest.approx(1.0 / 2.0)
+        assert box_object.pdf([0.0, 0.0]) == 0.0
+
+    def test_uniform_degenerate_region_rejected(self):
+        obj = UniformBoxObject("u", Rect([1.0, 1.0], [1.0, 2.0]))
+        with pytest.raises(ValueError):
+            obj.pdf([1.0, 1.5])
+
+    def test_gaussian_peaks_at_center(self):
+        obj = TruncatedGaussianObject("g", Rect([0.0, 0.0], [4.0, 4.0]), sigma=1.0)
+        assert obj.pdf([2.0, 2.0]) > obj.pdf([3.0, 3.0]) > obj.pdf([3.9, 3.9])
+
+    def test_gaussian_zero_outside(self):
+        obj = TruncatedGaussianObject("g", Rect([0.0, 0.0], [4.0, 4.0]))
+        assert obj.pdf([5.0, 5.0]) == 0.0
+
+
+class TestDiscretize:
+    def test_discretize_shape_and_probs(self, box_object):
+        disc = box_object.discretize(64)
+        assert disc.oid == "u"
+        assert disc.num_samples == 64
+        assert disc.probabilities.sum() == pytest.approx(1.0)
+
+    def test_discretize_deterministic_default_rng(self, box_object):
+        a = box_object.discretize(16)
+        b = box_object.discretize(16)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_discretize_requires_positive_n(self, box_object):
+        with pytest.raises(ValueError):
+            box_object.discretize(0)
+
+
+class TestSectionThreeTwoGeometry:
+    def test_single_quadrant_region_one_rectangle(self, box_object):
+        q = [5.0, 5.0]
+        rects = box_object.filter_rectangles(q)
+        assert len(rects) == 1
+        # Formed by the farthest region corner from q.
+        farthest = box_object.region.farthest_corner(q)
+        assert rects[0] == dominance_rectangle(farthest, q)
+
+    def test_straddling_region_multiple_rectangles(self):
+        # The u2 of Fig. 3: region spans two sub-quadrants of q.
+        obj = UniformBoxObject("u2", Rect([4.0, 6.0], [6.5, 7.0]))
+        rects = obj.filter_rectangles([5.0, 5.0])
+        assert len(rects) == 2
+
+    def test_filter_rectangles_cover_any_dominating_sample(self, rng):
+        """Every point of the region that can dominate q w.r.t. some region
+        point lies in the union of the filter rectangles (completeness)."""
+        from repro.geometry.dominance import dynamically_dominates
+
+        obj = UniformBoxObject("u", Rect([3.0, 4.0], [7.0, 6.5]))
+        q = np.array([5.0, 5.0])
+        rects = obj.filter_rectangles(q)
+        centers = obj.sample(100, rng)
+        dominators = obj.sample(100, rng)
+        for center in centers:
+            for p in dominators:
+                if dynamically_dominates(p, q, center):
+                    assert any(r.contains_point(p) for r in rects)
+
+    def test_must_contain_rectangle_single_quadrant(self, box_object):
+        q = [5.0, 5.0]
+        rect = box_object.must_contain_rectangle(q)
+        assert rect is not None
+        nearest = box_object.region.nearest_corner(q)
+        assert rect == dominance_rectangle(nearest, q)
+
+    def test_must_contain_rectangle_none_when_straddling(self):
+        obj = UniformBoxObject("u2", Rect([4.0, 6.0], [6.5, 7.0]))
+        assert obj.must_contain_rectangle([5.0, 5.0]) is None
+
+    def test_must_contain_rectangle_soundness(self, rng):
+        """A point inside the must-contain rectangle dominates q w.r.t.
+        every point of the region."""
+        from repro.geometry.dominance import dynamically_dominates
+
+        obj = UniformBoxObject("u", Rect([6.0, 6.0], [8.0, 7.0]))
+        q = np.array([5.0, 5.0])
+        rect = obj.must_contain_rectangle(q)
+        assert rect is not None
+        inner = rect.center + rect.extents * 0.1
+        for center in obj.sample(200, rng):
+            assert dynamically_dominates(inner, q, center)

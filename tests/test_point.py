@@ -1,0 +1,89 @@
+"""Unit tests for repro.geometry.point."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionalityError
+from repro.geometry.point import (
+    as_point,
+    as_point_matrix,
+    euclidean,
+    l_infinity,
+    points_equal,
+)
+
+
+class TestAsPoint:
+    def test_list_coerced_to_float64(self):
+        p = as_point([1, 2, 3])
+        assert p.dtype == np.float64
+        assert p.tolist() == [1.0, 2.0, 3.0]
+
+    def test_tuple_accepted(self):
+        assert as_point((0.5, 1.5)).shape == (2,)
+
+    def test_ndarray_passthrough_values(self):
+        src = np.array([1.0, 2.0])
+        assert np.array_equal(as_point(src), src)
+
+    def test_dims_mismatch_raises(self):
+        with pytest.raises(DimensionalityError):
+            as_point([1.0, 2.0], dims=3)
+
+    def test_dims_match_ok(self):
+        assert as_point([1.0, 2.0], dims=2).shape == (2,)
+
+    def test_matrix_input_rejected(self):
+        with pytest.raises(DimensionalityError):
+            as_point([[1.0, 2.0], [3.0, 4.0]])
+
+
+class TestAsPointMatrix:
+    def test_basic_shape(self):
+        m = as_point_matrix([[1, 2], [3, 4], [5, 6]])
+        assert m.shape == (3, 2)
+
+    def test_single_point_promoted(self):
+        m = as_point_matrix([[1, 2]])
+        assert m.shape == (1, 2)
+
+    def test_dims_enforced(self):
+        with pytest.raises(DimensionalityError):
+            as_point_matrix([[1, 2, 3]], dims=2)
+
+    def test_empty_with_dims(self):
+        m = as_point_matrix([], dims=4)
+        assert m.shape == (0, 4)
+
+
+class TestPointsEqual:
+    def test_exact_equality(self):
+        assert points_equal([1.0, 2.0], (1.0, 2.0))
+
+    def test_inequality(self):
+        assert not points_equal([1.0, 2.0], [1.0, 2.000001])
+
+    def test_tolerance(self):
+        assert points_equal([1.0, 2.0], [1.0, 2.000001], tol=1e-5)
+
+    def test_shape_mismatch_is_unequal(self):
+        assert not points_equal([1.0], [1.0, 2.0])
+
+
+class TestDistances:
+    def test_l_infinity(self):
+        assert l_infinity([0.0, 0.0], [3.0, -4.0]) == 4.0
+
+    def test_l_infinity_zero(self):
+        assert l_infinity([1.0, 1.0], [1.0, 1.0]) == 0.0
+
+    def test_l_infinity_dim_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            l_infinity([1.0], [1.0, 2.0])
+
+    def test_euclidean(self):
+        assert euclidean([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_euclidean_dim_mismatch(self):
+        with pytest.raises(DimensionalityError):
+            euclidean([1.0, 2.0, 3.0], [1.0, 2.0])

@@ -1,0 +1,75 @@
+"""Unit tests for dataset profiling."""
+
+import numpy as np
+import pytest
+
+from repro.bench.profile import DatasetProfile, dominance_density, profile_dataset
+from repro.datasets.synthetic_certain import generate_certain_dataset
+from repro.datasets.synthetic_uncertain import generate_uncertain_dataset
+from repro.uncertain.dataset import CertainDataset
+from tests.conftest import make_uncertain_dataset
+
+
+class TestProfileDataset:
+    def test_basic_fields(self, rng):
+        ds = make_uncertain_dataset(rng, n=20, dims=2, max_samples=3)
+        profile = profile_dataset(ds)
+        assert profile.cardinality == 20
+        assert profile.dims == 2
+        assert 1.0 <= profile.mean_samples <= 3.0
+        assert profile.max_samples <= 3
+        assert profile.skyline_size >= 1
+
+    def test_dominators_estimated_with_q(self, rng):
+        ds = make_uncertain_dataset(rng, n=30, dims=2)
+        q = rng.uniform(0, 10, size=2)
+        profile = profile_dataset(ds, q=q, dominator_samples=10)
+        assert profile.mean_dominators is not None
+        assert profile.mean_dominators >= 0.0
+
+    def test_no_q_no_dominators(self, rng):
+        ds = make_uncertain_dataset(rng, n=10, dims=2)
+        assert profile_dataset(ds).mean_dominators is None
+
+    def test_mbr_margin_grows_with_radius(self):
+        small = generate_uncertain_dataset(100, 2, radius_range=(0, 10), seed=1)
+        large = generate_uncertain_dataset(100, 2, radius_range=(0, 100), seed=1)
+        assert (
+            profile_dataset(large).mean_mbr_margin
+            > profile_dataset(small).mean_mbr_margin
+        )
+
+    def test_skyline_size_reflects_correlation(self):
+        correlated = generate_certain_dataset(
+            800, 2, distribution="correlated", seed=2
+        )
+        anticorrelated = generate_certain_dataset(
+            800, 2, distribution="anticorrelated", seed=2
+        )
+        assert (
+            profile_dataset(correlated).skyline_size
+            < profile_dataset(anticorrelated).skyline_size
+        )
+
+    def test_as_row_is_flat(self, rng):
+        ds = make_uncertain_dataset(rng, n=10, dims=2)
+        row = profile_dataset(ds).as_row()
+        assert set(row) == {"n", "d", "samples/obj", "mbr margin", "skyline", "dominators"}
+
+
+class TestDominanceDensity:
+    def test_correlated_denser_than_anticorrelated(self):
+        correlated = generate_certain_dataset(
+            500, 2, distribution="correlated", seed=3
+        )
+        anticorrelated = generate_certain_dataset(
+            500, 2, distribution="anticorrelated", seed=3
+        )
+        assert dominance_density(correlated) > dominance_density(anticorrelated)
+
+    def test_single_point_zero(self):
+        assert dominance_density(CertainDataset([[1.0, 1.0]])) == 0.0
+
+    def test_in_unit_interval(self, rng):
+        ds = CertainDataset(rng.uniform(0, 10, size=(50, 3)))
+        assert 0.0 <= dominance_density(ds) <= 1.0

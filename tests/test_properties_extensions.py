@@ -1,0 +1,124 @@
+"""Property-based tests for the extension queries' closed-form causality."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.rtopk.causality import (
+    brute_force_causality_rtopk,
+    compute_causality_rtopk,
+)
+from repro.rtopk.query import WeightSet, rank_of_query
+from repro.skyline.skyband import (
+    compute_causality_k_skyband,
+    dominators_of_query,
+    reverse_k_skyband,
+)
+from repro.uncertain.dataset import CertainDataset
+
+coordinate = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+point2d = st.tuples(coordinate, coordinate)
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.filter_too_much],
+)
+
+certain_points = st.lists(point2d, min_size=3, max_size=9, unique=True)
+
+
+class TestSkybandProperties:
+    @SLOW
+    @given(certain_points, point2d, st.integers(min_value=1, max_value=3))
+    def test_band_nesting(self, points, q, k):
+        ds = CertainDataset(np.array(points))
+        q = np.array(q)
+        smaller = set(reverse_k_skyband(ds, q, k))
+        larger = set(reverse_k_skyband(ds, q, k + 1))
+        assert smaller <= larger
+
+    @SLOW
+    @given(certain_points, point2d, st.integers(min_value=1, max_value=3))
+    def test_causality_closed_form_properties(self, points, q, k):
+        ds = CertainDataset(np.array(points))
+        q = np.array(q)
+        an = ds.ids()[0]
+        dominators = dominators_of_query(ds, an, q)
+        assume(len(dominators) >= k)
+        result = compute_causality_k_skyband(ds, an, q, k=k)
+        m = len(dominators)
+        assert set(result.cause_ids()) == set(dominators)
+        for cause in result.causes.values():
+            assert cause.responsibility == pytest.approx(1.0 / (m - k + 1))
+            assert len(cause.contingency_set) == m - k
+            assert cause.oid not in cause.contingency_set
+            assert cause.contingency_set <= set(dominators)
+
+    @SLOW
+    @given(certain_points, point2d)
+    def test_k1_responsibilities_match_cr(self, points, q):
+        from repro.core.cr import compute_causality_certain
+        from repro.exceptions import NotANonAnswerError
+
+        ds = CertainDataset(np.array(points))
+        q = np.array(q)
+        an = ds.ids()[0]
+        try:
+            cr = compute_causality_certain(ds, an, q)
+        except NotANonAnswerError:
+            assume(False)
+        band = compute_causality_k_skyband(ds, an, q, k=1)
+        assert cr.same_causality(band)
+
+
+class TestRTopKProperties:
+    @SLOW
+    @given(
+        st.lists(point2d, min_size=3, max_size=8, unique=True),
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.05, max_value=1.0),
+                st.floats(min_value=0.05, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        point2d,
+        st.integers(min_value=1, max_value=3),
+    )
+    def test_matches_brute_force(self, points, weights, q, k):
+        products = CertainDataset(np.array(points))
+        users = WeightSet(np.array(weights))
+        q = np.array(q)
+        for user in users.ids:
+            rank = rank_of_query(products, users.vector(user), q)
+            if rank <= k:
+                continue
+            fast = compute_causality_rtopk(products, users, user, q, k)
+            brute = brute_force_causality_rtopk(products, users, user, q, k)
+            assert fast.same_causality(brute)
+
+    @SLOW
+    @given(
+        st.lists(point2d, min_size=4, max_size=9, unique=True),
+        st.tuples(
+            st.floats(min_value=0.05, max_value=1.0),
+            st.floats(min_value=0.05, max_value=1.0),
+        ),
+        point2d,
+    )
+    def test_rank_monotone_in_k(self, points, weight, q):
+        products = CertainDataset(np.array(points))
+        users = WeightSet([weight])
+        q = np.array(q)
+        rank = rank_of_query(products, users.vector(users.ids[0]), q)
+        # q is an answer exactly for k >= rank.
+        from repro.rtopk.query import reverse_top_k
+
+        for k in range(1, len(points) + 2):
+            members = reverse_top_k(products, users, q, k)
+            assert (users.ids[0] in members) == (k >= rank)

@@ -1,0 +1,96 @@
+"""Unit tests for repro.geometry.quadrant (pdf-model geometry)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.quadrant import (
+    clip_to_quadrant,
+    overlapped_quadrants,
+    quadrant_of,
+    quadrant_rect,
+    split_by_quadrants,
+)
+from repro.geometry.rectangle import Rect
+
+
+class TestQuadrantOf:
+    def test_2d_masks(self):
+        q = [5.0, 5.0]
+        assert quadrant_of([6.0, 6.0], q) == 0b11
+        assert quadrant_of([4.0, 6.0], q) == 0b10
+        assert quadrant_of([6.0, 4.0], q) == 0b01
+        assert quadrant_of([4.0, 4.0], q) == 0b00
+
+    def test_boundary_goes_to_upper(self):
+        assert quadrant_of([5.0, 4.0], [5.0, 5.0]) == 0b01
+
+    def test_3d(self):
+        assert quadrant_of([1.0, -1.0, 1.0], [0.0, 0.0, 0.0]) == 0b101
+
+
+class TestQuadrantRect:
+    def test_upper_right(self):
+        bounds = Rect([0.0, 0.0], [10.0, 10.0])
+        r = quadrant_rect(0b11, [5.0, 5.0], bounds)
+        assert r.lo.tolist() == [5.0, 5.0]
+        assert r.hi.tolist() == [10.0, 10.0]
+
+    def test_disjoint_orthant_rejected(self):
+        bounds = Rect([6.0, 6.0], [10.0, 10.0])
+        with pytest.raises(ValueError):
+            quadrant_rect(0b00, [5.0, 5.0], bounds)
+
+
+class TestOverlappedQuadrants:
+    def test_region_in_single_quadrant(self):
+        region = Rect([6.0, 6.0], [7.0, 7.0])
+        assert list(overlapped_quadrants(region, [5.0, 5.0])) == [0b11]
+
+    def test_region_straddling_one_axis(self):
+        region = Rect([4.0, 6.0], [6.0, 7.0])
+        assert sorted(overlapped_quadrants(region, [5.0, 5.0])) == [0b10, 0b11]
+
+    def test_region_covering_all_four(self):
+        region = Rect([4.0, 4.0], [6.0, 6.0])
+        assert sorted(overlapped_quadrants(region, [5.0, 5.0])) == [0, 1, 2, 3]
+
+    def test_touching_boundary_not_reported(self):
+        region = Rect([5.0, 6.0], [6.0, 7.0])  # lo touches the x-split
+        assert list(overlapped_quadrants(region, [5.0, 5.0])) == [0b11]
+
+
+class TestClipAndSplit:
+    def test_clip_reduces_to_quadrant(self):
+        region = Rect([4.0, 4.0], [6.0, 6.0])
+        piece = clip_to_quadrant(region, [5.0, 5.0], 0b00)
+        assert piece is not None
+        assert piece.lo.tolist() == [4.0, 4.0]
+        assert piece.hi.tolist() == [5.0, 5.0]
+
+    def test_clip_empty_is_none(self):
+        region = Rect([6.0, 6.0], [7.0, 7.0])
+        assert clip_to_quadrant(region, [5.0, 5.0], 0b00) is None
+
+    def test_split_tiles_region(self):
+        region = Rect([4.0, 4.0], [6.0, 6.0])
+        q = [5.0, 5.0]
+        pieces = split_by_quadrants(region, q)
+        assert len(pieces) == 4
+        total = sum(piece.area() for _mask, piece in pieces)
+        assert total == pytest.approx(region.area())
+
+    def test_split_single_quadrant_returns_region(self):
+        region = Rect([6.0, 6.0], [8.0, 7.0])
+        pieces = split_by_quadrants(region, [5.0, 5.0])
+        assert len(pieces) == 1
+        assert pieces[0][1] == region
+
+    def test_split_masks_consistent_with_piece_centers(self, rng):
+        q = rng.uniform(0, 10, size=2)
+        region = Rect.bounding(rng.uniform(0, 10, size=(4, 2)))
+        for mask, piece in split_by_quadrants(region, q):
+            center_mask = quadrant_of(piece.center, q)
+            # A piece with positive extent lies strictly inside its orthant;
+            # degenerate pieces may sit on the boundary (assigned upward).
+            if np.all(piece.extents > 0):
+                assert center_mask == mask

@@ -1,0 +1,160 @@
+"""Unit tests for repro.geometry.rectangle."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rectangle import Rect
+
+
+@pytest.fixture
+def unit_square():
+    return Rect([0.0, 0.0], [1.0, 1.0])
+
+
+class TestConstruction:
+    def test_inverted_corners_rejected(self):
+        with pytest.raises(ValueError):
+            Rect([1.0, 0.0], [0.0, 1.0])
+
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point([2.0, 3.0])
+        assert r.area() == 0.0
+        assert r.contains_point([2.0, 3.0])
+
+    def test_from_center(self):
+        r = Rect.from_center([5.0, 5.0], [1.0, 2.0])
+        assert r.lo.tolist() == [4.0, 3.0]
+        assert r.hi.tolist() == [6.0, 7.0]
+
+    def test_from_center_negative_half_extent_taken_absolute(self):
+        r = Rect.from_center([0.0], [-2.0])
+        assert r.lo.tolist() == [-2.0]
+        assert r.hi.tolist() == [2.0]
+
+    def test_bounding(self):
+        r = Rect.bounding([[0.0, 5.0], [2.0, 1.0], [1.0, 3.0]])
+        assert r.lo.tolist() == [0.0, 1.0]
+        assert r.hi.tolist() == [2.0, 5.0]
+
+    def test_bounding_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+    def test_union_all(self):
+        r = Rect.union_all([Rect([0, 0], [1, 1]), Rect([2, -1], [3, 0.5])])
+        assert r.lo.tolist() == [0.0, -1.0]
+        assert r.hi.tolist() == [3.0, 1.0]
+
+    def test_union_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.union_all([])
+
+    def test_immutability(self, unit_square):
+        with pytest.raises(ValueError):
+            unit_square.lo[0] = 5.0
+
+
+class TestMeasures:
+    def test_area(self):
+        assert Rect([0, 0], [2, 3]).area() == 6.0
+
+    def test_margin(self):
+        assert Rect([0, 0], [2, 3]).margin() == 5.0
+
+    def test_center(self):
+        assert Rect([0, 0], [2, 4]).center.tolist() == [1.0, 2.0]
+
+    def test_extents(self):
+        assert Rect([1, 1], [2, 4]).extents.tolist() == [1.0, 3.0]
+
+
+class TestPredicates:
+    def test_contains_point_interior(self, unit_square):
+        assert unit_square.contains_point([0.5, 0.5])
+
+    def test_contains_point_boundary(self, unit_square):
+        assert unit_square.contains_point([0.0, 1.0])
+
+    def test_contains_point_outside(self, unit_square):
+        assert not unit_square.contains_point([1.5, 0.5])
+
+    def test_contains_points_vectorized(self, unit_square):
+        pts = np.array([[0.5, 0.5], [2.0, 0.5], [1.0, 1.0]])
+        assert unit_square.contains_points(pts).tolist() == [True, False, True]
+
+    def test_contains_rect(self, unit_square):
+        assert unit_square.contains_rect(Rect([0.2, 0.2], [0.8, 0.8]))
+        assert not unit_square.contains_rect(Rect([0.5, 0.5], [1.5, 0.9]))
+
+    def test_intersects_overlapping(self, unit_square):
+        assert unit_square.intersects(Rect([0.5, 0.5], [2.0, 2.0]))
+
+    def test_intersects_touching_edge(self, unit_square):
+        assert unit_square.intersects(Rect([1.0, 0.0], [2.0, 1.0]))
+
+    def test_intersects_disjoint(self, unit_square):
+        assert not unit_square.intersects(Rect([1.1, 1.1], [2.0, 2.0]))
+
+
+class TestCombinators:
+    def test_union(self, unit_square):
+        u = unit_square.union(Rect([2, 2], [3, 3]))
+        assert u.lo.tolist() == [0.0, 0.0]
+        assert u.hi.tolist() == [3.0, 3.0]
+
+    def test_intersection(self, unit_square):
+        inter = unit_square.intersection(Rect([0.5, -1.0], [2.0, 0.5]))
+        assert inter is not None
+        assert inter.lo.tolist() == [0.5, 0.0]
+        assert inter.hi.tolist() == [1.0, 0.5]
+
+    def test_intersection_disjoint_is_none(self, unit_square):
+        assert unit_square.intersection(Rect([2, 2], [3, 3])) is None
+
+    def test_overlap_area(self, unit_square):
+        assert unit_square.overlap_area(Rect([0.5, 0.5], [2, 2])) == 0.25
+        assert unit_square.overlap_area(Rect([5, 5], [6, 6])) == 0.0
+
+    def test_enlargement(self, unit_square):
+        assert unit_square.enlargement(unit_square) == 0.0
+        assert unit_square.enlargement(Rect([0, 0], [2, 1])) == pytest.approx(1.0)
+
+    def test_expanded_to_point(self, unit_square):
+        r = unit_square.expanded_to_point([2.0, -1.0])
+        assert r.lo.tolist() == [0.0, -1.0]
+        assert r.hi.tolist() == [2.0, 1.0]
+
+
+class TestDistancesAndCorners:
+    def test_min_distance_sq_inside_is_zero(self, unit_square):
+        assert unit_square.min_distance_sq([0.5, 0.5]) == 0.0
+
+    def test_min_distance_sq_outside(self, unit_square):
+        assert unit_square.min_distance_sq([2.0, 0.5]) == pytest.approx(1.0)
+
+    def test_farthest_corner(self, unit_square):
+        assert unit_square.farthest_corner([0.0, 0.0]).tolist() == [1.0, 1.0]
+
+    def test_nearest_corner(self, unit_square):
+        assert unit_square.nearest_corner([0.1, 0.9]).tolist() == [0.0, 1.0]
+
+    def test_corners_count(self):
+        r = Rect([0, 0, 0], [1, 1, 1])
+        corners = r.corners()
+        assert corners.shape == (8, 3)
+        assert {tuple(c) for c in corners.tolist()} == {
+            (x, y, z) for x in (0.0, 1.0) for y in (0.0, 1.0) for z in (0.0, 1.0)
+        }
+
+
+class TestDunder:
+    def test_equality_and_hash(self, unit_square):
+        twin = Rect([0.0, 0.0], [1.0, 1.0])
+        assert unit_square == twin
+        assert hash(unit_square) == hash(twin)
+
+    def test_inequality(self, unit_square):
+        assert unit_square != Rect([0.0, 0.0], [1.0, 2.0])
+
+    def test_repr_mentions_corners(self, unit_square):
+        assert "lo=" in repr(unit_square) and "hi=" in repr(unit_square)

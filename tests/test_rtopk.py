@@ -1,0 +1,143 @@
+"""Unit tests for reverse top-k queries and their non-answer causality."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotANonAnswerError
+from repro.rtopk.causality import (
+    brute_force_causality_rtopk,
+    compute_causality_rtopk,
+)
+from repro.rtopk.query import (
+    WeightSet,
+    better_products,
+    rank_of_query,
+    rank_profile,
+    reverse_top_k,
+    score,
+    top_k_products,
+)
+from repro.uncertain.dataset import CertainDataset
+
+
+@pytest.fixture
+def products():
+    # Prices/weights chosen so ranks are easy to read off.
+    return CertainDataset(
+        [[1.0, 9.0], [2.0, 2.0], [9.0, 1.0], [5.0, 5.0], [8.0, 8.0]],
+        ids=["a", "b", "c", "d", "e"],
+    )
+
+
+@pytest.fixture
+def users():
+    return WeightSet(
+        [[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]], ids=["x-only", "y-only", "balanced"]
+    )
+
+
+class TestWeightSet:
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            WeightSet([[1.0, -0.5]])
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            WeightSet([[0.0, 0.0]])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            WeightSet([[1.0, 0.0], [0.0, 1.0]], ids=["u", "u"])
+
+    def test_id_count_mismatch(self):
+        with pytest.raises(ValueError):
+            WeightSet([[1.0, 0.0]], ids=["u", "v"])
+
+    def test_vector_lookup(self, users):
+        assert users.vector("balanced").tolist() == [0.5, 0.5]
+
+
+class TestQuery:
+    def test_score(self):
+        assert score(np.array([0.5, 0.5]), np.array([4.0, 6.0])) == 5.0
+
+    def test_better_products(self, products, users):
+        # x-only user: scores are the x coordinates.
+        q = [3.0, 3.0]
+        assert better_products(products, users.vector("x-only"), q) == ["a", "b"]
+
+    def test_tie_resolved_for_q(self, products, users):
+        q = [2.0, 7.0]  # ties product b on x
+        assert "b" not in better_products(products, users.vector("x-only"), q)
+
+    def test_rank(self, products, users):
+        assert rank_of_query(products, users.vector("x-only"), [3.0, 3.0]) == 3
+
+    def test_reverse_top_k(self, products, users):
+        q = [3.0, 3.0]
+        # ranks: x-only -> 3, y-only -> 3, balanced: score 3 beats b(2)?
+        # balanced scores: a=5, b=2, c=5, d=5, e=8; q=3 -> rank 2.
+        assert reverse_top_k(products, users, q, k=2) == ["balanced"]
+        assert sorted(reverse_top_k(products, users, q, k=3)) == [
+            "balanced",
+            "x-only",
+            "y-only",
+        ]
+
+    def test_top_k_products(self, products, users):
+        assert top_k_products(products, users.vector("balanced"), 2) == ["b", "a"]
+
+    def test_rank_profile(self, products, users):
+        profile = rank_profile(products, users, [3.0, 3.0])
+        assert profile == {"x-only": 3, "y-only": 3, "balanced": 2}
+
+    def test_invalid_k(self, products, users):
+        with pytest.raises(ValueError):
+            reverse_top_k(products, users, [3.0, 3.0], k=0)
+        with pytest.raises(ValueError):
+            top_k_products(products, users.vector("balanced"), 0)
+
+
+class TestCausality:
+    def test_closed_form(self, products, users):
+        # x-only user, k=1: blockers a(1) and b(2); rank 3 -> need = 1.
+        res = compute_causality_rtopk(products, users, "x-only", [3.0, 3.0], k=1)
+        assert res.cause_ids() == ["a", "b"]
+        for oid in res.cause_ids():
+            assert res.responsibility(oid) == pytest.approx(0.5)
+
+    def test_counterfactual_when_rank_k_plus_one(self, products, users):
+        res = compute_causality_rtopk(products, users, "x-only", [3.0, 3.0], k=2)
+        for cause in res.causes.values():
+            assert cause.responsibility == 1.0
+            assert not cause.contingency_set
+
+    def test_answer_rejected(self, products, users):
+        with pytest.raises(NotANonAnswerError):
+            compute_causality_rtopk(products, users, "balanced", [3.0, 3.0], k=2)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_matches_brute_force(self, seed, k):
+        rng = np.random.default_rng(seed)
+        products = CertainDataset(rng.uniform(0, 10, size=(8, 2)))
+        users = WeightSet(rng.uniform(0.1, 1.0, size=(4, 2)))
+        q = rng.uniform(0, 10, size=2)
+        for user_id in users.ids:
+            if rank_of_query(products, users.vector(user_id), q) <= k:
+                continue
+            fast = compute_causality_rtopk(products, users, user_id, q, k)
+            brute = brute_force_causality_rtopk(products, users, user_id, q, k)
+            assert fast.same_causality(brute)
+
+    def test_witness_sets_have_exact_size(self, products, users):
+        res = compute_causality_rtopk(products, users, "x-only", [3.0, 3.0], k=1)
+        for cause in res.causes.values():
+            assert len(cause.contingency_set) == 1
+            assert cause.oid not in cause.contingency_set
+
+    def test_brute_force_cap(self, users):
+        rng = np.random.default_rng(0)
+        big = CertainDataset(rng.uniform(0, 10, size=(20, 2)))
+        with pytest.raises(ValueError):
+            brute_force_causality_rtopk(big, users, "x-only", [3.0, 3.0], 1)

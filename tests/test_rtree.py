@@ -1,0 +1,154 @@
+"""Unit tests for the R-tree index."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import IndexError_
+from repro.geometry.rectangle import Rect
+from repro.index.rtree import RTree, fanout_for_page
+
+
+def linear_range(items, window):
+    return sorted(
+        payload for rect, payload in items if window.intersects(rect)
+    )
+
+
+def build_items(rng, n, dims=2):
+    pts = rng.uniform(0, 100, size=(n, dims))
+    sizes = rng.uniform(0, 3, size=(n, dims))
+    return [
+        (Rect(pts[i], pts[i] + sizes[i]), i)
+        for i in range(n)
+    ]
+
+
+class TestFanout:
+    def test_page_size_determines_capacity(self):
+        assert fanout_for_page(4096, 2) == 4096 // (2 * 2 * 8 + 8)
+
+    def test_minimum_capacity(self):
+        assert fanout_for_page(64, 10) == 4
+
+
+class TestInsertion:
+    def test_empty_tree(self):
+        tree = RTree(dims=2)
+        assert len(tree) == 0
+        assert tree.range_search(Rect([0, 0], [1, 1])) == []
+
+    def test_single_insert(self):
+        tree = RTree(dims=2)
+        tree.insert([1.0, 1.0], "x")
+        assert tree.range_search(Rect([0, 0], [2, 2])) == ["x"]
+
+    def test_point_payloads_boxed(self):
+        tree = RTree(dims=2)
+        tree.insert([3.0, 3.0], 7)
+        assert tree.range_search(Rect([3, 3], [3, 3])) == [7]
+
+    def test_wrong_dims_rejected(self):
+        tree = RTree(dims=2)
+        with pytest.raises(Exception):
+            tree.insert([1.0, 2.0, 3.0], "bad")
+
+    def test_grows_and_stays_valid(self, rng):
+        tree = RTree(dims=2, max_entries=4)
+        items = build_items(rng, 200)
+        for rect, payload in items:
+            tree.insert(rect, payload)
+        tree.validate()
+        assert len(tree) == 200
+        assert tree.height() > 1
+
+    def test_validate_catches_corruption(self, rng):
+        tree = RTree(dims=2, max_entries=4)
+        for rect, payload in build_items(rng, 50):
+            tree.insert(rect, payload)
+        tree.size += 1  # corrupt the bookkeeping
+        with pytest.raises(IndexError_):
+            tree.validate()
+
+
+class TestRangeSearch:
+    @pytest.mark.parametrize("n", [1, 10, 100, 500])
+    def test_matches_linear_scan(self, rng, n):
+        tree = RTree(dims=2, max_entries=6)
+        items = build_items(rng, n)
+        for rect, payload in items:
+            tree.insert(rect, payload)
+        for _ in range(20):
+            lo = rng.uniform(0, 90, size=2)
+            window = Rect(lo, lo + rng.uniform(1, 30, size=2))
+            assert sorted(tree.range_search(window)) == linear_range(items, window)
+
+    def test_range_entries_returns_rects(self, rng):
+        tree = RTree(dims=2, max_entries=4)
+        items = build_items(rng, 40)
+        for rect, payload in items:
+            tree.insert(rect, payload)
+        window = Rect([0, 0], [100, 100])
+        entries = tree.range_entries(window)
+        assert len(entries) == 40
+        assert all(isinstance(rect, Rect) for rect, _p in entries)
+
+    def test_range_search_any_union_semantics(self, rng):
+        tree = RTree(dims=2, max_entries=4)
+        items = build_items(rng, 120)
+        for rect, payload in items:
+            tree.insert(rect, payload)
+        windows = [Rect([0, 0], [20, 20]), Rect([50, 50], [70, 70])]
+        expected = set(linear_range(items, windows[0])) | set(
+            linear_range(items, windows[1])
+        )
+        got = tree.range_search_any(windows)
+        assert sorted(set(got)) == sorted(expected)
+        assert len(got) == len(set(got))  # each entry reported once
+
+    def test_traverse_if_predicate(self, rng):
+        tree = RTree(dims=2, max_entries=4)
+        items = build_items(rng, 60)
+        for rect, payload in items:
+            tree.insert(rect, payload)
+        window = Rect([10, 10], [40, 40])
+        via_traverse = sorted(
+            p for _r, p in tree.traverse_if(window.intersects)
+        )
+        assert via_traverse == linear_range(items, window)
+
+    def test_all_payloads(self, rng):
+        tree = RTree(dims=3, max_entries=5)
+        for rect, payload in build_items(rng, 30, dims=3):
+            tree.insert(rect, payload)
+        assert sorted(tree.all_payloads()) == list(range(30))
+
+
+class TestAccessAccounting:
+    def test_counts_increase_with_queries(self, rng):
+        tree = RTree(dims=2, max_entries=4)
+        for rect, payload in build_items(rng, 100):
+            tree.insert(rect, payload)
+        tree.stats.reset()
+        tree.range_search(Rect([0, 0], [100, 100]))
+        full_scan = tree.stats.node_accesses
+        assert full_scan == tree.node_count()
+        tree.stats.reset()
+        tree.range_search(Rect([0, 0], [1, 1]))
+        assert 0 < tree.stats.node_accesses <= full_scan
+
+    def test_measure_context(self, rng):
+        tree = RTree(dims=2, max_entries=4)
+        for rect, payload in build_items(rng, 50):
+            tree.insert(rect, payload)
+        with tree.stats.measure() as snap:
+            tree.range_search(Rect([0, 0], [100, 100]))
+        assert snap.node_accesses > 0
+        assert snap.queries == 1
+
+    def test_leaf_accesses_subset_of_nodes(self, rng):
+        tree = RTree(dims=2, max_entries=4)
+        for rect, payload in build_items(rng, 80):
+            tree.insert(rect, payload)
+        tree.stats.reset()
+        tree.range_search(Rect([0, 0], [100, 100]))
+        assert tree.stats.leaf_accesses <= tree.stats.node_accesses

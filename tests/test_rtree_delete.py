@@ -1,0 +1,98 @@
+"""Unit tests for R-tree deletion (CondenseTree path)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rectangle import Rect
+from repro.index.rtree import RTree
+
+
+def build_tree(rng, n, max_entries=4):
+    pts = rng.uniform(0, 100, size=(n, 2))
+    tree = RTree(dims=2, max_entries=max_entries)
+    items = []
+    for i in range(n):
+        rect = Rect.from_point(pts[i])
+        tree.insert(rect, i)
+        items.append((rect, i))
+    return tree, items
+
+
+class TestDelete:
+    def test_delete_existing_entry(self, rng):
+        tree, items = build_tree(rng, 30)
+        rect, payload = items[7]
+        assert tree.delete(rect, payload)
+        assert len(tree) == 29
+        assert payload not in tree.all_payloads()
+
+    def test_delete_missing_entry_returns_false(self, rng):
+        tree, _items = build_tree(rng, 10)
+        assert not tree.delete([200.0, 200.0], "nope")
+        assert len(tree) == 10
+
+    def test_delete_accepts_raw_point(self, rng):
+        tree = RTree(dims=2)
+        tree.insert([1.0, 2.0], "x")
+        assert tree.delete([1.0, 2.0], "x")
+        assert len(tree) == 0
+
+    def test_delete_all_entries(self, rng):
+        tree, items = build_tree(rng, 40)
+        for rect, payload in items:
+            assert tree.delete(rect, payload)
+        assert len(tree) == 0
+        assert tree.all_payloads() == []
+        assert tree.range_search(Rect([0, 0], [100, 100])) == []
+
+    def test_structure_valid_after_random_deletions(self, rng):
+        tree, items = build_tree(rng, 120)
+        order = rng.permutation(len(items))
+        for idx in order[:80]:
+            rect, payload = items[int(idx)]
+            assert tree.delete(rect, payload)
+            tree.validate(allow_underfull=True)
+        remaining = {items[int(i)][1] for i in order[80:]}
+        assert set(tree.all_payloads()) == remaining
+
+    def test_queries_correct_after_deletions(self, rng):
+        tree, items = build_tree(rng, 100)
+        removed = set()
+        for rect, payload in items[:50]:
+            tree.delete(rect, payload)
+            removed.add(payload)
+        for _ in range(10):
+            lo = rng.uniform(0, 90, size=2)
+            window = Rect(lo, lo + rng.uniform(5, 30, size=2))
+            expected = sorted(
+                payload
+                for rect, payload in items
+                if payload not in removed and window.intersects(rect)
+            )
+            assert sorted(tree.range_search(window)) == expected
+
+    def test_root_collapse(self, rng):
+        tree, items = build_tree(rng, 60)
+        assert tree.height() > 1
+        for rect, payload in items[:-2]:
+            tree.delete(rect, payload)
+        assert tree.height() == 1
+        assert len(tree) == 2
+
+    def test_interleaved_insert_delete(self, rng):
+        tree = RTree(dims=2, max_entries=4)
+        alive = {}
+        next_id = 0
+        for _round in range(200):
+            if alive and rng.random() < 0.4:
+                victim = int(rng.choice(list(alive)))
+                rect = alive.pop(victim)
+                assert tree.delete(rect, victim)
+            else:
+                rect = Rect.from_point(rng.uniform(0, 100, size=2))
+                tree.insert(rect, next_id)
+                alive[next_id] = rect
+                next_id += 1
+        assert len(tree) == len(alive)
+        assert sorted(tree.all_payloads()) == sorted(alive)
+        tree.validate(allow_underfull=True)

@@ -1,0 +1,121 @@
+"""Unit tests for classic, dynamic, and reverse skyline operators."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.dominance import dominates, dynamically_dominates
+from repro.skyline.classic import is_skyline_point, skyline_indices, skyline_points
+from repro.skyline.dynamic import dynamic_skyline_indices, q_in_dynamic_skyline
+from repro.skyline.reverse import (
+    is_reverse_skyline,
+    is_reverse_skyline_bruteforce,
+    reverse_skyline,
+    reverse_skyline_bruteforce,
+)
+from repro.uncertain.dataset import CertainDataset
+
+
+class TestClassicSkyline:
+    def test_known_example(self):
+        pts = np.array([[1, 4], [2, 2], [4, 1], [3, 3], [5, 5]])
+        assert skyline_indices(pts) == [0, 1, 2]
+
+    def test_empty(self):
+        assert skyline_indices(np.empty((0, 2))) == []
+
+    def test_single_point(self):
+        assert skyline_indices(np.array([[3.0, 3.0]])) == [0]
+
+    def test_duplicates_all_kept(self):
+        pts = np.array([[1.0, 1.0], [1.0, 1.0], [2.0, 2.0]])
+        assert skyline_indices(pts) == [0, 1]
+
+    def test_no_skyline_point_dominated(self, rng):
+        pts = rng.uniform(0, 10, size=(60, 3))
+        sky = set(skyline_indices(pts))
+        for i in sky:
+            assert not any(
+                dominates(pts[j], pts[i]) for j in range(60) if j != i
+            )
+
+    def test_every_non_skyline_dominated(self, rng):
+        pts = rng.uniform(0, 10, size=(60, 3))
+        sky = set(skyline_indices(pts))
+        for i in set(range(60)) - sky:
+            assert any(dominates(pts[j], pts[i]) for j in range(60))
+
+    def test_skyline_points_rows(self):
+        pts = np.array([[1, 4], [2, 2], [4, 1], [3, 3]])
+        rows = skyline_points(pts)
+        assert rows.shape == (3, 2)
+
+    def test_is_skyline_point(self):
+        pts = np.array([[1.0, 4.0], [2.0, 2.0], [3.0, 3.0]])
+        assert is_skyline_point(pts, 0)
+        assert is_skyline_point(pts, 1)
+        assert not is_skyline_point(pts, 2)
+
+    def test_is_skyline_point_singleton(self):
+        assert is_skyline_point(np.array([[1.0, 1.0]]), 0)
+
+
+class TestDynamicSkyline:
+    def test_transform_reduction(self, rng):
+        pts = rng.uniform(0, 10, size=(40, 2))
+        center = rng.uniform(0, 10, size=2)
+        indices = set(dynamic_skyline_indices(pts, center))
+        # Check definition directly: member iff not dynamically dominated.
+        for i in range(40):
+            dominated = any(
+                dynamically_dominates(pts[j], pts[i], center)
+                for j in range(40)
+                if j != i
+            )
+            assert (i in indices) == (not dominated)
+
+    def test_q_in_dynamic_skyline_empty(self):
+        assert q_in_dynamic_skyline(np.empty((0, 2)), [0.0, 0.0], [1.0, 1.0])
+
+    def test_q_in_dynamic_skyline_blocked(self):
+        pts = np.array([[1.0, 1.0]])
+        assert not q_in_dynamic_skyline(pts, [0.0, 0.0], [2.0, 2.0])
+
+    def test_q_in_dynamic_skyline_incomparable(self):
+        pts = np.array([[3.0, 0.5]])
+        assert q_in_dynamic_skyline(pts, [0.0, 0.0], [2.0, 2.0])
+
+
+class TestReverseSkyline:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_indexed_matches_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        ds = CertainDataset(rng.uniform(0, 10, size=(40, 2)))
+        q = rng.uniform(0, 10, size=2)
+        assert reverse_skyline(ds, q) == reverse_skyline_bruteforce(ds, q)
+
+    def test_membership_consistency(self, small_certain, rng):
+        q = rng.uniform(0, 10, size=2)
+        for oid in small_certain.ids():
+            assert is_reverse_skyline(small_certain, oid, q) == (
+                is_reverse_skyline_bruteforce(small_certain, oid, q)
+            )
+
+    def test_single_object_always_member(self):
+        ds = CertainDataset([[1.0, 1.0]])
+        assert reverse_skyline(ds, [5.0, 5.0]) == [0]
+
+    def test_definition_by_example(self):
+        # b between a and q blocks a; c is off-axis and stays a member.
+        ds = CertainDataset(
+            [[0.0, 0.0], [1.0, 1.0], [9.0, 0.0]], ids=["a", "b", "c"]
+        )
+        q = [2.0, 2.0]
+        members = reverse_skyline(ds, q)
+        assert "a" not in members
+        assert "b" in members
+        assert "c" in members
+
+    def test_higher_dims(self, rng):
+        ds = CertainDataset(rng.uniform(0, 10, size=(30, 4)))
+        q = rng.uniform(0, 10, size=4)
+        assert reverse_skyline(ds, q) == reverse_skyline_bruteforce(ds, q)
