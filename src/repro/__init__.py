@@ -14,6 +14,8 @@ Public API highlights
 * :mod:`repro.skyline` — classic / dynamic / reverse skyline operators.
 * :mod:`repro.index` — R-tree with node-access accounting.
 * :mod:`repro.datasets` — all of the paper's workload generators.
+* :mod:`repro.engine` — batched, cached, parallel query execution
+  (:class:`~repro.engine.Session` + declarative query specs).
 """
 
 from repro.core import (
@@ -28,6 +30,12 @@ from repro.core import (
     compute_causality_pdf,
     naive_i,
     naive_ii,
+)
+from repro.engine import (
+    ParallelExecutor,
+    QueryOutcome,
+    SerialExecutor,
+    Session,
 )
 from repro.exceptions import (
     DimensionalityError,
@@ -75,8 +83,12 @@ __all__ = [
     "InvalidProbabilityError",
     "MembershipOracle",
     "NotANonAnswerError",
+    "ParallelExecutor",
+    "QueryOutcome",
     "RTree",
     "Rect",
+    "SerialExecutor",
+    "Session",
     "ReproError",
     "RunStats",
     "TruncatedGaussianObject",

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Hashable, List, Sequence
 
+import numpy as np
+
 from repro.geometry.dominance import (
     dominance_rectangle,
     dominance_vector,
@@ -63,13 +65,49 @@ def find_candidate_causes(
     qq = as_point(q, dims=dataset.dims)
     if windows is None:
         windows = filter_rectangles(an, qq)
+    windows = list(windows)
 
     if use_index:
-        hits = set(dataset.rtree.range_search_any(list(windows)))
+        hits = set(dataset.rtree.range_search_any(windows))
         hits.discard(an_oid)
-        pool = [dataset.get(oid) for oid in hits]
+        # Sample-level Lemma-2 pre-confirm of the MBR-level R-tree hits:
+        # it cannot change the confirmed set (the rectangles are a complete
+        # filter), only skip exact confirmations, so CP's output and node
+        # accesses are untouched.
+        pool = _sample_level_prefilter(
+            [dataset.get(oid) for oid in hits], windows
+        )
     else:
+        # The documented ablation baseline: a plain linear scan with exact
+        # per-object confirmation and O(|P|^2) filtering cost — keep it
+        # free of any pruning so use_index on/off comparisons stay honest.
         pool = dataset.others(an_oid)
 
     confirmed = [obj.oid for obj in pool if can_influence(obj, an, qq)]
     return sorted(confirmed, key=repr)
+
+
+def _sample_level_prefilter(
+    pool: List[UncertainObject], windows: List[Rect]
+) -> List[UncertainObject]:
+    """Drop pool objects with no sample inside any Lemma-2 rectangle.
+
+    One batched kernel call over the concatenated sample matrices — the
+    window bounds are stacked once, not per object.
+    """
+    if not pool or not windows:
+        return pool
+    # Imported lazily: repro.core must stay importable without pulling the
+    # engine package in at module-import time (engine itself imports core).
+    from repro.engine.kernels import points_in_any_window
+
+    samples = np.concatenate([obj.samples for obj in pool])
+    inside = points_in_any_window(samples, windows)
+    kept: List[UncertainObject] = []
+    start = 0
+    for obj in pool:
+        stop = start + obj.num_samples
+        if inside[start:stop].any():
+            kept.append(obj)
+        start = stop
+    return kept

@@ -1,0 +1,68 @@
+"""repro.engine — batched, cached, parallel query execution.
+
+The engine layers a production-style execution model over the paper's
+algorithms:
+
+* :class:`~repro.engine.session.Session` — owns a dataset and its
+  bulk-loaded R-tree, reusing both across queries;
+* :mod:`~repro.engine.spec` — declarative :class:`QuerySpec` values for
+  the full query zoo (CP/CR/pdf causality, PRSQ, reverse skyline,
+  reverse k-skyband, reverse top-k);
+* :mod:`~repro.engine.plan` — compiles specs into executable plans,
+  choosing between vectorized kernels and scalar paths;
+* :mod:`~repro.engine.executor` — serial and multiprocess batch
+  execution with deterministic result ordering;
+* :mod:`~repro.engine.cache` — LRU result/probability cache keyed by
+  dataset fingerprint, query identity and threshold;
+* :mod:`~repro.engine.kernels` — NumPy-vectorized dominance and
+  candidate-pruning kernels, bit-compatible with the scalar fallbacks.
+"""
+
+from repro.engine.cache import CacheStats, LRUCache, NullCache
+from repro.engine.executor import Executor, ParallelExecutor, SerialExecutor
+from repro.engine.plan import QueryPlan, compile_plan
+from repro.engine.session import (
+    QueryOutcome,
+    Session,
+    dataset_fingerprint,
+)
+from repro.engine.spec import (
+    CausalityCertainSpec,
+    CausalitySpec,
+    KSkybandCausalitySpec,
+    PdfCausalitySpec,
+    PRSQSpec,
+    QuerySpec,
+    ReverseKSkybandSpec,
+    ReverseSkylineSpec,
+    ReverseTopKSpec,
+    SPEC_KINDS,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+__all__ = [
+    "CacheStats",
+    "CausalityCertainSpec",
+    "CausalitySpec",
+    "Executor",
+    "KSkybandCausalitySpec",
+    "LRUCache",
+    "NullCache",
+    "ParallelExecutor",
+    "PdfCausalitySpec",
+    "PRSQSpec",
+    "QueryOutcome",
+    "QueryPlan",
+    "QuerySpec",
+    "ReverseKSkybandSpec",
+    "ReverseSkylineSpec",
+    "ReverseTopKSpec",
+    "SPEC_KINDS",
+    "SerialExecutor",
+    "Session",
+    "compile_plan",
+    "dataset_fingerprint",
+    "spec_from_dict",
+    "spec_to_dict",
+]

@@ -1,0 +1,117 @@
+"""LRU result cache for the query-execution engine.
+
+Keys are opaque hashable tuples built by :class:`repro.engine.session.
+Session` from the dataset fingerprint plus the query spec's own cache key,
+so a session over a modified dataset can share a cache object with its
+predecessor without ever hitting stale entries — the fingerprint component
+differs and the old entries simply age out of the LRU order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+
+class LRUCache:
+    """A bounded least-recently-used cache with hit/miss accounting."""
+
+    def __init__(self, maxsize: int = 4096):
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """``(value, was_hit)`` — computes and stores on miss."""
+        if key in self._entries:
+            self.stats.hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key], True
+        self.stats.misses += 1
+        value = compute()
+        self.put(key, value)
+        return value, False
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<LRUCache {len(self)}/{self.maxsize} hits={self.stats.hits} "
+            f"misses={self.stats.misses}>"
+        )
+
+
+class NullCache:
+    """The ``--no-cache`` cache: never stores, every lookup is a miss."""
+
+    def __init__(self):
+        self.maxsize = 0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, key: Hashable) -> bool:
+        return False
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        self.stats.misses += 1
+        return compute(), False
+
+    def put(self, key: Hashable, value: Any) -> None:
+        pass
+
+    def clear(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"<NullCache misses={self.stats.misses}>"

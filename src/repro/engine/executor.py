@@ -1,0 +1,217 @@
+"""Executors: serial and multiprocess fan-out for query batches.
+
+The :class:`ParallelExecutor` ships the *dataset contents* (never the
+built R-tree) to each worker once, via the pool initializer; workers build
+their own session — index, cache and kernels — and then drain chunks of
+``(index, spec)`` pairs.  ``Pool.map`` over contiguous chunks keeps the
+result order deterministic and identical to the serial executor, which is
+asserted by the engine parity tests.
+Per-spec *data* errors (unknown object ids, a causality query on an
+object that is actually an answer, ...) are captured into the outcome's
+``error`` field rather than aborting the batch; spec/session mismatches
+still fail fast in the parent before any work is dispatched.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.spec import QuerySpec
+from repro.exceptions import ReproError
+from repro.uncertain.dataset import CertainDataset, UncertainDataset
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.session import QueryOutcome, Session
+
+
+def _execute_captured(session: "Session", spec: QuerySpec) -> "QueryOutcome":
+    """Run one spec, converting data errors into a failed outcome."""
+    from repro.engine.session import QueryOutcome
+
+    started = time.perf_counter()
+    try:
+        return session.execute(spec)
+    except (ReproError, KeyError, ValueError) as exc:
+        return QueryOutcome(
+            spec=spec,
+            value=None,
+            cached=False,
+            elapsed_s=time.perf_counter() - started,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# dataset (de)hydration — ship contents, rebuild indexes worker-side
+# ---------------------------------------------------------------------------
+def _dataset_payload(dataset: UncertainDataset) -> Dict[str, Any]:
+    if isinstance(dataset, CertainDataset):
+        return {
+            "kind": "certain",
+            "points": dataset.points,
+            "ids": dataset.ids(),
+            "names": [obj.name for obj in dataset],
+            "page_size": dataset.page_size,
+        }
+    return {
+        "kind": "uncertain",
+        "objects": dataset.objects(),
+        "page_size": dataset.page_size,
+    }
+
+
+def _restore_dataset(payload: Dict[str, Any]) -> UncertainDataset:
+    if payload["kind"] == "certain":
+        return CertainDataset(
+            payload["points"],
+            ids=payload["ids"],
+            names=payload["names"],
+            page_size=payload["page_size"],
+        )
+    return UncertainDataset(payload["objects"], page_size=payload["page_size"])
+
+
+# ---------------------------------------------------------------------------
+# worker plumbing (module-level for picklability under any start method)
+# ---------------------------------------------------------------------------
+_WORKER_SESSION: Optional["Session"] = None
+
+
+def _worker_init(
+    payload: Dict[str, Any],
+    pdf_objects: Optional[list],
+    session_kwargs: Dict[str, Any],
+) -> None:
+    from repro.engine.session import Session
+
+    global _WORKER_SESSION
+    session = Session(_restore_dataset(payload), **session_kwargs)
+    if pdf_objects:
+        session._pdf_objects = {obj.oid: obj for obj in pdf_objects}
+    _WORKER_SESSION = session
+
+
+def _worker_run(
+    chunk: List[Tuple[int, QuerySpec]]
+) -> List[Tuple[int, "QueryOutcome"]]:
+    assert _WORKER_SESSION is not None, "worker initialized without a session"
+    return [
+        (index, _execute_captured(_WORKER_SESSION, spec))
+        for index, spec in chunk
+    ]
+
+
+# ---------------------------------------------------------------------------
+# executors
+# ---------------------------------------------------------------------------
+class Executor:
+    """Maps a batch of specs over a session, preserving input order."""
+
+    def map(
+        self, session: "Session", specs: Sequence[QuerySpec]
+    ) -> List["QueryOutcome"]:
+        raise NotImplementedError
+
+    @staticmethod
+    def _precheck(session: "Session", specs: Sequence[QuerySpec]) -> None:
+        """Spec/session mismatches are caller bugs: fail the batch up front."""
+        for spec in specs:
+            session._check_spec(spec)
+
+
+class SerialExecutor(Executor):
+    """Run the batch in-process, one spec at a time."""
+
+    def map(
+        self, session: "Session", specs: Sequence[QuerySpec]
+    ) -> List["QueryOutcome"]:
+        self._precheck(session, specs)
+        return [_execute_captured(session, spec) for spec in specs]
+
+
+class ParallelExecutor(Executor):
+    """Chunked multiprocess fan-out with deterministic result ordering.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count; defaults to the CPU count.
+    chunk_size:
+        Specs per task; defaults to splitting the batch into ~4 chunks per
+        worker so session-construction cost amortizes while stragglers
+        still balance.
+    cache_size:
+        Capacity of each worker's private LRU cache (workers cannot share
+        the parent cache; 0 disables worker caching).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        cache_size: int = 4096,
+    ):
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.workers = workers or os.cpu_count() or 1
+        self.chunk_size = chunk_size
+        self.cache_size = cache_size
+
+    # ------------------------------------------------------------------
+    def _chunks(
+        self, indexed: List[Tuple[int, QuerySpec]]
+    ) -> List[List[Tuple[int, QuerySpec]]]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(indexed) / (self.workers * 4)))
+        return [indexed[i : i + size] for i in range(0, len(indexed), size)]
+
+    def map(
+        self, session: "Session", specs: Sequence[QuerySpec]
+    ) -> List["QueryOutcome"]:
+        specs = list(specs)
+        if not specs:
+            return []
+        self._precheck(session, specs)
+        if self.workers == 1 or len(specs) == 1:
+            return SerialExecutor().map(session, specs)
+
+        payload = _dataset_payload(session.dataset)
+        pdf_objects = (
+            list(session._pdf_objects.values())
+            if session.has_pdf_objects
+            else None
+        )
+        session_kwargs: Dict[str, Any] = {
+            "use_numpy": session.use_numpy,
+            "build_index": True,
+        }
+        if self.cache_size <= 0:
+            session_kwargs["cache"] = None
+        else:
+            session_kwargs["cache_size"] = self.cache_size
+
+        indexed = list(enumerate(specs))
+        chunks = self._chunks(indexed)
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = multiprocessing.get_context()
+        with ctx.Pool(
+            processes=min(self.workers, len(chunks)),
+            initializer=_worker_init,
+            initargs=(payload, pdf_objects, session_kwargs),
+        ) as pool:
+            parts = pool.map(_worker_run, chunks)
+
+        outcomes: List[Tuple[int, "QueryOutcome"]] = [
+            item for part in parts for item in part
+        ]
+        outcomes.sort(key=lambda pair: pair[0])
+        return [outcome for _index, outcome in outcomes]

@@ -1,0 +1,141 @@
+"""NumPy-vectorized dominance and candidate-pruning kernels.
+
+Every kernel has two implementations selected by ``use_numpy``:
+
+* a broadcast NumPy path that evaluates whole point matrices at once
+  (chunked over centers to bound the ``(chunk, n, d)`` scratch memory);
+* a pure-Python fallback that loops over the scalar predicates from
+  :mod:`repro.geometry.dominance`.
+
+Both paths perform the same float64 subtractions, ``abs`` and comparisons
+element by element, so their outputs are **bit-compatible** — the parity is
+property-tested, and the engine may pick either path per session without
+changing any result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.dominance import dominance_vector, dynamically_dominates
+from repro.geometry.point import PointLike, as_point
+from repro.geometry.rectangle import Rect
+
+#: Default kernel selection for sessions that don't specify one.
+DEFAULT_USE_NUMPY = True
+
+# Centers per broadcast chunk: bounds the (chunk, n, d) scratch array to a
+# few MB for the cardinalities the benchmarks sweep.
+_CENTER_CHUNK = 128
+
+
+def _resolve(use_numpy: Optional[bool]) -> bool:
+    return DEFAULT_USE_NUMPY if use_numpy is None else use_numpy
+
+
+def dominance_mask(
+    points: np.ndarray,
+    target: PointLike,
+    center: PointLike,
+    use_numpy: Optional[bool] = None,
+) -> np.ndarray:
+    """Boolean vector: row ``k`` iff ``points[k] ≺_center target``."""
+    points = np.asarray(points, dtype=np.float64)
+    t = as_point(target)
+    c = as_point(center)
+    if _resolve(use_numpy):
+        return dominance_vector(points, t, c)
+    return np.array(
+        [dynamically_dominates(points[k], t, c) for k in range(points.shape[0])],
+        dtype=bool,
+    )
+
+
+def dominator_counts(
+    points: np.ndarray,
+    q: PointLike,
+    use_numpy: Optional[bool] = None,
+) -> np.ndarray:
+    """For every point ``p_i``: how many other points dominate ``q`` w.r.t. ``p_i``.
+
+    Count 0 means ``p_i`` is in the reverse skyline of ``q``; count < k
+    means membership in the reverse k-skyband.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    qq = as_point(q, dims=points.shape[1])
+    n = points.shape[0]
+    if not _resolve(use_numpy):
+        counts = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            center = points[i]
+            for j in range(n):
+                if j != i and dynamically_dominates(points[j], qq, center):
+                    counts[i] += 1
+        return counts
+
+    counts = np.empty(n, dtype=np.int64)
+    for start in range(0, n, _CENTER_CHUNK):
+        centers = points[start : start + _CENTER_CHUNK]
+        # (c, n, d) distances of every point / of q to each center.
+        dp = np.abs(points[np.newaxis, :, :] - centers[:, np.newaxis, :])
+        dq = np.abs(qq[np.newaxis, np.newaxis, :] - centers[:, np.newaxis, :])
+        mask = np.logical_and((dp <= dq).all(axis=2), (dp < dq).any(axis=2))
+        # A point never dominates w.r.t. itself (distance 0 vs 0 per dim is
+        # never strict), but zero the diagonal explicitly for clarity.
+        rows = np.arange(centers.shape[0])
+        mask[rows, start + rows] = False
+        counts[start : start + centers.shape[0]] = mask.sum(axis=1)
+    return counts
+
+
+def reverse_skyline_mask(
+    points: np.ndarray,
+    q: PointLike,
+    use_numpy: Optional[bool] = None,
+) -> np.ndarray:
+    """Boolean reverse-skyline membership per point (no dominators of ``q``)."""
+    return dominator_counts(points, q, use_numpy=use_numpy) == 0
+
+
+def k_skyband_mask(
+    points: np.ndarray,
+    q: PointLike,
+    k: int,
+    use_numpy: Optional[bool] = None,
+) -> np.ndarray:
+    """Boolean reverse k-skyband membership (fewer than ``k`` dominators)."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    return dominator_counts(points, q, use_numpy=use_numpy) < k
+
+
+def points_in_any_window(
+    points: np.ndarray,
+    windows: Sequence[Rect],
+    use_numpy: Optional[bool] = None,
+) -> np.ndarray:
+    """Candidate-pruning mask: rows of *points* inside at least one window.
+
+    This is the vectorized Lemma-2 filter: stacking the window bounds turns
+    per-point containment into two broadcast comparisons.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if not windows:
+        return np.zeros(points.shape[0], dtype=bool)
+    if _resolve(use_numpy):
+        los = np.stack([w.lo for w in windows])  # (m, d)
+        his = np.stack([w.hi for w in windows])
+        inside = np.logical_and(
+            (points[:, np.newaxis, :] >= los[np.newaxis, :, :]).all(axis=2),
+            (points[:, np.newaxis, :] <= his[np.newaxis, :, :]).all(axis=2),
+        )
+        return inside.any(axis=1)
+    return np.array(
+        [
+            any(w.contains_point(points[i]) for w in windows)
+            for i in range(points.shape[0])
+        ],
+        dtype=bool,
+    )

@@ -1,0 +1,207 @@
+"""Query planning: compile a :class:`~repro.engine.spec.QuerySpec` into an
+executable plan against a :class:`~repro.engine.session.Session`.
+
+A plan is a small value object: the ordered step names (for explain/debug
+output) plus a runner closure.  Planning is where the engine picks between
+equivalent physical implementations — e.g. the broadcast NumPy kernel vs.
+the R-tree + scalar path for reverse skylines — guided by the session's
+``use_numpy`` switch.  All alternatives produce identical results (parity
+is property-tested), so the choice is purely physical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Tuple
+
+from repro.core.cp import compute_causality
+from repro.core.cr import compute_causality_certain
+from repro.engine import kernels
+from repro.engine.spec import (
+    CausalityCertainSpec,
+    CausalitySpec,
+    KSkybandCausalitySpec,
+    PdfCausalitySpec,
+    PRSQSpec,
+    QuerySpec,
+    ReverseKSkybandSpec,
+    ReverseSkylineSpec,
+    ReverseTopKSpec,
+)
+from repro.rtopk.query import WeightSet, reverse_top_k
+from repro.skyline.reverse import reverse_skyline
+from repro.skyline.skyband import compute_causality_k_skyband, reverse_k_skyband
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.session import Session
+
+# Above this cardinality the O(n^2) broadcast kernel loses to the per-object
+# pruned R-tree window queries, so the planner falls back to the index path.
+VECTORIZED_MAX_N = 4096
+
+
+def _vectorize(session: "Session") -> bool:
+    return session.use_numpy and len(session.dataset) <= VECTORIZED_MAX_N
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """A compiled query: declarative steps plus an executable runner."""
+
+    spec: QuerySpec
+    steps: Tuple[str, ...]
+    runner: Callable[["Session"], Any]
+
+    def execute(self, session: "Session") -> Any:
+        return self.runner(session)
+
+    def explain(self) -> str:
+        lines = [f"plan for {self.spec.describe()}:"]
+        lines += [f"  {i + 1}. {step}" for i, step in enumerate(self.steps)]
+        return "\n".join(lines)
+
+
+def _plan_prsq(spec: PRSQSpec) -> QueryPlan:
+    def run(session: "Session") -> Any:
+        probabilities = session.prsq_probabilities(spec.q)
+        if spec.want == "probabilities":
+            return dict(probabilities)
+        if spec.want == "answers":
+            return [oid for oid, pr in probabilities.items() if pr >= spec.alpha]
+        return [oid for oid, pr in probabilities.items() if pr < spec.alpha]
+
+    return QueryPlan(
+        spec=spec,
+        steps=("prsq-probabilities (cached per query point)",
+               f"threshold-filter alpha={spec.alpha} want={spec.want}"),
+        runner=run,
+    )
+
+
+def _plan_causality(spec: CausalitySpec) -> QueryPlan:
+    def run(session: "Session") -> Any:
+        return compute_causality(
+            session.dataset, spec.an, spec.q, spec.alpha, config=spec.config
+        )
+
+    return QueryPlan(
+        spec=spec,
+        steps=("lemma2-rtree-filter", "oracle-build", "cp-refinement"),
+        runner=run,
+    )
+
+
+def _plan_pdf_causality(spec: PdfCausalitySpec) -> QueryPlan:
+    def run(session: "Session") -> Any:
+        pdf_object = session.pdf_object(spec.an)
+        windows = pdf_object.filter_rectangles(spec.q)
+        return compute_causality(
+            session.dataset,
+            spec.an,
+            spec.q,
+            spec.alpha,
+            config=spec.config,
+            windows=windows,
+        )
+
+    return QueryPlan(
+        spec=spec,
+        steps=("pdf-region-windows", "lemma2-rtree-filter",
+               "oracle-build (shared discretization)", "cp-refinement"),
+        runner=run,
+    )
+
+
+def _plan_causality_certain(spec: CausalityCertainSpec) -> QueryPlan:
+    def run(session: "Session") -> Any:
+        return compute_causality_certain(session.dataset, spec.an, spec.q)
+
+    return QueryPlan(
+        spec=spec,
+        steps=("dominance-window-rtree-query", "lemma7-share-responsibility"),
+        runner=run,
+    )
+
+
+def _plan_k_skyband_causality(spec: KSkybandCausalitySpec) -> QueryPlan:
+    def run(session: "Session") -> Any:
+        return compute_causality_k_skyband(
+            session.dataset, spec.an, spec.q, spec.k
+        )
+
+    return QueryPlan(
+        spec=spec,
+        steps=("dominance-window-rtree-query",
+               f"k-skyband-responsibility k={spec.k}"),
+        runner=run,
+    )
+
+
+def _plan_reverse_skyline(spec: ReverseSkylineSpec) -> QueryPlan:
+    def run(session: "Session") -> Any:
+        if _vectorize(session):
+            mask = kernels.reverse_skyline_mask(
+                session.dataset.points, spec.q, use_numpy=True
+            )
+            ids = session.dataset.ids()
+            return [ids[i] for i in range(len(ids)) if mask[i]]
+        return reverse_skyline(session.dataset, spec.q)
+
+    return QueryPlan(
+        spec=spec,
+        steps=("vectorized-dominator-counts | rtree-window-per-object",),
+        runner=run,
+    )
+
+
+def _plan_reverse_k_skyband(spec: ReverseKSkybandSpec) -> QueryPlan:
+    def run(session: "Session") -> Any:
+        if _vectorize(session):
+            mask = kernels.k_skyband_mask(
+                session.dataset.points, spec.q, spec.k, use_numpy=True
+            )
+            ids = session.dataset.ids()
+            return [ids[i] for i in range(len(ids)) if mask[i]]
+        return reverse_k_skyband(session.dataset, spec.q, spec.k)
+
+    return QueryPlan(
+        spec=spec,
+        steps=(f"vectorized-k-skyband-counts k={spec.k} | "
+               "rtree-window-per-object",),
+        runner=run,
+    )
+
+
+def _plan_reverse_top_k(spec: ReverseTopKSpec) -> QueryPlan:
+    def run(session: "Session") -> Any:
+        users = WeightSet(
+            [list(w) for w in spec.weights],
+            ids=list(spec.user_ids) if spec.user_ids is not None else None,
+        )
+        return reverse_top_k(session.dataset, users, spec.q, spec.k)
+
+    return QueryPlan(
+        spec=spec,
+        steps=("linear-score-ranking", f"top-{spec.k}-membership"),
+        runner=run,
+    )
+
+
+_PLANNERS = {
+    PRSQSpec: _plan_prsq,
+    CausalitySpec: _plan_causality,
+    PdfCausalitySpec: _plan_pdf_causality,
+    CausalityCertainSpec: _plan_causality_certain,
+    KSkybandCausalitySpec: _plan_k_skyband_causality,
+    ReverseSkylineSpec: _plan_reverse_skyline,
+    ReverseKSkybandSpec: _plan_reverse_k_skyband,
+    ReverseTopKSpec: _plan_reverse_top_k,
+}
+
+
+def compile_plan(spec: QuerySpec) -> QueryPlan:
+    """Compile *spec* into an executable :class:`QueryPlan`."""
+    planner = _PLANNERS.get(type(spec))
+    if planner is None:
+        raise TypeError(f"no planner for spec type {type(spec).__name__}")
+    return planner(spec)

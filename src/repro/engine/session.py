@@ -1,0 +1,339 @@
+"""Sessions: long-lived query-execution contexts over one dataset.
+
+The seed entry points rebuild the R-tree and re-evaluate PRSQ
+probabilities from scratch for every query point.  A :class:`Session`
+amortizes that work across queries:
+
+* the dataset R-tree is bulk-loaded **once**, at session construction;
+* results (and the expensive PRSQ probability maps) are memoized in an
+  LRU cache keyed by ``(dataset fingerprint, query identity)``, so a
+  cache object can outlive the session — or be shared between sessions —
+  without stale hits;
+* batches fan out through an :class:`~repro.engine.executor.Executor`
+  (serial or multiprocess) with deterministic result ordering.
+
+Typical use::
+
+    session = Session(dataset)
+    outcome = session.execute(PRSQSpec(q=(5.0, 5.0), alpha=0.5))
+    outcomes = session.execute_batch(specs, executor=ParallelExecutor(4))
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.model import CausalityResult
+from repro.engine.cache import LRUCache, NullCache
+from repro.engine.plan import QueryPlan, compile_plan
+from repro.engine.spec import QuerySpec
+from repro.exceptions import SpecMismatchError
+from repro.prsq.query import prsq_probabilities as _prsq_probabilities
+from repro.uncertain.dataset import CertainDataset, UncertainDataset
+from repro.uncertain.pdf import ContinuousUncertainObject
+
+CacheLike = Union[LRUCache, NullCache]
+
+_DEFAULT = object()  # sentinel: "build a private cache"
+
+
+def _copy_out(value: Any) -> Any:
+    """Copy cached results so caller mutation can't poison the cache.
+
+    Lists/dicts are shallow-copied; a :class:`CausalityResult` gets a fresh
+    causes dict and stats (the :class:`Cause` values themselves are frozen).
+    """
+    if isinstance(value, list):
+        return list(value)
+    if isinstance(value, dict):
+        return dict(value)
+    if isinstance(value, CausalityResult):
+        return CausalityResult(
+            an_oid=value.an_oid,
+            alpha=value.alpha,
+            causes=dict(value.causes),
+            stats=replace(value.stats),
+        )
+    return value
+
+
+def dataset_fingerprint(dataset: UncertainDataset) -> str:
+    """Content hash of a dataset: ids, names, samples, probabilities.
+
+    Two datasets fingerprint equal iff they hold the same objects in the
+    same order with bit-identical sample/probability arrays, so the
+    fingerprint is a sound cache-key component: any data change — an
+    added, removed, reordered or perturbed object — changes the key and
+    silently invalidates every cached result for the old contents.  Every
+    field is length-prefixed (and arrays carry their shape) so no two
+    distinct datasets can concatenate to the same byte stream.
+    """
+    hasher = hashlib.sha1()
+
+    def feed(data: bytes) -> None:
+        hasher.update(str(len(data)).encode())
+        hasher.update(b":")
+        hasher.update(data)
+
+    feed(type(dataset).__name__.encode())
+    feed(str(dataset.dims).encode())
+    feed(str(len(dataset)).encode())
+    for obj in dataset:
+        feed(repr(obj.oid).encode())
+        feed(repr(obj.name).encode())
+        feed(repr(obj.samples.shape).encode())
+        feed(obj.samples.tobytes())
+        feed(obj.probabilities.tobytes())
+    return hasher.hexdigest()
+
+
+@dataclass
+class QueryOutcome:
+    """One executed query: the spec, its value, and execution metadata.
+
+    Batch executors capture per-spec data errors (unknown ids, non-answers
+    that are answers, ...) instead of aborting the batch: a failed outcome
+    has ``value None`` and ``error`` set to the exception text.
+    """
+
+    spec: QuerySpec
+    value: Any
+    cached: bool
+    elapsed_s: float
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __repr__(self) -> str:
+        tag = (
+            f"error={self.error!r}"
+            if self.error is not None
+            else ("cached" if self.cached else "computed")
+        )
+        return (
+            f"<QueryOutcome {self.spec.kind} {tag} "
+            f"{self.elapsed_s * 1e3:.2f} ms>"
+        )
+
+
+class Session:
+    """A reusable execution context: dataset + bulk-loaded index + cache.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset all queries run against (uncertain or certain).
+    cache:
+        ``None`` disables caching; omit it for a private
+        :class:`~repro.engine.cache.LRUCache`; pass an explicit cache to
+        share one across sessions (fingerprinted keys keep them disjoint).
+    cache_size:
+        Capacity of the private cache when one is built; ``0`` disables
+        caching (same convention as the executor and the CLI).
+    use_numpy:
+        Select the vectorized kernels (default) or the scalar fallback
+        paths; both produce identical results.
+    build_index:
+        Bulk-load the R-tree eagerly at construction (default) instead of
+        on first use.
+    """
+
+    def __init__(
+        self,
+        dataset: UncertainDataset,
+        cache: Any = _DEFAULT,
+        cache_size: int = 4096,
+        use_numpy: bool = True,
+        build_index: bool = True,
+    ):
+        self.dataset = dataset
+        self.use_numpy = use_numpy
+        if cache is _DEFAULT:
+            self.cache: CacheLike = (
+                LRUCache(cache_size) if cache_size > 0 else NullCache()
+            )
+        elif cache is None:
+            self.cache = NullCache()
+        else:
+            self.cache = cache
+        # Lazy: a parent session that only validates and dispatches (the
+        # parallel CLI path) never pays the O(data) hashing pass.
+        self._fingerprint: Optional[str] = None
+        self._pdf_objects: Dict[Hashable, ContinuousUncertainObject] = {}
+        if build_index:
+            dataset.rtree  # noqa: B018 - bulk-load now, reuse for every query
+
+    # ------------------------------------------------------------------
+    # construction variants
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pdf_objects(
+        cls,
+        objects: Sequence[ContinuousUncertainObject],
+        samples_per_object: int = 64,
+        seed: int = 0,
+        **kwargs: Any,
+    ) -> "Session":
+        """A session over continuous pdf objects (Section 3.2).
+
+        The objects are discretized **once** into the session dataset; pdf
+        causality queries reuse both the discretization and the exact
+        region geometry instead of re-sampling per query.
+        """
+        rng = np.random.default_rng(seed)
+        dataset = UncertainDataset(
+            [obj.discretize(samples_per_object, rng) for obj in objects]
+        )
+        session = cls(dataset, **kwargs)
+        session._pdf_objects = {obj.oid: obj for obj in objects}
+        return session
+
+    # ------------------------------------------------------------------
+    # properties / helpers
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        if self._fingerprint is None:
+            self._fingerprint = dataset_fingerprint(self.dataset)
+        return self._fingerprint
+
+    @property
+    def is_certain(self) -> bool:
+        return isinstance(self.dataset, CertainDataset)
+
+    @property
+    def has_pdf_objects(self) -> bool:
+        return bool(self._pdf_objects)
+
+    def pdf_object(self, oid: Hashable) -> ContinuousUncertainObject:
+        if not self._pdf_objects:
+            raise ValueError(
+                "this session was not created with Session.from_pdf_objects; "
+                "pdf causality queries need the continuous objects"
+            )
+        try:
+            return self._pdf_objects[oid]
+        except KeyError:
+            raise KeyError(f"unknown pdf object {oid!r}") from None
+
+    def cache_stats(self) -> Dict[str, float]:
+        return self.cache.stats.as_dict()
+
+    def _key(self, *parts: Hashable) -> Tuple:
+        return (self.fingerprint,) + parts
+
+    def _check_spec(self, spec: QuerySpec) -> None:
+        if spec.dataset_kind == "certain" and not self.is_certain:
+            raise SpecMismatchError(
+                f"{spec.kind} queries need a CertainDataset session"
+            )
+        if spec.dataset_kind == "pdf" and not self.has_pdf_objects:
+            raise SpecMismatchError(
+                f"{spec.kind} queries need a Session.from_pdf_objects session"
+            )
+
+    # ------------------------------------------------------------------
+    # shared cached sub-computations
+    # ------------------------------------------------------------------
+    def prsq_probabilities(self, q: Sequence[float]) -> Dict[Hashable, float]:
+        """``Pr(u)`` for every object at query point *q*, cached.
+
+        The probability map is alpha-independent, so PRSQ queries at the
+        same point with different thresholds share one evaluation — this
+        is the engine's single biggest amortization for multi-user traffic
+        against a common catalogue.
+        """
+        q_tuple = tuple(float(v) for v in q)
+        key = self._key("prsq-probabilities", q_tuple)
+        value, _ = self.cache.get_or_compute(
+            key, lambda: _prsq_probabilities(self.dataset, q_tuple)
+        )
+        return dict(value)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def plan(self, spec: QuerySpec) -> QueryPlan:
+        """Compile (but do not run) the plan for *spec*."""
+        self._check_spec(spec)
+        return compile_plan(spec)
+
+    def run(self, spec: QuerySpec) -> Any:
+        """Execute *spec* bypassing the result cache (sub-caches still apply)."""
+        return self.plan(spec).execute(self)
+
+    def execute(self, spec: QuerySpec) -> QueryOutcome:
+        """Execute *spec* with result caching; returns the outcome envelope."""
+        plan = self.plan(spec)
+        key = self._key(*spec.cache_key())
+        started = time.perf_counter()
+        value, was_hit = self.cache.get_or_compute(
+            key, lambda: plan.execute(self)
+        )
+        return QueryOutcome(
+            spec=spec,
+            value=_copy_out(value),
+            cached=was_hit,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    def execute_batch(
+        self,
+        specs: Iterable[QuerySpec],
+        executor: Optional["Executor"] = None,
+    ) -> List[QueryOutcome]:
+        """Execute a batch of specs, preserving input order.
+
+        With no executor the batch runs serially in-process; pass a
+        :class:`~repro.engine.executor.ParallelExecutor` to fan out across
+        worker processes (results come back in the same order either way).
+
+        Spec/session mismatches fail the whole batch up front; per-spec
+        data errors (unknown id, an answer posed as a non-answer, ...) are
+        captured in the corresponding outcome's ``error`` field so one bad
+        query cannot discard the rest of the batch.
+        """
+        from repro.engine.executor import SerialExecutor
+
+        executor = executor or SerialExecutor()
+        return executor.map(self, list(specs))
+
+    # ------------------------------------------------------------------
+    # dataset lifecycle
+    # ------------------------------------------------------------------
+    def replace_dataset(self, dataset: UncertainDataset) -> None:
+        """Swap in a new dataset version.
+
+        The fingerprint is recomputed, so previously cached results can
+        never be served for the new contents; old entries age out of the
+        LRU naturally.
+        """
+        self.dataset = dataset
+        self._fingerprint = None
+        self._pdf_objects = {}
+        dataset.rtree  # noqa: B018 - rebuild the index eagerly
+
+    def __repr__(self) -> str:
+        kind = "certain" if self.is_certain else "uncertain"
+        fp = self._fingerprint[:10] if self._fingerprint else "(lazy)"
+        return (
+            f"<Session {kind} n={len(self.dataset)} dims={self.dataset.dims} "
+            f"fingerprint={fp} cache={self.cache!r}>"
+        )

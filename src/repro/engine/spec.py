@@ -1,0 +1,295 @@
+"""Declarative query specifications — the engine's plan-layer input.
+
+A :class:`QuerySpec` is an immutable, hashable, JSON-serializable value
+describing *what* to compute; :mod:`repro.engine.plan` decides *how*.  The
+spec zoo covers every query family in the repository:
+
+================================  =========================================
+spec                              underlying computation
+================================  =========================================
+:class:`PRSQSpec`                 probabilistic reverse skyline (Def. 4)
+:class:`CausalitySpec`            algorithm CP on one PRSQ non-answer
+:class:`PdfCausalitySpec`         CP under the continuous pdf model
+:class:`CausalityCertainSpec`     algorithm CR (certain data)
+:class:`KSkybandCausalitySpec`    CR generalized to reverse k-skybands
+:class:`ReverseSkylineSpec`       reverse skyline (certain data)
+:class:`ReverseKSkybandSpec`      reverse k-skyband (certain data)
+:class:`ReverseTopKSpec`          reverse top-k user query
+================================  =========================================
+
+``spec_to_dict`` / ``spec_from_dict`` give the CLI a stable JSON wire
+format; ``cache_key()`` gives the session a hashable identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Hashable, Optional, Tuple, Type
+
+from repro.core.cp import CPConfig
+from repro.geometry.point import PointLike
+
+
+def _point_tuple(q: PointLike) -> Tuple[float, ...]:
+    try:
+        return tuple(float(v) for v in q)
+    except TypeError:
+        raise ValueError(
+            f"query point must be a sequence of numbers, got {q!r}"
+        ) from None
+
+
+def _validate_alpha(alpha: float) -> None:
+    if not isinstance(alpha, (int, float)):
+        raise ValueError(f"alpha must be a number, got {alpha!r}")
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+
+
+def _validate_k(k: int) -> None:
+    if not isinstance(k, int) or isinstance(k, bool):
+        raise ValueError(f"k must be an integer >= 1, got {k!r}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+
+
+def _require_hashable(name: str, value: Any) -> None:
+    """Specs must be cache-key material; reject unhashable JSON (lists...)."""
+    try:
+        hash(value)
+    except TypeError:
+        raise ValueError(
+            f"{name} must be hashable, got {type(value).__name__}: {value!r}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Base class for all engine query specifications."""
+
+    kind: ClassVar[str] = "abstract"
+    dataset_kind: ClassVar[str] = "uncertain"  # uncertain | certain | pdf
+
+    def cache_key(self) -> Tuple:
+        """Hashable identity of the spec (kind + every field value)."""
+        parts: Tuple = (self.kind,)
+        for f in fields(self):
+            parts += (f.name, getattr(self, f.name))
+        return parts
+
+    def describe(self) -> str:
+        args = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}" for f in fields(self)
+        )
+        return f"{self.kind}({args})"
+
+
+@dataclass(frozen=True)
+class PRSQSpec(QuerySpec):
+    """Probabilistic reverse skyline query at one query point.
+
+    ``want`` selects the projection: ``"answers"`` (ids with
+    ``Pr >= alpha``), ``"non_answers"``, or ``"probabilities"`` (the full
+    id -> probability map).
+    """
+
+    q: Tuple[float, ...] = ()
+    alpha: float = 0.5
+    want: str = "answers"
+
+    kind: ClassVar[str] = "prsq"
+    dataset_kind: ClassVar[str] = "uncertain"
+
+    def __post_init__(self):
+        object.__setattr__(self, "q", _point_tuple(self.q))
+        _validate_alpha(self.alpha)
+        if self.want not in ("answers", "non_answers", "probabilities"):
+            raise ValueError(
+                f"want must be answers|non_answers|probabilities, got {self.want!r}"
+            )
+
+
+@dataclass(frozen=True)
+class CausalitySpec(QuerySpec):
+    """Algorithm CP: causality & responsibility for one PRSQ non-answer."""
+
+    an: Hashable = None
+    q: Tuple[float, ...] = ()
+    alpha: float = 0.5
+    config: CPConfig = CPConfig()
+
+    kind: ClassVar[str] = "causality"
+    dataset_kind: ClassVar[str] = "uncertain"
+
+    def __post_init__(self):
+        object.__setattr__(self, "q", _point_tuple(self.q))
+        _require_hashable("an", self.an)
+        _validate_alpha(self.alpha)
+
+
+@dataclass(frozen=True)
+class PdfCausalitySpec(QuerySpec):
+    """Algorithm CP under the continuous pdf model (Section 3.2).
+
+    Requires a session created with :meth:`repro.engine.session.Session.
+    from_pdf_objects`, which owns both the pdf objects (for the exact
+    filter-region geometry) and their one shared discretization.
+    """
+
+    an: Hashable = None
+    q: Tuple[float, ...] = ()
+    alpha: float = 0.5
+    config: CPConfig = CPConfig()
+
+    kind: ClassVar[str] = "pdf_causality"
+    dataset_kind: ClassVar[str] = "pdf"
+
+    def __post_init__(self):
+        object.__setattr__(self, "q", _point_tuple(self.q))
+        _require_hashable("an", self.an)
+        _validate_alpha(self.alpha)
+
+
+@dataclass(frozen=True)
+class CausalityCertainSpec(QuerySpec):
+    """Algorithm CR: causality for one reverse-skyline non-answer."""
+
+    an: Hashable = None
+    q: Tuple[float, ...] = ()
+
+    kind: ClassVar[str] = "causality_certain"
+    dataset_kind: ClassVar[str] = "certain"
+
+    def __post_init__(self):
+        object.__setattr__(self, "q", _point_tuple(self.q))
+        _require_hashable("an", self.an)
+
+
+@dataclass(frozen=True)
+class KSkybandCausalitySpec(QuerySpec):
+    """Causality for a reverse k-skyband non-answer (certain data)."""
+
+    an: Hashable = None
+    q: Tuple[float, ...] = ()
+    k: int = 1
+
+    kind: ClassVar[str] = "k_skyband_causality"
+    dataset_kind: ClassVar[str] = "certain"
+
+    def __post_init__(self):
+        object.__setattr__(self, "q", _point_tuple(self.q))
+        _require_hashable("an", self.an)
+        _validate_k(self.k)
+
+
+@dataclass(frozen=True)
+class ReverseSkylineSpec(QuerySpec):
+    """The reverse skyline of one query point (certain data)."""
+
+    q: Tuple[float, ...] = ()
+
+    kind: ClassVar[str] = "reverse_skyline"
+    dataset_kind: ClassVar[str] = "certain"
+
+    def __post_init__(self):
+        object.__setattr__(self, "q", _point_tuple(self.q))
+
+
+@dataclass(frozen=True)
+class ReverseKSkybandSpec(QuerySpec):
+    """The reverse k-skyband of one query point (certain data)."""
+
+    q: Tuple[float, ...] = ()
+    k: int = 1
+
+    kind: ClassVar[str] = "reverse_k_skyband"
+    dataset_kind: ClassVar[str] = "certain"
+
+    def __post_init__(self):
+        object.__setattr__(self, "q", _point_tuple(self.q))
+        _validate_k(self.k)
+
+
+@dataclass(frozen=True)
+class ReverseTopKSpec(QuerySpec):
+    """Reverse top-k: users (weight vectors) for whom ``q`` is top-k."""
+
+    q: Tuple[float, ...] = ()
+    k: int = 1
+    weights: Tuple[Tuple[float, ...], ...] = ()
+    user_ids: Optional[Tuple[Hashable, ...]] = None
+
+    kind: ClassVar[str] = "reverse_top_k"
+    dataset_kind: ClassVar[str] = "certain"
+
+    def __post_init__(self):
+        object.__setattr__(self, "q", _point_tuple(self.q))
+        object.__setattr__(
+            self, "weights", tuple(_point_tuple(w) for w in self.weights)
+        )
+        if self.user_ids is not None:
+            object.__setattr__(self, "user_ids", tuple(self.user_ids))
+            _require_hashable("user_ids", self.user_ids)
+        _validate_k(self.k)
+        if not self.weights:
+            raise ValueError("at least one weight vector is required")
+
+
+SPEC_KINDS: Dict[str, Type[QuerySpec]] = {
+    cls.kind: cls
+    for cls in (
+        PRSQSpec,
+        CausalitySpec,
+        PdfCausalitySpec,
+        CausalityCertainSpec,
+        KSkybandCausalitySpec,
+        ReverseSkylineSpec,
+        ReverseKSkybandSpec,
+        ReverseTopKSpec,
+    )
+}
+
+
+def spec_to_dict(spec: QuerySpec) -> Dict[str, Any]:
+    """JSON-ready dict for a spec (inverse of :func:`spec_from_dict`)."""
+    payload: Dict[str, Any] = {"kind": spec.kind}
+    for f in fields(spec):
+        value = getattr(spec, f.name)
+        if isinstance(value, CPConfig):
+            value = {
+                cf.name: getattr(value, cf.name) for cf in fields(value)
+            }
+        elif f.name in ("q", "weights", "user_ids") and isinstance(value, tuple):
+            # Only the declared sequence fields become JSON arrays; id
+            # fields like ``an`` keep their value (a tuple oid must survive
+            # the round trip as a tuple).
+            value = [list(v) if isinstance(v, tuple) else v for v in value]
+        payload[f.name] = value
+    return payload
+
+
+def spec_from_dict(payload: Dict[str, Any]) -> QuerySpec:
+    """Build a spec from its JSON dict form."""
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    cls = SPEC_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown query kind {kind!r}; expected one of {sorted(SPEC_KINDS)}"
+        )
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(data) - allowed
+    if unknown:
+        raise ValueError(
+            f"{kind}: unknown field(s) {sorted(unknown)}; allowed: {sorted(allowed)}"
+        )
+    if "config" in data and isinstance(data["config"], dict):
+        allowed_cfg = {f.name for f in fields(CPConfig)}
+        unknown_cfg = set(data["config"]) - allowed_cfg
+        if unknown_cfg:
+            raise ValueError(
+                f"{kind}: unknown config field(s) {sorted(unknown_cfg)}; "
+                f"allowed: {sorted(allowed_cfg)}"
+            )
+        data["config"] = CPConfig(**data["config"])
+    return cls(**data)

@@ -44,3 +44,11 @@ class EmptyDatasetError(ReproError):
 
 class IndexError_(ReproError):
     """An R-tree structural invariant was violated (corrupt index)."""
+
+
+class SpecMismatchError(ReproError, TypeError):
+    """A query spec was executed against the wrong kind of session.
+
+    Also a :class:`TypeError`: the spec/session pairing is a type-level
+    contract, and callers may reasonably catch it as such.
+    """

@@ -74,6 +74,51 @@ def dominance_vector(points: np.ndarray, target: PointLike, center: PointLike) -
     return np.logical_and((dp <= dt).all(axis=1), (dp < dt).any(axis=1))
 
 
+def _complete_bounds(s: np.ndarray, h: np.ndarray) -> tuple:
+    """``[lo, hi]`` covering every float ``p`` with ``|p - s| <= h``.
+
+    The naive bounds ``s ∓ h`` round to nearest, which can land strictly
+    inside the set of points passing the :func:`dynamically_dominates`
+    comparison ``|p - s| <= |q - s|`` (e.g. ``s=1, q=2.22e-16``: the point
+    ``p=2.22e-16`` ties ``q``'s distance after rounding yet falls below
+    ``fl(s - h)``).  Because ``|fl(p - s)|`` is monotone in ``p`` on either
+    side of ``s``, probing one float past each bound is an exact
+    completeness check; unsound bounds are stepped outward in units of one
+    ``h``-ulp until the probe fails.  Sound bounds are returned untouched,
+    so exact cases (and degenerate ``h = 0`` rectangles) keep their naive
+    values.
+    """
+    lo = s - h
+    hi = s + h
+    # Infinite or overflowing inputs: an infinite-extent side already covers
+    # every passing point, and ulp-stepping from +/-inf would never
+    # terminate — keep the naive bounds.
+    if not (np.isfinite(lo).all() and np.isfinite(hi).all()):
+        return lo, hi
+    return _widen(s, h, lo, -np.inf), _widen(s, h, hi, np.inf)
+
+
+def _widen(s: np.ndarray, h: np.ndarray, bound: np.ndarray, toward: float) -> np.ndarray:
+    outward = np.minimum if toward < 0 else np.maximum
+    step = h.copy()
+    while True:
+        probe = np.nextafter(bound, toward)
+        bad = np.abs(probe - s) <= h
+        if not bad.any():
+            return bound
+        # One float outward is the minimal widening; if the float after that
+        # still passes, the gap is large relative to ulp(bound) (bounds near
+        # zero from same-magnitude s and h), so jump in units of one h-ulp.
+        new = np.where(bad, probe, bound)
+        probe2 = np.nextafter(new, toward)
+        still = bad & (np.abs(probe2 - s) <= h)
+        if still.any():
+            step = np.where(still, np.nextafter(step, np.inf), step)
+            jump = s - step if toward < 0 else s + step
+            new = np.where(still, outward(jump, probe2), new)
+        bound = new
+
+
 def dominance_rectangle(sample: PointLike, q: PointLike) -> Rect:
     """The Lemma-2 hyper-rectangle of locations that can dominate ``q`` w.r.t. *sample*.
 
@@ -81,10 +126,14 @@ def dominance_rectangle(sample: PointLike, q: PointLike) -> Rect:
     A point strictly inside it (or on its boundary but not maximally distant
     in every dimension) dynamically dominates ``q`` w.r.t. *sample*; the
     rectangle is therefore a complete, slightly-loose filter whose hits are
-    confirmed with :func:`dynamically_dominates`.
+    confirmed with :func:`dynamically_dominates`.  Bounds are widened by at
+    most a few ulps where float rounding would otherwise exclude boundary
+    points that pass the dominance comparison.
     """
     s = as_point(sample)
-    return Rect.from_center(s, np.abs(as_point(q) - s))
+    h = np.abs(as_point(q) - s)
+    lo, hi = _complete_bounds(s, h)
+    return Rect(lo, hi)
 
 
 def dominated_by_any(points: np.ndarray, target: PointLike, center: PointLike) -> bool:

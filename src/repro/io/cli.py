@@ -6,11 +6,14 @@ Usage (after ``pip install -e .``)::
     python -m repro prsq     --data data.csv --q 5000 5000 --alpha 0.5
     python -m repro explain  --data data.csv --q 5000 5000 --alpha 0.5 --an 42
     python -m repro explain-certain --data cars.csv --q 11580 49000 --an an-7510-10180
+    python -m repro batch    --data data.csv --queries queries.json --workers 4
 
 ``generate`` writes a synthetic dataset; ``prsq`` lists answers and
 non-answers with probabilities; ``explain`` runs algorithm CP on one
-non-answer (``explain-certain`` runs CR on certain data).  JSON output is
-selected by the file extension of ``--out`` / by ``--json``.
+non-answer (``explain-certain`` runs CR on certain data); ``batch`` runs a
+JSON file of query specs through the :mod:`repro.engine` session with
+optional multiprocess fan-out and result caching.  JSON output is selected
+by the file extension of ``--out`` / by ``--json``.
 """
 
 from __future__ import annotations
@@ -18,10 +21,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core.cp import compute_causality
 from repro.core.cr import compute_causality_certain
+from repro.core.model import CausalityResult
 from repro.datasets.synthetic_certain import generate_certain_dataset
 from repro.datasets.synthetic_uncertain import generate_uncertain_dataset
 from repro.exceptions import ReproError
@@ -80,6 +86,46 @@ def build_parser() -> argparse.ArgumentParser:
     explain_c.add_argument("--an", required=True, help="non-answer object id")
     explain_c.add_argument("--json", action="store_true")
 
+    batch = sub.add_parser(
+        "batch",
+        help="run a batch of engine query specs (JSON) over one dataset",
+        description=(
+            "Execute a JSON array of query specs against a repro.engine "
+            "session: the R-tree is built once, results are cached in an "
+            "LRU keyed by dataset fingerprint, and --workers fans the "
+            "batch out over worker processes with deterministic ordering. "
+            'Spec example: [{"kind": "prsq", "q": [5000, 5000], '
+            '"alpha": 0.5, "want": "non_answers"}, {"kind": "causality", '
+            '"an": "42", "q": [5000, 5000], "alpha": 0.5}]'
+        ),
+    )
+    batch.add_argument("--data", required=True, help="dataset CSV")
+    batch.add_argument(
+        "--dataset-kind",
+        choices=["uncertain", "certain"],
+        default="uncertain",
+        help="CSV flavour of --data (default: uncertain, long format)",
+    )
+    batch.add_argument(
+        "--queries", required=True, help="JSON file: array of query specs"
+    )
+    batch.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, default)",
+    )
+    batch.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    batch.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="LRU result-cache capacity (default 4096; 0 disables caching)",
+    )
+    batch.add_argument("--json", action="store_true")
+
     return parser
 
 
@@ -122,14 +168,18 @@ def _cmd_prsq(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_cause_lines(result: CausalityResult) -> None:
+    for oid, resp in result.ranked():
+        cause = result.causes[oid]
+        print(f"  {oid}\tresponsibility={resp:.6f}\t{cause.kind.value}")
+
+
 def _print_result(result, as_json: bool) -> None:
     if as_json:
         print(json.dumps(result_to_dict(result), indent=2))
         return
     print(f"causes for non-answer {result.an_oid!r}:")
-    for oid, resp in result.ranked():
-        cause = result.causes[oid]
-        print(f"  {oid}\tresponsibility={resp:.6f}\t{cause.kind.value}")
+    _print_cause_lines(result)
     print(
         f"# {result.stats.node_accesses} node accesses, "
         f"{result.stats.cpu_time_s * 1e3:.2f} ms",
@@ -151,11 +201,114 @@ def _cmd_explain_certain(args: argparse.Namespace) -> int:
     return 0
 
 
+def _value_to_jsonable(value):
+    if isinstance(value, CausalityResult):
+        return result_to_dict(value)
+    if isinstance(value, dict):
+        return {str(k): v for k, v in value.items()}
+    return value
+
+
+def _print_outcome_text(outcome) -> None:
+    if outcome.error is not None:
+        print(f"[error] {outcome.spec.describe()}")
+        print(f"  {outcome.error}")
+        return
+    tag = "cached" if outcome.cached else "computed"
+    print(f"[{tag}] {outcome.spec.describe()}")
+    value = outcome.value
+    if isinstance(value, CausalityResult):
+        _print_cause_lines(value)
+    elif isinstance(value, dict):
+        for oid in sorted(value, key=repr):
+            print(f"  {oid}\t{value[oid]:.6f}")
+    elif isinstance(value, list):
+        print(f"  {len(value)} object(s): {', '.join(map(str, value))}")
+    else:
+        print(f"  {value}")
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.engine import (
+        ParallelExecutor,
+        Session,
+        spec_from_dict,
+        spec_to_dict,
+    )
+
+    if args.dataset_kind == "certain":
+        dataset = load_certain_csv(args.data)
+    else:
+        dataset = load_uncertain_csv(args.data)
+
+    payload = json.loads(Path(args.queries).read_text())
+    if not isinstance(payload, list):
+        raise ValueError(
+            f"{args.queries}: expected a JSON array of query specs"
+        )
+    specs = [spec_from_dict(item) for item in payload]
+
+    no_cache = args.no_cache or args.cache_size <= 0
+    executor = (
+        ParallelExecutor(workers=args.workers, cache_size=0 if no_cache else args.cache_size)
+        if args.workers > 1
+        else None
+    )
+    # With a parallel executor the workers build their own sessions (and
+    # indexes); the parent session only validates specs, so skip its eager
+    # bulk load — the R-tree is still built lazily if a serial fallback runs.
+    session = Session(
+        dataset,
+        cache_size=0 if no_cache else args.cache_size,
+        build_index=executor is None,
+    )
+
+    started = time.perf_counter()
+    outcomes = session.execute_batch(specs, executor=executor)
+    elapsed = max(time.perf_counter() - started, 1e-9)
+
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "spec": spec_to_dict(outcome.spec),
+                        "cached": outcome.cached,
+                        "elapsed_s": outcome.elapsed_s,
+                        "error": outcome.error,
+                        "value": _value_to_jsonable(outcome.value),
+                    }
+                    for outcome in outcomes
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for outcome in outcomes:
+            _print_outcome_text(outcome)
+    if executor is None:
+        stats = session.cache_stats()
+        cache_note = f"cache hits={stats['hits']} misses={stats['misses']}"
+    else:
+        hits = sum(outcome.cached for outcome in outcomes)
+        cache_note = f"worker-local caches, {hits} cached outcome(s)"
+    failures = sum(not outcome.ok for outcome in outcomes)
+    failure_note = f", {failures} failed" if failures else ""
+    print(
+        f"# {len(outcomes)} queries in {elapsed:.3f}s "
+        f"({len(outcomes) / elapsed:.1f} q/s), workers={args.workers}, "
+        f"{cache_note}{failure_note}",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "prsq": _cmd_prsq,
     "explain": _cmd_explain,
     "explain-certain": _cmd_explain_certain,
+    "batch": _cmd_batch,
 }
 
 

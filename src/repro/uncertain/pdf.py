@@ -90,7 +90,10 @@ class ContinuousUncertainObject(abc.ABC):
         if len(pieces) != 1:
             return None
         nearest = self.region.nearest_corner(qq)
-        return dominance_rectangle(nearest, qq)
+        # Inner bound: unlike the Lemma-2 filter rectangles, this one must
+        # never over-approximate, so use the naive (un-widened) bounds
+        # rather than dominance_rectangle's boundary-complete ones.
+        return Rect.from_center(nearest, np.abs(qq - nearest))
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.oid!r} region={self.region}>"

@@ -82,12 +82,31 @@ class TestDominanceVector:
 class TestDominanceRectangle:
     def test_centered_on_sample(self):
         rect = dominance_rectangle([2.0, 2.0], [3.0, 4.0])
-        assert rect.center.tolist() == [2.0, 2.0]
+        assert np.allclose(rect.center, [2.0, 2.0], rtol=0, atol=1e-12)
 
     def test_half_extent_is_distance_to_q(self):
+        # Nominal bounds are s -/+ |q - s|; the rectangle may widen by an
+        # ulp per side so that points whose rounded distance ties |q - s|
+        # (and therefore pass the dominance comparison) stay inside.
         rect = dominance_rectangle([2.0, 2.0], [3.0, 4.0])
-        assert rect.lo.tolist() == [1.0, 0.0]
-        assert rect.hi.tolist() == [3.0, 4.0]
+        lo_nominal = np.array([1.0, 0.0])
+        hi_nominal = np.array([3.0, 4.0])
+        h = np.array([1.0, 2.0])
+        slack = np.nextafter(h, np.inf) - h  # one h-ulp per side at most
+        assert np.all(rect.lo <= lo_nominal)
+        assert np.all(rect.hi >= hi_nominal)
+        assert np.all(rect.lo >= lo_nominal - slack)
+        assert np.all(rect.hi <= hi_nominal + slack)
+
+    def test_infinite_inputs_terminate(self):
+        # Overflowing/infinite half-extents keep the naive +/-inf bounds
+        # instead of ulp-stepping forever.
+        rect = dominance_rectangle([0.0, 0.0], [np.inf, 1.0])
+        assert rect.lo[0] == -np.inf and rect.hi[0] == np.inf
+        assert rect.contains_point([1e300, 0.5])
+        with np.errstate(over="ignore"):
+            rect = dominance_rectangle([-1.7e308, 0.0], [1.7e308, 1.0])
+        assert rect.lo[0] == -np.inf and rect.hi[0] == np.inf
 
     def test_contains_q_on_boundary(self):
         q = [3.0, 4.0]

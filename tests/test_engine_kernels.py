@@ -1,0 +1,143 @@
+"""Parity tests: vectorized engine kernels vs. scalar reference paths.
+
+The engine may freely pick either implementation per session, so the two
+paths must be *bit-compatible* — identical boolean masks and counts, not
+merely approximately equal sets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import kernels
+from repro.geometry.dominance import dynamically_dominates
+from repro.geometry.rectangle import Rect
+from repro.skyline.reverse import reverse_skyline, reverse_skyline_bruteforce
+from repro.skyline.skyband import reverse_k_skyband
+from repro.uncertain.dataset import CertainDataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+def random_points(rng, n, d, scale=10.0):
+    return rng.uniform(0.0, scale, size=(n, d))
+
+
+class TestDominanceMask:
+    @pytest.mark.parametrize("n,d", [(1, 2), (17, 2), (40, 3), (25, 4)])
+    def test_numpy_matches_python(self, rng, n, d):
+        for trial in range(5):
+            points = random_points(rng, n, d)
+            target = rng.uniform(0, 10, size=d)
+            center = rng.uniform(0, 10, size=d)
+            fast = kernels.dominance_mask(points, target, center, use_numpy=True)
+            slow = kernels.dominance_mask(points, target, center, use_numpy=False)
+            np.testing.assert_array_equal(fast, slow)
+
+    def test_matches_scalar_predicate(self, rng):
+        points = random_points(rng, 30, 2)
+        target = np.array([5.0, 5.0])
+        center = np.array([4.0, 6.0])
+        mask = kernels.dominance_mask(points, target, center)
+        for k in range(points.shape[0]):
+            assert mask[k] == dynamically_dominates(points[k], target, center)
+
+    def test_boundary_ties_identical(self):
+        # Mirror points tie q's distance exactly: never dominating, and both
+        # paths must agree on the exact comparison.
+        center = np.array([4.0, 4.0])
+        target = np.array([5.0, 5.0])
+        points = np.array([[3.0, 3.0], [3.0, 4.5], [5.0, 3.0], [4.0, 4.0]])
+        fast = kernels.dominance_mask(points, target, center, use_numpy=True)
+        slow = kernels.dominance_mask(points, target, center, use_numpy=False)
+        np.testing.assert_array_equal(fast, slow)
+        assert fast.tolist() == [False, True, False, True]
+
+
+class TestDominatorCounts:
+    @pytest.mark.parametrize("n,d", [(2, 2), (50, 2), (200, 3)])
+    def test_numpy_matches_python(self, rng, n, d):
+        points = random_points(rng, n, d)
+        q = rng.uniform(0, 10, size=d)
+        fast = kernels.dominator_counts(points, q, use_numpy=True)
+        slow = kernels.dominator_counts(points, q, use_numpy=False)
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_chunking_invariant(self, rng, monkeypatch):
+        points = random_points(rng, 150, 2)
+        q = rng.uniform(0, 10, size=2)
+        whole = kernels.dominator_counts(points, q, use_numpy=True)
+        monkeypatch.setattr(kernels, "_CENTER_CHUNK", 7)
+        chunked = kernels.dominator_counts(points, q, use_numpy=True)
+        np.testing.assert_array_equal(whole, chunked)
+
+    def test_duplicate_points_dominate_each_other(self):
+        points = np.array([[4.0, 4.0], [4.0, 4.0], [9.0, 9.0]])
+        q = np.array([5.0, 5.0])
+        counts = kernels.dominator_counts(points, q)
+        # Each twin sits at distance zero from the other: both blocked.
+        assert counts.tolist()[:2] == [1, 1]
+
+
+class TestReverseSkylineParity:
+    @pytest.mark.parametrize("n,d", [(30, 2), (120, 2), (60, 3)])
+    def test_kernel_matches_index_path_and_bruteforce(self, rng, n, d):
+        points = random_points(rng, n, d, scale=100.0)
+        dataset = CertainDataset(points)
+        q = rng.uniform(0, 100, size=d)
+        mask = kernels.reverse_skyline_mask(points, q, use_numpy=True)
+        ids = dataset.ids()
+        from_kernel = [ids[i] for i in range(n) if mask[i]]
+        assert from_kernel == reverse_skyline(dataset, q)
+        assert from_kernel == reverse_skyline_bruteforce(dataset, q)
+
+    def test_python_fallback_identical(self, rng):
+        points = random_points(rng, 40, 2)
+        q = rng.uniform(0, 10, size=2)
+        np.testing.assert_array_equal(
+            kernels.reverse_skyline_mask(points, q, use_numpy=True),
+            kernels.reverse_skyline_mask(points, q, use_numpy=False),
+        )
+
+
+class TestKSkybandParity:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_kernel_matches_library(self, rng, k):
+        points = random_points(rng, 80, 2, scale=100.0)
+        dataset = CertainDataset(points)
+        q = rng.uniform(0, 100, size=2)
+        mask = kernels.k_skyband_mask(points, q, k, use_numpy=True)
+        ids = dataset.ids()
+        from_kernel = [ids[i] for i in range(len(ids)) if mask[i]]
+        assert from_kernel == reverse_k_skyband(dataset, q, k)
+
+    def test_k1_is_reverse_skyline(self, rng):
+        points = random_points(rng, 50, 2)
+        q = rng.uniform(0, 10, size=2)
+        np.testing.assert_array_equal(
+            kernels.k_skyband_mask(points, q, 1),
+            kernels.reverse_skyline_mask(points, q),
+        )
+
+    def test_rejects_bad_k(self, rng):
+        with pytest.raises(ValueError):
+            kernels.k_skyband_mask(random_points(rng, 5, 2), [1.0, 1.0], 0)
+
+
+class TestWindowKernels:
+    def test_points_in_any_window_parity(self, rng):
+        points = random_points(rng, 100, 2)
+        windows = [
+            Rect(rng.uniform(0, 4, 2), rng.uniform(6, 10, 2)) for _ in range(5)
+        ]
+        fast = kernels.points_in_any_window(points, windows, use_numpy=True)
+        slow = kernels.points_in_any_window(points, windows, use_numpy=False)
+        np.testing.assert_array_equal(fast, slow)
+        for i in range(points.shape[0]):
+            assert fast[i] == any(w.contains_point(points[i]) for w in windows)
+
+    def test_empty_windows(self, rng):
+        points = random_points(rng, 10, 2)
+        assert not kernels.points_in_any_window(points, []).any()

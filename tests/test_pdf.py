@@ -105,7 +105,12 @@ class TestSectionThreeTwoGeometry:
         rect = box_object.must_contain_rectangle(q)
         assert rect is not None
         nearest = box_object.region.nearest_corner(q)
-        assert rect == dominance_rectangle(nearest, q)
+        # Inner bound: exactly the naive rectangle, never the ulp-widened
+        # filter rectangle (which may over-approximate).
+        h = np.abs(np.asarray(q, dtype=float) - nearest)
+        assert rect == Rect(nearest - h, nearest + h)
+        widened = dominance_rectangle(nearest, q)
+        assert widened.contains_rect(rect)
 
     def test_must_contain_rectangle_none_when_straddling(self):
         obj = UniformBoxObject("u2", Rect([4.0, 6.0], [6.5, 7.0]))
