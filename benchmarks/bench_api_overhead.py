@@ -1,0 +1,105 @@
+"""API v2 envelope overhead — typed facade vs. raw engine access.
+
+The redesign wraps every result in a typed, schema-versioned
+:class:`~repro.api.QueryResult` envelope and routes dispatch through the
+query registry.  This benchmark pins down what that costs on the hot
+path: a cache-hot 64-query PRSQ batch executed three ways —
+
+* **engine-raw** — ``Session._execute_outcome`` per spec (the v1 path
+  minus the deprecation shim, i.e. the engine floor);
+* **client-envelopes** — the same batch through
+  ``client.batch().run()``, paying registry dispatch + envelope
+  construction per query;
+* **client-stream+json** — ``.stream()`` with full ``to_dict`` +
+  ``json.dumps`` serialization per envelope (the CLI NDJSON path).
+
+Asserted: identical payloads on all paths, and the envelope overhead
+staying under 5x the raw engine cost on cache hits (it is far below that
+in practice; the bound only guards against a pathological regression —
+an envelope costing more than the query it wraps).
+"""
+
+import json
+import time
+
+from conftest import register_report
+from repro.api import connect
+from repro.datasets.synthetic_uncertain import generate_uncertain_dataset
+from repro.engine import PRSQSpec
+
+N_OBJECTS = 256
+DIMS = 2
+N_POINTS = 16
+ALPHAS = [0.2, 0.4, 0.6, 0.8]
+
+_ROWS = []
+
+
+def _workload():
+    dataset = generate_uncertain_dataset(N_OBJECTS, DIMS, seed=23)
+    qs = [(4000.0 + 125.0 * i, 6000.0 - 125.0 * i) for i in range(N_POINTS)]
+    specs = [
+        PRSQSpec(q=q, alpha=alpha, want="answers")
+        for q in qs
+        for alpha in ALPHAS
+    ]
+    return dataset, specs
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def test_envelope_overhead_is_bounded(once):
+    dataset, specs = _workload()
+    client = connect(dataset)
+    client.batch().extend(specs).run()  # warm the cache: measure envelope
+    # cost, not probability evaluation
+
+    def run_all():
+        session = client.session
+        raw, raw_s = _timed(
+            lambda: [session._execute_outcome(spec).value for spec in specs]
+        )
+        envelopes, env_s = _timed(lambda: client.batch().extend(specs).run())
+        ndjson, ndjson_s = _timed(
+            lambda: [
+                json.dumps(e.to_dict())
+                for e in client.batch().extend(specs).stream()
+            ]
+        )
+        return raw, raw_s, envelopes, env_s, ndjson, ndjson_s
+
+    raw, raw_s, envelopes, env_s, ndjson, ndjson_s = once(run_all)
+
+    # Parity: the typed payloads carry exactly the raw values.
+    assert [e.to_raw() for e in envelopes] == raw
+    assert all(e.run.cached for e in envelopes)
+    assert len(ndjson) == len(specs)
+
+    assert env_s < raw_s * 5.0, (
+        f"envelope path ({env_s * 1e3:.1f} ms) should stay within 5x the "
+        f"raw engine path ({raw_s * 1e3:.1f} ms) on cache hits"
+    )
+
+    def row(label, seconds):
+        return {
+            "path": label,
+            "ms_per_64_queries": round(seconds * 1e3, 2),
+            "overhead_vs_raw": round(seconds / raw_s, 2),
+        }
+
+    _ROWS.extend(
+        [
+            row("engine-raw (cache hits)", raw_s),
+            row("client-envelopes", env_s),
+            row("client-stream+json (NDJSON)", ndjson_s),
+        ]
+    )
+    register_report(
+        f"API v2 envelope overhead: cache-hot {len(specs)}-query PRSQ batch "
+        f"(n={N_OBJECTS})",
+        _ROWS,
+    )

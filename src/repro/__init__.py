@@ -16,8 +16,20 @@ Public API highlights
 * :mod:`repro.datasets` — all of the paper's workload generators.
 * :mod:`repro.engine` — batched, cached, parallel query execution
   (:class:`~repro.engine.Session` + declarative query specs).
+* :mod:`repro.api` — the versioned public API: :func:`repro.api.connect`
+  returns a fluent :class:`~repro.api.Client` whose methods produce typed
+  :class:`~repro.api.QueryResult` envelopes; the
+  :data:`~repro.api.REGISTRY` lets new query families plug in with one
+  registration call and zero engine edits.
 """
 
+from repro.api import (
+    Client,
+    QueryResult,
+    REGISTRY,
+    connect,
+    connect_pdf,
+)
 from repro.core import (
     CPConfig,
     Cause,
@@ -70,10 +82,15 @@ from repro.uncertain import (
     UniformBoxObject,
 )
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "CPConfig",
+    "Client",
+    "QueryResult",
+    "REGISTRY",
+    "connect",
+    "connect_pdf",
     "Cause",
     "CauseKind",
     "CausalityResult",

@@ -1,0 +1,266 @@
+"""The fluent client facade: ``repro.api.connect(dataset)`` and friends.
+
+The client is the stable public surface over :mod:`repro.engine`.  Every
+method builds the corresponding spec, executes it on the shared session,
+and returns a typed :class:`~repro.api.results.QueryResult` envelope::
+
+    client = repro.api.connect(dataset)
+    answer = client.prsq((5.0, 5.0), alpha=0.5)
+    print(answer.value.ids, answer.run.cached, answer.fingerprint)
+
+    blame = client.causality(an="alice", q=(5.0, 5.0), alpha=0.5)
+    print(blame.value.ranked())
+
+Batches are assembled with the fluent builder and delivered either all at
+once or as an incremental stream (the CLI's NDJSON ``batch --stream``
+rides on the same path)::
+
+    batch = client.batch().prsq(q, alpha=0.3).prsq(q, alpha=0.7)
+    for envelope in batch.stream(workers=4):
+        handle(envelope)        # arrives as chunks complete, input order
+
+Single-query methods raise on failure; batch execution captures per-spec
+errors into failed envelopes (``error.code`` from the
+:mod:`repro.exceptions` taxonomy) so one bad query cannot discard the
+rest.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Hashable, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.api.results import QueryResult
+from repro.engine.executor import Executor, ParallelExecutor, SerialExecutor
+from repro.engine.session import Session
+from repro.engine.spec import (
+    CausalityCertainSpec,
+    CausalitySpec,
+    KSkybandCausalitySpec,
+    PdfCausalitySpec,
+    PRSQSpec,
+    QuerySpec,
+    ReverseKSkybandSpec,
+    ReverseSkylineSpec,
+    ReverseTopKSpec,
+)
+from repro.uncertain.dataset import UncertainDataset
+from repro.uncertain.pdf import ContinuousUncertainObject
+
+
+def connect(
+    dataset: Union[UncertainDataset, str, Path],
+    dataset_kind: str = "uncertain",
+    **session_kwargs: Any,
+) -> "Client":
+    """Open a :class:`Client` over *dataset*.
+
+    *dataset* may be an in-memory dataset or a CSV path (``dataset_kind``
+    selects the ``uncertain`` long format or the ``certain`` wide format).
+    Keyword arguments (``cache_size``, ``use_numpy``, ``cache``,
+    ``build_index``) pass through to the underlying
+    :class:`~repro.engine.session.Session`.
+    """
+    if isinstance(dataset, (str, Path)):
+        from repro.io.csvio import load_certain_csv, load_uncertain_csv
+
+        if dataset_kind == "certain":
+            dataset = load_certain_csv(dataset)
+        elif dataset_kind == "uncertain":
+            dataset = load_uncertain_csv(dataset)
+        else:
+            raise ValueError(
+                f"dataset_kind must be uncertain|certain, got {dataset_kind!r}"
+            )
+    return Client(Session(dataset, **session_kwargs))
+
+
+def connect_pdf(
+    objects: Sequence[ContinuousUncertainObject],
+    samples_per_object: int = 64,
+    seed: int = 0,
+    **session_kwargs: Any,
+) -> "Client":
+    """A client over continuous pdf objects (Section 3.2 model)."""
+    return Client(
+        Session.from_pdf_objects(
+            objects,
+            samples_per_object=samples_per_object,
+            seed=seed,
+            **session_kwargs,
+        )
+    )
+
+
+class Client:
+    """Fluent, typed access to one session's query zoo."""
+
+    def __init__(self, session: Session):
+        self.session = session
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    @property
+    def fingerprint(self) -> str:
+        return self.session.fingerprint
+
+    def cache_stats(self) -> dict:
+        return self.session.cache_stats()
+
+    def query(self, spec: QuerySpec) -> QueryResult:
+        """Execute any spec — including runtime-registered families."""
+        return self.session.query(spec)
+
+    def batch(self) -> "BatchBuilder":
+        """Start a fluent batch; finish with ``.run()`` or ``.stream()``."""
+        return BatchBuilder(self)
+
+    # ------------------------------------------------------------------
+    # one method per built-in query family
+    # ------------------------------------------------------------------
+    def prsq(
+        self,
+        q: Sequence[float],
+        alpha: float = 0.5,
+        want: str = "answers",
+    ) -> QueryResult:
+        return self.query(PRSQSpec(q=tuple(q), alpha=alpha, want=want))
+
+    def causality(
+        self,
+        an: Hashable,
+        q: Sequence[float],
+        alpha: float = 0.5,
+        config: Any = None,
+    ) -> QueryResult:
+        spec = (
+            CausalitySpec(an=an, q=tuple(q), alpha=alpha)
+            if config is None
+            else CausalitySpec(an=an, q=tuple(q), alpha=alpha, config=config)
+        )
+        return self.query(spec)
+
+    def pdf_causality(
+        self,
+        an: Hashable,
+        q: Sequence[float],
+        alpha: float = 0.5,
+        config: Any = None,
+    ) -> QueryResult:
+        spec = (
+            PdfCausalitySpec(an=an, q=tuple(q), alpha=alpha)
+            if config is None
+            else PdfCausalitySpec(an=an, q=tuple(q), alpha=alpha, config=config)
+        )
+        return self.query(spec)
+
+    def causality_certain(
+        self, an: Hashable, q: Sequence[float]
+    ) -> QueryResult:
+        return self.query(CausalityCertainSpec(an=an, q=tuple(q)))
+
+    def k_skyband_causality(
+        self, an: Hashable, q: Sequence[float], k: int = 1
+    ) -> QueryResult:
+        return self.query(KSkybandCausalitySpec(an=an, q=tuple(q), k=k))
+
+    def reverse_skyline(self, q: Sequence[float]) -> QueryResult:
+        return self.query(ReverseSkylineSpec(q=tuple(q)))
+
+    def reverse_k_skyband(self, q: Sequence[float], k: int = 1) -> QueryResult:
+        return self.query(ReverseKSkybandSpec(q=tuple(q), k=k))
+
+    def reverse_top_k(
+        self,
+        q: Sequence[float],
+        k: int,
+        weights: Sequence[Sequence[float]],
+        user_ids: Optional[Sequence[Hashable]] = None,
+    ) -> QueryResult:
+        return self.query(
+            ReverseTopKSpec(
+                q=tuple(q),
+                k=k,
+                weights=tuple(tuple(w) for w in weights),
+                user_ids=None if user_ids is None else tuple(user_ids),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"<Client {self.session!r}>"
+
+
+class BatchBuilder:
+    """Accumulates specs fluently; executes with error-capturing envelopes."""
+
+    def __init__(self, client: Client):
+        self._client = client
+        self._specs: List[QuerySpec] = []
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    @property
+    def specs(self) -> List[QuerySpec]:
+        return list(self._specs)
+
+    # ------------------------------------------------------------------
+    # fluent accumulation
+    # ------------------------------------------------------------------
+    def add(self, spec: QuerySpec) -> "BatchBuilder":
+        self._specs.append(spec)
+        return self
+
+    def extend(self, specs: Iterable[QuerySpec]) -> "BatchBuilder":
+        self._specs.extend(specs)
+        return self
+
+    def prsq(
+        self, q: Sequence[float], alpha: float = 0.5, want: str = "answers"
+    ) -> "BatchBuilder":
+        return self.add(PRSQSpec(q=tuple(q), alpha=alpha, want=want))
+
+    def causality(
+        self, an: Hashable, q: Sequence[float], alpha: float = 0.5
+    ) -> "BatchBuilder":
+        return self.add(CausalitySpec(an=an, q=tuple(q), alpha=alpha))
+
+    def causality_certain(
+        self, an: Hashable, q: Sequence[float]
+    ) -> "BatchBuilder":
+        return self.add(CausalityCertainSpec(an=an, q=tuple(q)))
+
+    def reverse_skyline(self, q: Sequence[float]) -> "BatchBuilder":
+        return self.add(ReverseSkylineSpec(q=tuple(q)))
+
+    def reverse_k_skyband(
+        self, q: Sequence[float], k: int = 1
+    ) -> "BatchBuilder":
+        return self.add(ReverseKSkybandSpec(q=tuple(q), k=k))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _executor(self, workers: int, executor: Optional[Executor]) -> Executor:
+        if executor is not None:
+            return executor
+        if workers > 1:
+            return ParallelExecutor(workers=workers)
+        return SerialExecutor()
+
+    def stream(
+        self, workers: int = 1, executor: Optional[Executor] = None
+    ) -> Iterator[QueryResult]:
+        """Yield one envelope per spec, incrementally, in input order."""
+        session = self._client.session
+        fingerprint = session.fingerprint
+        chosen = self._executor(workers, executor)
+        for outcome in chosen.stream(session, list(self._specs)):
+            yield QueryResult.from_outcome(outcome, fingerprint=fingerprint)
+
+    def run(
+        self, workers: int = 1, executor: Optional[Executor] = None
+    ) -> List[QueryResult]:
+        """Execute the batch and return all envelopes at once."""
+        return list(self.stream(workers=workers, executor=executor))

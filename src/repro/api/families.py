@@ -1,0 +1,63 @@
+"""Built-in query family registrations — the one place the zoo is wired.
+
+Each line binds a spec class, its planner and its typed result envelope
+under the spec's ``kind``.  Everything else — ``compile_plan``,
+``spec_to_dict``/``spec_from_dict``, CLI JSON/NDJSON emission, the client
+facade methods — dispatches through :data:`~repro.api.registry.REGISTRY`,
+so this table *is* the query zoo.  A new family (in user code or a future
+PR) is one more ``REGISTRY.register(...)`` call; no engine edits.
+
+This module is imported lazily by the registry on first lookup; it must
+not be imported directly by engine modules at module level.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import REGISTRY
+from repro.api.results import (
+    CausalityAnswer,
+    PRSQResult,
+    ReverseKSkybandResult,
+    ReverseSkylineResult,
+    ReverseTopKResult,
+)
+from repro.engine.plan import (
+    plan_causality,
+    plan_causality_certain,
+    plan_k_skyband_causality,
+    plan_pdf_causality,
+    plan_prsq,
+    plan_reverse_k_skyband,
+    plan_reverse_skyline,
+    plan_reverse_top_k,
+)
+from repro.engine.spec import (
+    CausalityCertainSpec,
+    CausalitySpec,
+    KSkybandCausalitySpec,
+    PdfCausalitySpec,
+    PRSQSpec,
+    QuerySpec,
+    ReverseKSkybandSpec,
+    ReverseSkylineSpec,
+    ReverseTopKSpec,
+)
+
+_BUILTIN = (
+    (PRSQSpec, plan_prsq, PRSQResult),
+    (CausalitySpec, plan_causality, CausalityAnswer),
+    (PdfCausalitySpec, plan_pdf_causality, CausalityAnswer),
+    (CausalityCertainSpec, plan_causality_certain, CausalityAnswer),
+    (KSkybandCausalitySpec, plan_k_skyband_causality, CausalityAnswer),
+    (ReverseSkylineSpec, plan_reverse_skyline, ReverseSkylineResult),
+    (ReverseKSkybandSpec, plan_reverse_k_skyband, ReverseKSkybandResult),
+    (ReverseTopKSpec, plan_reverse_top_k, ReverseTopKResult),
+)
+
+for _spec_cls, _planner, _result_cls in _BUILTIN:
+    if _spec_cls.kind not in REGISTRY:  # idempotent under re-import
+        REGISTRY.register(_spec_cls, planner=_planner, result_cls=_result_cls)
+
+del _spec_cls, _planner, _result_cls
+
+__all__ = ["QuerySpec"]

@@ -1,0 +1,207 @@
+"""The query registry — one pluggable dispatch point for the whole zoo.
+
+Before v2 the spec->planner mapping lived in a private dict in
+:mod:`repro.engine.plan`, the kind->spec-class mapping in
+:mod:`repro.engine.spec`, and the result->JSON conversion in ad-hoc CLI
+helpers.  Adding a query family meant editing all three.  The registry
+collapses them into one table: a :class:`QueryFamily` binds a spec class,
+a planner, and a typed result envelope class under the spec's ``kind``
+string, and every dispatch — planning, spec (de)serialization, envelope
+decoding — goes through :data:`REGISTRY`.
+
+A new family therefore plugs in with a single call and zero engine edits::
+
+    from repro.api import REGISTRY
+
+    REGISTRY.register(CountInWindowSpec, planner=plan_count_in_window,
+                      result_cls=CountResult)
+
+(the end-to-end proof lives in ``tests/test_api.py``).
+
+This module is deliberately import-light: the engine dispatches through it
+lazily, and the built-in families from :mod:`repro.api.families` are
+loaded on first lookup, so ``repro.engine`` <-> ``repro.api`` never forms
+an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import MISSING, dataclass, fields, is_dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from repro.api import wire
+from repro.exceptions import InvalidSpecError, UnknownQueryKindError
+
+#: Spec fields that are coordinate/weight sequences: serialized as plain
+#: JSON arrays (the hand-written spec-file format) rather than tagged
+#: tuples, and re-normalized by the spec's own ``__post_init__``.  Id
+#: fields — including id *sequences* like ``user_ids`` — are not listed
+#: here: they go through the tagged wire encoding so composite (tuple)
+#: ids survive a real JSON round trip.  Hand-written JSON arrays still
+#: decode fine for them (``decode_value`` passes plain lists through and
+#: the spec's ``__post_init__`` re-tuples).
+DEFAULT_SEQUENCE_FIELDS: Tuple[str, ...] = ("q", "weights")
+
+
+@dataclass(frozen=True)
+class QueryFamily:
+    """Everything the system needs to know about one query kind."""
+
+    kind: str
+    spec_cls: Type
+    planner: Callable[[Any], Any]  # spec -> repro.engine.plan.QueryPlan
+    result_cls: Type               # typed envelope, see repro.api.results
+    sequence_fields: Tuple[str, ...] = DEFAULT_SEQUENCE_FIELDS
+
+
+class QueryRegistry:
+    """Kind-keyed table of :class:`QueryFamily` entries."""
+
+    def __init__(self, load_builtin: bool = False):
+        self._families: Dict[str, QueryFamily] = {}
+        self._load_builtin = load_builtin
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        spec_cls: Type,
+        planner: Callable[[Any], Any],
+        result_cls: Type,
+        sequence_fields: Tuple[str, ...] = DEFAULT_SEQUENCE_FIELDS,
+        replace: bool = False,
+    ) -> QueryFamily:
+        """Register one query family under ``spec_cls.kind``.
+
+        ``replace=False`` (the default) treats double registration as a
+        programming error; pass ``replace=True`` to shadow a family (e.g.
+        to wrap a planner with instrumentation in tests).
+        """
+        kind = getattr(spec_cls, "kind", None)
+        if not isinstance(kind, str) or not kind or kind == "abstract":
+            raise ValueError(
+                f"{spec_cls.__name__} needs a non-empty class-level 'kind'"
+            )
+        if not is_dataclass(spec_cls):
+            raise ValueError(f"{spec_cls.__name__} must be a dataclass spec")
+        self._ensure_builtin()
+        if kind in self._families and not replace:
+            raise ValueError(f"query kind {kind!r} is already registered")
+        family = QueryFamily(
+            kind=kind,
+            spec_cls=spec_cls,
+            planner=planner,
+            result_cls=result_cls,
+            sequence_fields=tuple(sequence_fields),
+        )
+        self._families[kind] = family
+        return family
+
+    def unregister(self, kind: str) -> None:
+        self._families.pop(kind, None)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def _ensure_builtin(self) -> None:
+        if self._load_builtin:
+            self._load_builtin = False  # before the import: it re-enters register()
+            import repro.api.families  # noqa: F401 - registers the builtins
+
+    def __contains__(self, kind: str) -> bool:
+        self._ensure_builtin()
+        return kind in self._families
+
+    def kinds(self) -> List[str]:
+        self._ensure_builtin()
+        return sorted(self._families)
+
+    def family(self, kind: str) -> QueryFamily:
+        self._ensure_builtin()
+        try:
+            return self._families[kind]
+        except KeyError:
+            raise UnknownQueryKindError(
+                f"unknown query kind {kind!r}; expected one of {sorted(self._families)}"
+            ) from None
+
+    def family_for_spec(self, spec: Any) -> QueryFamily:
+        self._ensure_builtin()
+        family = self._families.get(getattr(spec, "kind", None))
+        if family is None or not isinstance(spec, family.spec_cls):
+            raise TypeError(
+                f"no registered query family for spec type {type(spec).__name__}"
+            )
+        return family
+
+    # ------------------------------------------------------------------
+    # spec wire format
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _nested_dataclass(spec_cls: Type, name: str) -> Optional[Type]:
+        """The dataclass type of a config-style field, from its default.
+
+        Spec fields holding a nested dataclass (``CausalitySpec.config``,
+        or any custom family's equivalent) serialize as plain JSON objects.
+        The target type is recovered from the field's default value, so
+        the registry needs no per-type special cases.
+        """
+        f = spec_cls.__dataclass_fields__.get(name)
+        if f is None:
+            return None
+        default = f.default
+        if default is MISSING and f.default_factory is not MISSING:
+            default = f.default_factory()
+        if default is not MISSING and is_dataclass(default):
+            return type(default)
+        return None
+
+    def spec_to_dict(self, spec: Any) -> Dict[str, Any]:
+        """JSON-ready dict for a spec (inverse of :meth:`spec_from_dict`)."""
+        family = self.family_for_spec(spec)
+        payload: Dict[str, Any] = {"kind": family.kind}
+        for f in fields(spec):
+            value = getattr(spec, f.name)
+            if is_dataclass(value) and not isinstance(value, type):
+                value = {cf.name: getattr(value, cf.name) for cf in fields(value)}
+            elif f.name in family.sequence_fields and isinstance(value, tuple):
+                value = [list(v) if isinstance(v, tuple) else v for v in value]
+            else:
+                # Id-like fields go through the tagged wire encoding so a
+                # tuple oid survives a *real* JSON round trip, not just an
+                # in-memory one.
+                value = wire.encode_value(value)
+            payload[f.name] = value
+        return payload
+
+    def spec_from_dict(self, payload: Dict[str, Any]) -> Any:
+        """Build a spec from its JSON dict form."""
+        data = dict(payload)
+        kind = data.pop("kind", None)
+        family = self.family(kind)
+        cls = family.spec_cls
+        allowed = {f.name for f in fields(cls)}
+        unknown = set(data) - allowed
+        if unknown:
+            raise InvalidSpecError(
+                f"{kind}: unknown field(s) {sorted(unknown)}; allowed: {sorted(allowed)}"
+            )
+        for name, value in data.items():
+            nested_cls = self._nested_dataclass(cls, name)
+            if nested_cls is not None and isinstance(value, dict):
+                allowed_cfg = {f.name for f in fields(nested_cls)}
+                unknown_cfg = set(value) - allowed_cfg
+                if unknown_cfg:
+                    raise InvalidSpecError(
+                        f"{kind}: unknown {name} field(s) {sorted(unknown_cfg)}; "
+                        f"allowed: {sorted(allowed_cfg)}"
+                    )
+                data[name] = nested_cls(**value)
+            elif name not in family.sequence_fields:
+                data[name] = wire.decode_value(data[name])
+        return cls(**data)
+
+
+#: The process-global registry every engine dispatch goes through.
+REGISTRY = QueryRegistry(load_builtin=True)

@@ -1,0 +1,66 @@
+"""JSON-safe value encoding for the public API wire format.
+
+JSON alone cannot round-trip the id vocabulary the engine supports:
+tuples become lists (and lists are not hashable, so they are rejected as
+ids), frozensets have no JSON form at all, and non-string dict keys are
+silently coerced to strings.  ``encode_value``/``decode_value`` close the
+gap with a small tagged scheme::
+
+    ("composite", 1)      <->  {"$tuple": ["composite", 1]}
+    frozenset({"a", 2})   <->  {"$frozenset": [2, "a"]}      (sorted by repr)
+    {3: 0.5}              <->  {"$map": [[3, 0.5]]}
+
+Scalars and string-keyed dicts pass through untouched, so hand-written
+spec files (``{"kind": "prsq", "q": [1, 2]}``) need no tags.  A plain dict
+that happens to use a ``$``-prefixed key is escaped through the ``$map``
+form, which keeps decoding unambiguous.  Encoding is deterministic
+(insertion order preserved, sets sorted), so ``encode -> json -> decode ->
+encode`` reproduces the original bytes — the property the envelope
+round-trip tests pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+_TUPLE = "$tuple"
+_FROZENSET = "$frozenset"
+_MAP = "$map"
+_TAGS = (_TUPLE, _FROZENSET, _MAP)
+
+
+def encode_value(value: Any) -> Any:
+    """Recursively encode *value* into a JSON-representable form."""
+    if isinstance(value, tuple):
+        return {_TUPLE: [encode_value(v) for v in value]}
+    if isinstance(value, (set, frozenset)):
+        return {_FROZENSET: [encode_value(v) for v in sorted(value, key=repr)]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        plain_keys = all(
+            isinstance(k, str) and not k.startswith("$") for k in value
+        )
+        if plain_keys:
+            return {k: encode_value(v) for k, v in value.items()}
+        return {_MAP: [[encode_value(k), encode_value(v)] for k, v in value.items()]}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    if isinstance(value, dict):
+        if len(value) == 1:
+            tag = next(iter(value))
+            if tag == _TUPLE:
+                return tuple(decode_value(v) for v in value[tag])
+            if tag == _FROZENSET:
+                return frozenset(decode_value(v) for v in value[tag])
+            if tag == _MAP:
+                return {
+                    decode_value(k): decode_value(v) for k, v in value[tag]
+                }
+        return {k: decode_value(v) for k, v in value.items()}
+    return value

@@ -18,10 +18,19 @@ import math
 import multiprocessing
 import os
 import time
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.engine.spec import QuerySpec
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, error_code
 from repro.uncertain.dataset import CertainDataset, UncertainDataset
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -29,12 +38,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 def _execute_captured(session: "Session", spec: QuerySpec) -> "QueryOutcome":
-    """Run one spec, converting data errors into a failed outcome."""
+    """Run one spec, converting data errors into a failed outcome.
+
+    The failed outcome carries the legacy combined ``error`` string plus
+    the machine-actionable split (``error_type``/``error_code``/
+    ``error_message``) that the API layer serializes into envelopes.
+    """
     from repro.engine.session import QueryOutcome
 
     started = time.perf_counter()
     try:
-        return session.execute(spec)
+        return session._execute_outcome(spec)
     except (ReproError, KeyError, ValueError) as exc:
         return QueryOutcome(
             spec=spec,
@@ -42,6 +56,9 @@ def _execute_captured(session: "Session", spec: QuerySpec) -> "QueryOutcome":
             cached=False,
             elapsed_s=time.perf_counter() - started,
             error=f"{type(exc).__name__}: {exc}",
+            error_type=type(exc).__name__,
+            error_code=error_code(exc),
+            error_message=str(exc),
         )
 
 
@@ -116,6 +133,18 @@ class Executor:
     ) -> List["QueryOutcome"]:
         raise NotImplementedError
 
+    def stream(
+        self, session: "Session", specs: Sequence[QuerySpec]
+    ) -> Iterator["QueryOutcome"]:
+        """Yield outcomes in input order as they complete.
+
+        The base implementation degrades to :meth:`map`; the serial and
+        parallel executors override it with genuinely incremental
+        delivery — this is what feeds the client's ``.stream()`` and the
+        CLI's NDJSON ``batch --stream`` output.
+        """
+        yield from self.map(session, specs)
+
     @staticmethod
     def _precheck(session: "Session", specs: Sequence[QuerySpec]) -> None:
         """Spec/session mismatches are caller bugs: fail the batch up front."""
@@ -129,8 +158,15 @@ class SerialExecutor(Executor):
     def map(
         self, session: "Session", specs: Sequence[QuerySpec]
     ) -> List["QueryOutcome"]:
+        return list(self.stream(session, specs))
+
+    def stream(
+        self, session: "Session", specs: Sequence[QuerySpec]
+    ) -> Iterator["QueryOutcome"]:
+        specs = list(specs)
         self._precheck(session, specs)
-        return [_execute_captured(session, spec) for spec in specs]
+        for spec in specs:
+            yield _execute_captured(session, spec)
 
 
 class ParallelExecutor(Executor):
@@ -172,16 +208,9 @@ class ParallelExecutor(Executor):
             size = max(1, math.ceil(len(indexed) / (self.workers * 4)))
         return [indexed[i : i + size] for i in range(0, len(indexed), size)]
 
-    def map(
-        self, session: "Session", specs: Sequence[QuerySpec]
-    ) -> List["QueryOutcome"]:
-        specs = list(specs)
-        if not specs:
-            return []
-        self._precheck(session, specs)
-        if self.workers == 1 or len(specs) == 1:
-            return SerialExecutor().map(session, specs)
-
+    def _initargs(
+        self, session: "Session"
+    ) -> Tuple[Dict[str, Any], Optional[list], Dict[str, Any]]:
         payload = _dataset_payload(session.dataset)
         pdf_objects = (
             list(session._pdf_objects.values())
@@ -196,17 +225,30 @@ class ParallelExecutor(Executor):
             session_kwargs["cache"] = None
         else:
             session_kwargs["cache_size"] = self.cache_size
+        return payload, pdf_objects, session_kwargs
 
-        indexed = list(enumerate(specs))
-        chunks = self._chunks(indexed)
+    @staticmethod
+    def _context():
         try:
-            ctx = multiprocessing.get_context("fork")
+            return multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-fork platforms
-            ctx = multiprocessing.get_context()
-        with ctx.Pool(
+            return multiprocessing.get_context()
+
+    def map(
+        self, session: "Session", specs: Sequence[QuerySpec]
+    ) -> List["QueryOutcome"]:
+        specs = list(specs)
+        if not specs:
+            return []
+        self._precheck(session, specs)
+        if self.workers == 1 or len(specs) == 1:
+            return SerialExecutor().map(session, specs)
+
+        chunks = self._chunks(list(enumerate(specs)))
+        with self._context().Pool(
             processes=min(self.workers, len(chunks)),
             initializer=_worker_init,
-            initargs=(payload, pdf_objects, session_kwargs),
+            initargs=self._initargs(session),
         ) as pool:
             parts = pool.map(_worker_run, chunks)
 
@@ -215,3 +257,31 @@ class ParallelExecutor(Executor):
         ]
         outcomes.sort(key=lambda pair: pair[0])
         return [outcome for _index, outcome in outcomes]
+
+    def stream(
+        self, session: "Session", specs: Sequence[QuerySpec]
+    ) -> Iterator["QueryOutcome"]:
+        """Incremental fan-out: outcomes arrive chunk by chunk, in order.
+
+        ``Pool.imap`` over the same contiguous chunks :meth:`map` uses
+        keeps delivery order identical to the serial executor while a
+        consumer (the NDJSON streamer) sees results as each chunk
+        finishes instead of waiting for the whole batch.
+        """
+        specs = list(specs)
+        if not specs:
+            return
+        self._precheck(session, specs)
+        if self.workers == 1 or len(specs) == 1:
+            yield from SerialExecutor().stream(session, specs)
+            return
+
+        chunks = self._chunks(list(enumerate(specs)))
+        with self._context().Pool(
+            processes=min(self.workers, len(chunks)),
+            initializer=_worker_init,
+            initargs=self._initargs(session),
+        ) as pool:
+            for part in pool.imap(_worker_run, chunks):
+                for _index, outcome in part:
+                    yield outcome

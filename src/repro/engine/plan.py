@@ -61,7 +61,7 @@ class QueryPlan:
         return "\n".join(lines)
 
 
-def _plan_prsq(spec: PRSQSpec) -> QueryPlan:
+def plan_prsq(spec: PRSQSpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         probabilities = session.prsq_probabilities(spec.q)
         if spec.want == "probabilities":
@@ -78,7 +78,7 @@ def _plan_prsq(spec: PRSQSpec) -> QueryPlan:
     )
 
 
-def _plan_causality(spec: CausalitySpec) -> QueryPlan:
+def plan_causality(spec: CausalitySpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         return compute_causality(
             session.dataset, spec.an, spec.q, spec.alpha, config=spec.config
@@ -91,7 +91,7 @@ def _plan_causality(spec: CausalitySpec) -> QueryPlan:
     )
 
 
-def _plan_pdf_causality(spec: PdfCausalitySpec) -> QueryPlan:
+def plan_pdf_causality(spec: PdfCausalitySpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         pdf_object = session.pdf_object(spec.an)
         windows = pdf_object.filter_rectangles(spec.q)
@@ -112,7 +112,7 @@ def _plan_pdf_causality(spec: PdfCausalitySpec) -> QueryPlan:
     )
 
 
-def _plan_causality_certain(spec: CausalityCertainSpec) -> QueryPlan:
+def plan_causality_certain(spec: CausalityCertainSpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         return compute_causality_certain(session.dataset, spec.an, spec.q)
 
@@ -123,7 +123,7 @@ def _plan_causality_certain(spec: CausalityCertainSpec) -> QueryPlan:
     )
 
 
-def _plan_k_skyband_causality(spec: KSkybandCausalitySpec) -> QueryPlan:
+def plan_k_skyband_causality(spec: KSkybandCausalitySpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         return compute_causality_k_skyband(
             session.dataset, spec.an, spec.q, spec.k
@@ -137,7 +137,7 @@ def _plan_k_skyband_causality(spec: KSkybandCausalitySpec) -> QueryPlan:
     )
 
 
-def _plan_reverse_skyline(spec: ReverseSkylineSpec) -> QueryPlan:
+def plan_reverse_skyline(spec: ReverseSkylineSpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         if _vectorize(session):
             mask = kernels.reverse_skyline_mask(
@@ -154,7 +154,7 @@ def _plan_reverse_skyline(spec: ReverseSkylineSpec) -> QueryPlan:
     )
 
 
-def _plan_reverse_k_skyband(spec: ReverseKSkybandSpec) -> QueryPlan:
+def plan_reverse_k_skyband(spec: ReverseKSkybandSpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         if _vectorize(session):
             mask = kernels.k_skyband_mask(
@@ -172,7 +172,7 @@ def _plan_reverse_k_skyband(spec: ReverseKSkybandSpec) -> QueryPlan:
     )
 
 
-def _plan_reverse_top_k(spec: ReverseTopKSpec) -> QueryPlan:
+def plan_reverse_top_k(spec: ReverseTopKSpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         users = WeightSet(
             [list(w) for w in spec.weights],
@@ -187,21 +187,17 @@ def _plan_reverse_top_k(spec: ReverseTopKSpec) -> QueryPlan:
     )
 
 
-_PLANNERS = {
-    PRSQSpec: _plan_prsq,
-    CausalitySpec: _plan_causality,
-    PdfCausalitySpec: _plan_pdf_causality,
-    CausalityCertainSpec: _plan_causality_certain,
-    KSkybandCausalitySpec: _plan_k_skyband_causality,
-    ReverseSkylineSpec: _plan_reverse_skyline,
-    ReverseKSkybandSpec: _plan_reverse_k_skyband,
-    ReverseTopKSpec: _plan_reverse_top_k,
-}
-
-
 def compile_plan(spec: QuerySpec) -> QueryPlan:
-    """Compile *spec* into an executable :class:`QueryPlan`."""
-    planner = _PLANNERS.get(type(spec))
-    if planner is None:
-        raise TypeError(f"no planner for spec type {type(spec).__name__}")
-    return planner(spec)
+    """Compile *spec* into an executable :class:`QueryPlan`.
+
+    Dispatch goes through :data:`repro.api.registry.REGISTRY` — the
+    planners above are bound to their spec classes by
+    :mod:`repro.api.families`, and a query family registered at runtime
+    plans here with zero engine edits.  Raises :class:`TypeError` for an
+    unregistered spec type (an unregistered *kind* string raises
+    :class:`~repro.exceptions.UnknownQueryKindError` at parse time
+    instead).
+    """
+    from repro.api.registry import REGISTRY
+
+    return REGISTRY.family_for_spec(spec).planner(spec)

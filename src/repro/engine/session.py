@@ -15,14 +15,18 @@ amortizes that work across queries:
 Typical use::
 
     session = Session(dataset)
-    outcome = session.execute(PRSQSpec(q=(5.0, 5.0), alpha=0.5))
+    envelope = session.query(PRSQSpec(q=(5.0, 5.0), alpha=0.5))
     outcomes = session.execute_batch(specs, executor=ParallelExecutor(4))
+
+(Most callers should prefer the :func:`repro.api.connect` client facade;
+the legacy ``run``/``execute`` methods remain as deprecation shims.)
 """
 
 from __future__ import annotations
 
 import hashlib
 import time
+import warnings
 from dataclasses import dataclass, replace
 from typing import (
     Any,
@@ -108,7 +112,10 @@ class QueryOutcome:
 
     Batch executors capture per-spec data errors (unknown ids, non-answers
     that are answers, ...) instead of aborting the batch: a failed outcome
-    has ``value None`` and ``error`` set to the exception text.
+    has ``value None``, ``error`` set to the legacy ``"Type: message"``
+    string, and the machine-actionable split — ``error_type`` (exception
+    class name), ``error_code`` (:func:`repro.exceptions.error_code`
+    taxonomy), ``error_message`` (bare text) — filled in alongside.
     """
 
     spec: QuerySpec
@@ -116,6 +123,9 @@ class QueryOutcome:
     cached: bool
     elapsed_s: float
     error: Optional[str] = None
+    error_type: Optional[str] = None
+    error_code: Optional[str] = None
+    error_message: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -231,7 +241,9 @@ class Session:
         try:
             return self._pdf_objects[oid]
         except KeyError:
-            raise KeyError(f"unknown pdf object {oid!r}") from None
+            from repro.exceptions import UnknownObjectError
+
+            raise UnknownObjectError(f"unknown pdf object {oid!r}") from None
 
     def cache_stats(self) -> Dict[str, float]:
         return self.cache.stats.as_dict()
@@ -275,12 +287,12 @@ class Session:
         self._check_spec(spec)
         return compile_plan(spec)
 
-    def run(self, spec: QuerySpec) -> Any:
+    def _run_raw(self, spec: QuerySpec) -> Any:
         """Execute *spec* bypassing the result cache (sub-caches still apply)."""
         return self.plan(spec).execute(self)
 
-    def execute(self, spec: QuerySpec) -> QueryOutcome:
-        """Execute *spec* with result caching; returns the outcome envelope."""
+    def _execute_outcome(self, spec: QuerySpec) -> QueryOutcome:
+        """Execute *spec* with result caching; returns the outcome record."""
         plan = self.plan(spec)
         key = self._key(*spec.cache_key())
         started = time.perf_counter()
@@ -293,6 +305,42 @@ class Session:
             cached=was_hit,
             elapsed_s=time.perf_counter() - started,
         )
+
+    def query(self, spec: QuerySpec) -> "QueryResult":
+        """Execute *spec* and return the typed v2 envelope.
+
+        This is the canonical single-query entry point; prefer the
+        :func:`repro.api.connect` client facade, which builds specs for
+        you.  Errors raise; batch paths capture them into envelopes
+        instead.
+        """
+        from repro.api.results import QueryResult
+
+        return QueryResult.from_outcome(
+            self._execute_outcome(spec), fingerprint=self.fingerprint
+        )
+
+    # -- legacy v1 shims ------------------------------------------------
+    def run(self, spec: QuerySpec) -> Any:
+        """Deprecated: use :meth:`query` (or the :func:`repro.api.connect`
+        client) and ``.to_raw()`` for the old payload shape."""
+        warnings.warn(
+            "Session.run(spec) is deprecated; use Session.query(spec) / "
+            "repro.api.connect(...) which return typed QueryResult envelopes",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._run_raw(spec)
+
+    def execute(self, spec: QuerySpec) -> QueryOutcome:
+        """Deprecated: use :meth:`query` for a typed, versioned envelope."""
+        warnings.warn(
+            "Session.execute(spec) is deprecated; use Session.query(spec) / "
+            "repro.api.connect(...) which return typed QueryResult envelopes",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._execute_outcome(spec)
 
     def execute_batch(
         self,

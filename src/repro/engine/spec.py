@@ -40,7 +40,8 @@ def _point_tuple(q: PointLike) -> Tuple[float, ...]:
 
 
 def _validate_alpha(alpha: float) -> None:
-    if not isinstance(alpha, (int, float)):
+    # bool is an int subclass; alpha=True must fail like _validate_k's k=True.
+    if isinstance(alpha, bool) or not isinstance(alpha, (int, float)):
         raise ValueError(f"alpha must be a number, got {alpha!r}")
     if not 0.0 < alpha <= 1.0:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
@@ -235,6 +236,10 @@ class ReverseTopKSpec(QuerySpec):
             raise ValueError("at least one weight vector is required")
 
 
+#: Legacy view of the built-in kind -> spec-class mapping.  The
+#: authoritative table is :data:`repro.api.registry.REGISTRY` (which also
+#: holds planners, result codecs, and any runtime-registered families);
+#: this dict remains for import compatibility only.
 SPEC_KINDS: Dict[str, Type[QuerySpec]] = {
     cls.kind: cls
     for cls in (
@@ -251,45 +256,19 @@ SPEC_KINDS: Dict[str, Type[QuerySpec]] = {
 
 
 def spec_to_dict(spec: QuerySpec) -> Dict[str, Any]:
-    """JSON-ready dict for a spec (inverse of :func:`spec_from_dict`)."""
-    payload: Dict[str, Any] = {"kind": spec.kind}
-    for f in fields(spec):
-        value = getattr(spec, f.name)
-        if isinstance(value, CPConfig):
-            value = {
-                cf.name: getattr(value, cf.name) for cf in fields(value)
-            }
-        elif f.name in ("q", "weights", "user_ids") and isinstance(value, tuple):
-            # Only the declared sequence fields become JSON arrays; id
-            # fields like ``an`` keep their value (a tuple oid must survive
-            # the round trip as a tuple).
-            value = [list(v) if isinstance(v, tuple) else v for v in value]
-        payload[f.name] = value
-    return payload
+    """JSON-ready dict for a spec (inverse of :func:`spec_from_dict`).
+
+    Dispatches through the query registry, so runtime-registered families
+    serialize exactly like the builtins — including the tagged wire
+    encoding that lets tuple ids survive a real JSON round trip.
+    """
+    from repro.api.registry import REGISTRY
+
+    return REGISTRY.spec_to_dict(spec)
 
 
 def spec_from_dict(payload: Dict[str, Any]) -> QuerySpec:
-    """Build a spec from its JSON dict form."""
-    data = dict(payload)
-    kind = data.pop("kind", None)
-    cls = SPEC_KINDS.get(kind)
-    if cls is None:
-        raise ValueError(
-            f"unknown query kind {kind!r}; expected one of {sorted(SPEC_KINDS)}"
-        )
-    allowed = {f.name for f in fields(cls)}
-    unknown = set(data) - allowed
-    if unknown:
-        raise ValueError(
-            f"{kind}: unknown field(s) {sorted(unknown)}; allowed: {sorted(allowed)}"
-        )
-    if "config" in data and isinstance(data["config"], dict):
-        allowed_cfg = {f.name for f in fields(CPConfig)}
-        unknown_cfg = set(data["config"]) - allowed_cfg
-        if unknown_cfg:
-            raise ValueError(
-                f"{kind}: unknown config field(s) {sorted(unknown_cfg)}; "
-                f"allowed: {sorted(allowed_cfg)}"
-            )
-        data["config"] = CPConfig(**data["config"])
-    return cls(**data)
+    """Build a spec from its JSON dict form (registry-dispatched)."""
+    from repro.api.registry import REGISTRY
+
+    return REGISTRY.spec_from_dict(payload)

@@ -1,9 +1,16 @@
-"""Exception hierarchy for the :mod:`repro` library.
+"""Exception hierarchy and error taxonomy for the :mod:`repro` library.
 
 All library-raised errors derive from :class:`ReproError`, so callers can
 ``except ReproError`` to catch any failure coming from this package while
 letting programming errors (``TypeError`` and friends raised by Python
 itself) propagate.
+
+Every class carries a stable machine-readable ``code`` that the API layer
+serializes into failed :class:`repro.api.results.QueryResult` envelopes.
+:func:`error_code` maps *any* exception — including builtins that leak out
+of query execution, like the ``KeyError`` for an unknown object id — onto
+this taxonomy, so batch consumers can branch on codes instead of parsing
+message strings.
 """
 
 from __future__ import annotations
@@ -12,9 +19,13 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for every error raised by the repro library."""
 
+    code: str = "repro_error"
+
 
 class DimensionalityError(ReproError):
     """Two geometric arguments disagree on the number of dimensions."""
+
+    code = "dimensionality_mismatch"
 
     def __init__(self, expected: int, actual: int, what: str = "argument"):
         self.expected = expected
@@ -27,6 +38,8 @@ class DimensionalityError(ReproError):
 class InvalidProbabilityError(ReproError):
     """A probability or probability vector is outside [0, 1] / not normalized."""
 
+    code = "invalid_probability"
+
 
 class NotANonAnswerError(ReproError):
     """The designated object is actually an answer to the query.
@@ -37,13 +50,19 @@ class NotANonAnswerError(ReproError):
     returning an empty-but-plausible result.
     """
 
+    code = "not_a_non_answer"
+
 
 class EmptyDatasetError(ReproError):
     """An operation that requires at least one object received none."""
 
+    code = "empty_dataset"
+
 
 class IndexError_(ReproError):
     """An R-tree structural invariant was violated (corrupt index)."""
+
+    code = "index_corrupt"
 
 
 class SpecMismatchError(ReproError, TypeError):
@@ -52,3 +71,53 @@ class SpecMismatchError(ReproError, TypeError):
     Also a :class:`TypeError`: the spec/session pairing is a type-level
     contract, and callers may reasonably catch it as such.
     """
+
+    code = "spec_mismatch"
+
+
+class InvalidSpecError(ReproError, ValueError):
+    """A query spec payload is malformed (bad field, bad value, bad shape).
+
+    Also a :class:`ValueError` so pre-taxonomy callers that catch
+    ``ValueError`` around :func:`repro.engine.spec.spec_from_dict` keep
+    working.
+    """
+
+    code = "invalid_spec"
+
+
+class UnknownQueryKindError(InvalidSpecError):
+    """A spec payload names a query kind absent from the registry."""
+
+    code = "unknown_query_kind"
+
+
+class UnknownObjectError(ReproError, KeyError):
+    """A query references an object id the dataset does not contain.
+
+    Also a :class:`KeyError` for pre-taxonomy callers.
+    """
+
+    code = "unknown_object"
+
+    def __str__(self) -> str:  # KeyError repr-quotes its message
+        return self.args[0] if self.args else ""
+
+
+# Codes for non-repro exceptions that can escape query execution.
+_BUILTIN_CODES = (
+    (KeyError, "unknown_key"),
+    (ValueError, "invalid_value"),
+    (TypeError, "type_error"),
+    (OSError, "io_error"),
+)
+
+
+def error_code(exc: BaseException) -> str:
+    """The stable taxonomy code for *exc* (``internal_error`` fallback)."""
+    if isinstance(exc, ReproError):
+        return exc.code
+    for cls, code in _BUILTIN_CODES:
+        if isinstance(exc, cls):
+            return code
+    return "internal_error"

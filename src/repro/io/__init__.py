@@ -10,6 +10,8 @@ from repro.io.jsonio import (
     dataset_from_dict,
     dataset_to_dict,
     load_dataset_json,
+    load_result_json,
+    result_from_dict,
     result_to_dict,
     save_dataset_json,
     save_result_json,
@@ -20,7 +22,9 @@ __all__ = [
     "dataset_to_dict",
     "load_certain_csv",
     "load_dataset_json",
+    "load_result_json",
     "load_uncertain_csv",
+    "result_from_dict",
     "result_to_dict",
     "save_certain_csv",
     "save_dataset_json",

@@ -7,13 +7,17 @@ Usage (after ``pip install -e .``)::
     python -m repro explain  --data data.csv --q 5000 5000 --alpha 0.5 --an 42
     python -m repro explain-certain --data cars.csv --q 11580 49000 --an an-7510-10180
     python -m repro batch    --data data.csv --queries queries.json --workers 4
+    python -m repro batch    --data data.csv --queries queries.json --stream
 
 ``generate`` writes a synthetic dataset; ``prsq`` lists answers and
 non-answers with probabilities; ``explain`` runs algorithm CP on one
 non-answer (``explain-certain`` runs CR on certain data); ``batch`` runs a
-JSON file of query specs through the :mod:`repro.engine` session with
-optional multiprocess fan-out and result caching.  JSON output is selected
-by the file extension of ``--out`` / by ``--json``.
+JSON file of query specs through the :mod:`repro.api` client with optional
+multiprocess fan-out and result caching.  All JSON emission goes through
+the typed :class:`~repro.api.results.QueryResult` envelopes: ``--json``
+prints one JSON array of envelopes, ``--stream`` prints NDJSON — one
+envelope per line, flushed as each result lands, so a consumer can pipe
+the output while long batches are still running.
 """
 
 from __future__ import annotations
@@ -37,7 +41,6 @@ from repro.io.csvio import (
     save_certain_csv,
     save_uncertain_csv,
 )
-from repro.io.jsonio import result_to_dict
 from repro.prsq.query import prsq_probabilities
 
 
@@ -124,7 +127,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="LRU result-cache capacity (default 4096; 0 disables caching)",
     )
-    batch.add_argument("--json", action="store_true")
+    out_fmt = batch.add_mutually_exclusive_group()
+    out_fmt.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON array of typed result envelopes",
+    )
+    out_fmt.add_argument(
+        "--stream",
+        action="store_true",
+        help="emit NDJSON: one envelope per line, flushed incrementally",
+    )
 
     return parser
 
@@ -168,21 +181,25 @@ def _cmd_prsq(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_cause_lines(result: CausalityResult) -> None:
-    for oid, resp in result.ranked():
-        cause = result.causes[oid]
-        print(f"  {oid}\tresponsibility={resp:.6f}\t{cause.kind.value}")
+def _print_cause_lines(answer) -> None:
+    """Ranked cause lines for a CausalityAnswer envelope payload."""
+    kinds = {record.id: record.kind for record in answer.causes}
+    for oid, resp in answer.ranked():
+        print(f"  {oid}\tresponsibility={resp:.6f}\t{kinds[oid]}")
 
 
-def _print_result(result, as_json: bool) -> None:
+def _print_result(result: CausalityResult, as_json: bool) -> None:
+    from repro.api.results import CausalityAnswer
+
+    answer = CausalityAnswer.from_raw(result)
     if as_json:
-        print(json.dumps(result_to_dict(result), indent=2))
+        print(json.dumps(answer.to_dict(), indent=2))
         return
-    print(f"causes for non-answer {result.an_oid!r}:")
-    _print_cause_lines(result)
+    print(f"causes for non-answer {answer.an!r}:")
+    _print_cause_lines(answer)
     print(
-        f"# {result.stats.node_accesses} node accesses, "
-        f"{result.stats.cpu_time_s * 1e3:.2f} ms",
+        f"# {answer.stats.node_accesses} node accesses, "
+        f"{answer.stats.cpu_time_s * 1e3:.2f} ms",
         file=sys.stderr,
     )
 
@@ -201,40 +218,45 @@ def _cmd_explain_certain(args: argparse.Namespace) -> int:
     return 0
 
 
-def _value_to_jsonable(value):
-    if isinstance(value, CausalityResult):
-        return result_to_dict(value)
-    if isinstance(value, dict):
-        return {str(k): v for k, v in value.items()}
-    return value
+def _print_envelope_text(envelope) -> None:
+    """Human-readable rendering of one typed result envelope."""
+    from repro.api.results import (
+        CausalityAnswer,
+        PRSQResult,
+        ReverseKSkybandResult,
+        ReverseSkylineResult,
+        ReverseTopKResult,
+    )
 
-
-def _print_outcome_text(outcome) -> None:
-    if outcome.error is not None:
-        print(f"[error] {outcome.spec.describe()}")
-        print(f"  {outcome.error}")
+    if envelope.error is not None:
+        error = envelope.error
+        print(f"[error] {envelope.spec.describe()}")
+        print(f"  {error.type}: {error.message} [code={error.code}]")
         return
-    tag = "cached" if outcome.cached else "computed"
-    print(f"[{tag}] {outcome.spec.describe()}")
-    value = outcome.value
-    if isinstance(value, CausalityResult):
+    tag = "cached" if envelope.run.cached else "computed"
+    print(f"[{tag}] {envelope.spec.describe()}")
+    value = envelope.value
+    if isinstance(value, CausalityAnswer):
         _print_cause_lines(value)
-    elif isinstance(value, dict):
-        for oid in sorted(value, key=repr):
-            print(f"  {oid}\t{value[oid]:.6f}")
-    elif isinstance(value, list):
-        print(f"  {len(value)} object(s): {', '.join(map(str, value))}")
-    else:
-        print(f"  {value}")
+    elif isinstance(value, PRSQResult) and value.probabilities is not None:
+        for oid in sorted(value.probabilities, key=repr):
+            print(f"  {oid}\t{value.probabilities[oid]:.6f}")
+    elif isinstance(
+        value, (PRSQResult, ReverseSkylineResult, ReverseKSkybandResult)
+    ):
+        print(f"  {len(value.ids)} object(s): {', '.join(map(str, value.ids))}")
+    elif isinstance(value, ReverseTopKResult):
+        print(
+            f"  {len(value.user_ids)} user(s): "
+            f"{', '.join(map(str, value.user_ids))}"
+        )
+    else:  # runtime-registered family: fall back to its dict form
+        print(f"  {json.dumps(value.to_dict())}")
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.engine import (
-        ParallelExecutor,
-        Session,
-        spec_from_dict,
-        spec_to_dict,
-    )
+    from repro.api import Client
+    from repro.engine import ParallelExecutor, Session, spec_from_dict
 
     if args.dataset_kind == "certain":
         dataset = load_certain_csv(args.data)
@@ -257,46 +279,46 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     # With a parallel executor the workers build their own sessions (and
     # indexes); the parent session only validates specs, so skip its eager
     # bulk load — the R-tree is still built lazily if a serial fallback runs.
-    session = Session(
-        dataset,
-        cache_size=0 if no_cache else args.cache_size,
-        build_index=executor is None,
+    client = Client(
+        Session(
+            dataset,
+            cache_size=0 if no_cache else args.cache_size,
+            build_index=executor is None,
+        )
     )
+    batch = client.batch().extend(specs)
 
     started = time.perf_counter()
-    outcomes = session.execute_batch(specs, executor=executor)
+    total = hits = failures = 0
+    if args.stream:
+        # NDJSON: one envelope per line, flushed as each result lands;
+        # only counters are retained, so memory stays flat on long batches.
+        for envelope in batch.stream(workers=args.workers, executor=executor):
+            print(json.dumps(envelope.to_dict()), flush=True)
+            total += 1
+            hits += envelope.run.cached
+            failures += not envelope.ok
+    else:
+        envelopes = batch.run(workers=args.workers, executor=executor)
+        total = len(envelopes)
+        hits = sum(e.run.cached for e in envelopes)
+        failures = sum(not e.ok for e in envelopes)
+        if args.json:
+            print(json.dumps([e.to_dict() for e in envelopes], indent=2))
+        else:
+            for envelope in envelopes:
+                _print_envelope_text(envelope)
     elapsed = max(time.perf_counter() - started, 1e-9)
 
-    if args.json:
-        print(
-            json.dumps(
-                [
-                    {
-                        "spec": spec_to_dict(outcome.spec),
-                        "cached": outcome.cached,
-                        "elapsed_s": outcome.elapsed_s,
-                        "error": outcome.error,
-                        "value": _value_to_jsonable(outcome.value),
-                    }
-                    for outcome in outcomes
-                ],
-                indent=2,
-            )
-        )
-    else:
-        for outcome in outcomes:
-            _print_outcome_text(outcome)
     if executor is None:
-        stats = session.cache_stats()
+        stats = client.cache_stats()
         cache_note = f"cache hits={stats['hits']} misses={stats['misses']}"
     else:
-        hits = sum(outcome.cached for outcome in outcomes)
         cache_note = f"worker-local caches, {hits} cached outcome(s)"
-    failures = sum(not outcome.ok for outcome in outcomes)
     failure_note = f", {failures} failed" if failures else ""
     print(
-        f"# {len(outcomes)} queries in {elapsed:.3f}s "
-        f"({len(outcomes) / elapsed:.1f} q/s), workers={args.workers}, "
+        f"# {total} queries in {elapsed:.3f}s "
+        f"({total / elapsed:.1f} q/s), workers={args.workers}, "
         f"{cache_note}{failure_note}",
         file=sys.stderr,
     )

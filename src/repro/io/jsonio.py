@@ -87,30 +87,27 @@ def load_dataset_json(path: PathLike) -> UncertainDataset:
 
 
 def result_to_dict(result: CausalityResult) -> Dict:
-    """JSON-ready dict for a causality result."""
-    return {
-        "an": result.an_oid,
-        "alpha": result.alpha,
-        "causes": [
-            {
-                "id": cause.oid,
-                "responsibility": cause.responsibility,
-                "kind": cause.kind.value,
-                "contingency_set": sorted(map(str, cause.contingency_set)),
-            }
-            for _oid, cause in sorted(
-                result.causes.items(), key=lambda kv: repr(kv[0])
-            )
-        ],
-        "stats": {
-            "node_accesses": result.stats.node_accesses,
-            "cpu_time_s": result.stats.cpu_time_s,
-            "candidates": result.stats.candidates,
-            "oracle_evaluations": result.stats.oracle_evaluations,
-            "subsets_examined": result.stats.subsets_examined,
-        },
-    }
+    """JSON-ready dict for a causality result.
+
+    Delegates to the :class:`repro.api.results.CausalityAnswer` codec (the
+    same wire shape the batch envelopes carry), so there is exactly one
+    JSON form for causality output across the library.
+    """
+    from repro.api.results import CausalityAnswer
+
+    return CausalityAnswer.from_raw(result).to_dict()
+
+
+def result_from_dict(payload: Dict) -> CausalityResult:
+    """Inverse of :func:`result_to_dict`."""
+    from repro.api.results import CausalityAnswer
+
+    return CausalityAnswer.from_dict(payload).to_raw()
 
 
 def save_result_json(result: CausalityResult, path: PathLike) -> None:
     Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result_json(path: PathLike) -> CausalityResult:
+    return result_from_dict(json.loads(Path(path).read_text()))

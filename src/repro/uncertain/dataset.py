@@ -67,7 +67,12 @@ class UncertainDataset:
         return oid in self._by_id
 
     def get(self, oid: Hashable) -> UncertainObject:
-        return self._by_id[oid]
+        try:
+            return self._by_id[oid]
+        except KeyError:
+            from repro.exceptions import UnknownObjectError
+
+            raise UnknownObjectError(f"unknown object {oid!r}") from None
 
     def ids(self) -> List[Hashable]:
         return [obj.oid for obj in self._objects]

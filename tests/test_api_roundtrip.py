@@ -1,0 +1,270 @@
+"""Property-based wire round-trips for every registered spec and envelope.
+
+Two invariants, checked through a *real* ``json.dumps``/``json.loads``
+cycle (not just an in-memory dict):
+
+* ``spec_from_dict(spec_to_dict(spec)) == spec`` for every registered
+  query family;
+* ``QueryResult.from_dict(env.to_dict()) == env`` and re-serialization is
+  byte-identical, for every result-envelope family.
+
+A coverage guard fails this module whenever a new family lands in the
+registry without a strategy here, so the round-trip property stays
+exhaustive by construction.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import QueryResult, REGISTRY
+from repro.api.results import (
+    CausalityAnswer,
+    CauseRecord,
+    ErrorInfo,
+    PRSQResult,
+    ReverseKSkybandResult,
+    ReverseSkylineResult,
+    ReverseTopKResult,
+    RunInfo,
+    StatsRecord,
+)
+from repro.core.cp import CPConfig
+from repro.engine.spec import (
+    CausalityCertainSpec,
+    CausalitySpec,
+    KSkybandCausalitySpec,
+    PdfCausalitySpec,
+    PRSQSpec,
+    ReverseKSkybandSpec,
+    ReverseSkylineSpec,
+    ReverseTopKSpec,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+coords = st.tuples(finite, finite)
+alphas = st.floats(min_value=0.0, max_value=1.0, exclude_min=True)
+ks = st.integers(min_value=1, max_value=9)
+oids = st.one_of(
+    st.integers(),
+    st.text(max_size=12),
+    st.tuples(st.text(max_size=6), st.integers()),
+)
+configs = st.builds(
+    CPConfig,
+    use_index=st.booleans(),
+    use_lemma4=st.booleans(),
+    use_lemma5=st.booleans(),
+    use_lemma6=st.booleans(),
+    use_bound_prune=st.booleans(),
+)
+
+SPEC_STRATEGIES = {
+    "prsq": st.builds(
+        PRSQSpec,
+        q=coords,
+        alpha=alphas,
+        want=st.sampled_from(["answers", "non_answers", "probabilities"]),
+    ),
+    "causality": st.builds(
+        CausalitySpec, an=oids, q=coords, alpha=alphas, config=configs
+    ),
+    "pdf_causality": st.builds(
+        PdfCausalitySpec, an=oids, q=coords, alpha=alphas, config=configs
+    ),
+    "causality_certain": st.builds(CausalityCertainSpec, an=oids, q=coords),
+    "k_skyband_causality": st.builds(
+        KSkybandCausalitySpec, an=oids, q=coords, k=ks
+    ),
+    "reverse_skyline": st.builds(ReverseSkylineSpec, q=coords),
+    "reverse_k_skyband": st.builds(ReverseKSkybandSpec, q=coords, k=ks),
+    "reverse_top_k": st.builds(
+        ReverseTopKSpec,
+        q=coords,
+        k=ks,
+        weights=st.lists(coords, min_size=1, max_size=4).map(tuple),
+        # composite (tuple) ids included: they must survive the round trip
+        user_ids=st.one_of(
+            st.none(), st.lists(oids, min_size=1, max_size=4).map(tuple)
+        ),
+    ),
+}
+
+
+def _cause_records(draw_ids):
+    """Consistent CauseRecords: responsibility == 1 / (1 + |Γ|)."""
+
+    def build(pair):
+        oid, contingency = pair
+        contingency = tuple(sorted(set(contingency) - {oid}, key=repr))
+        responsibility = 1.0 / (1.0 + len(contingency))
+        kind = "counterfactual" if not contingency else "actual"
+        return CauseRecord(
+            id=oid,
+            responsibility=responsibility,
+            kind=kind,
+            contingency_set=contingency,
+        )
+
+    return st.tuples(draw_ids, st.lists(draw_ids, max_size=3)).map(build)
+
+
+stats_records = st.builds(
+    StatsRecord,
+    node_accesses=st.integers(min_value=0, max_value=10_000),
+    cpu_time_s=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    candidates=st.integers(min_value=0, max_value=1000),
+    oracle_evaluations=st.integers(min_value=0, max_value=1000),
+    subsets_examined=st.integers(min_value=0, max_value=1000),
+)
+
+@st.composite
+def _causality_answers(draw):
+    an = draw(oids)
+    records = draw(st.lists(_cause_records(oids), max_size=4))
+    # unique cause ids, none equal to the non-answer, deterministic order —
+    # exactly the shape CausalityAnswer.from_raw produces
+    unique = {r.id: r for r in records if r.id != an}
+    causes = tuple(sorted(unique.values(), key=lambda r: repr(r.id)))
+    return CausalityAnswer(
+        an=an,
+        alpha=draw(st.one_of(st.none(), alphas)),
+        causes=causes,
+        stats=draw(stats_records),
+    )
+
+
+causality_answers = _causality_answers()
+
+RESULT_STRATEGIES = {
+    "prsq": st.one_of(
+        st.builds(
+            PRSQResult,
+            want=st.sampled_from(["answers", "non_answers"]),
+            alpha=alphas,
+            ids=st.lists(oids, max_size=6).map(tuple),
+            probabilities=st.none(),
+        ),
+        st.builds(
+            PRSQResult,
+            want=st.just("probabilities"),
+            alpha=alphas,
+            ids=st.none(),
+            probabilities=st.dictionaries(
+                oids, st.floats(min_value=0.0, max_value=1.0), max_size=6
+            ),
+        ),
+    ),
+    "causality": causality_answers,
+    "pdf_causality": causality_answers,
+    "causality_certain": causality_answers,
+    "k_skyband_causality": causality_answers,
+    "reverse_skyline": st.builds(
+        ReverseSkylineResult, ids=st.lists(oids, max_size=6).map(tuple)
+    ),
+    "reverse_k_skyband": st.builds(
+        ReverseKSkybandResult, k=ks, ids=st.lists(oids, max_size=6).map(tuple)
+    ),
+    "reverse_top_k": st.builds(
+        ReverseTopKResult, k=ks, user_ids=st.lists(oids, max_size=6).map(tuple)
+    ),
+}
+
+
+def test_every_registered_family_has_strategies():
+    """New registry entries must extend the round-trip property coverage."""
+    kinds = set(REGISTRY.kinds())
+    assert kinds == set(SPEC_STRATEGIES), (
+        "spec strategy coverage out of sync with the registry"
+    )
+    assert kinds == set(RESULT_STRATEGIES), (
+        "result strategy coverage out of sync with the registry"
+    )
+    for kind in kinds:
+        family = REGISTRY.family(kind)
+        assert family.spec_cls.kind == kind
+        assert hasattr(family.result_cls, "from_dict")
+        assert hasattr(family.result_cls, "to_raw")
+
+
+@pytest.mark.parametrize("kind", sorted(SPEC_STRATEGIES))
+def test_spec_roundtrip_through_json(kind):
+    @settings(max_examples=40, deadline=None)
+    @given(spec=SPEC_STRATEGIES[kind])
+    def check(spec):
+        payload = spec_to_dict(spec)
+        wire = json.dumps(payload)
+        assert spec_from_dict(json.loads(wire)) == spec
+        assert json.dumps(spec_to_dict(spec_from_dict(json.loads(wire)))) == wire
+
+    check()
+
+
+@pytest.mark.parametrize("kind", sorted(RESULT_STRATEGIES))
+def test_envelope_roundtrip_through_json(kind):
+    @settings(max_examples=40, deadline=None)
+    @given(
+        spec=SPEC_STRATEGIES[kind],
+        value=RESULT_STRATEGIES[kind],
+        run=st.builds(
+            RunInfo,
+            cached=st.booleans(),
+            elapsed_s=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            node_accesses=st.one_of(
+                st.none(), st.integers(min_value=0, max_value=10_000)
+            ),
+        ),
+        fingerprint=st.one_of(st.none(), st.text(min_size=4, max_size=40)),
+    )
+    def check(spec, value, run, fingerprint):
+        env = QueryResult(
+            spec=spec, value=value, run=run, fingerprint=fingerprint
+        )
+        wire = json.dumps(env.to_dict())
+        back = QueryResult.from_dict(json.loads(wire))
+        assert back == env
+        assert json.dumps(back.to_dict()) == wire
+
+    check()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    spec=SPEC_STRATEGIES["causality"],
+    code=st.sampled_from(
+        ["unknown_object", "not_a_non_answer", "invalid_value", "internal_error"]
+    ),
+    message=st.text(max_size=60),
+)
+def test_error_envelope_roundtrip(spec, code, message):
+    env = QueryResult(
+        spec=spec,
+        value=None,
+        error=ErrorInfo(code=code, type="SomeError", message=message),
+    )
+    wire = json.dumps(env.to_dict())
+    back = QueryResult.from_dict(json.loads(wire))
+    assert back == env and not back.ok
+
+
+@settings(max_examples=25, deadline=None)
+@given(answer=causality_answers)
+def test_causality_answer_raw_roundtrip(answer):
+    """to_raw() rebuilds a valid CausalityResult; from_raw inverts it."""
+    raw = answer.to_raw()
+    assert CausalityAnswer.from_raw(raw) == answer
+
+
+def test_unsupported_schema_version_rejected():
+    env = QueryResult(
+        spec=PRSQSpec(q=(1.0, 2.0), alpha=0.5),
+        value=PRSQResult(want="answers", alpha=0.5, ids=()),
+    )
+    payload = env.to_dict()
+    payload["schema_version"] = 99
+    with pytest.raises(ValueError, match="schema_version"):
+        QueryResult.from_dict(payload)

@@ -91,7 +91,10 @@ class TestBatchEndToEnd:
             ]
         )
         assert rc == 0
-        non_answers = json.loads(capsys.readouterr().out)[0]["value"]
+        envelope = json.loads(capsys.readouterr().out)[0]
+        assert envelope["schema_version"] == 2
+        assert envelope["ok"] is True
+        non_answers = envelope["value"]["ids"]
         assert non_answers
 
         queries = write_queries(
@@ -221,3 +224,78 @@ class TestBatchEndToEnd:
         )
         assert rc == 1
         assert "unknown query kind" in capsys.readouterr().err
+
+
+class TestBatchStreaming:
+    def _stream(self, uncertain_csv, tmp_path, capsys, specs, extra=()):
+        queries = write_queries(tmp_path, specs)
+        rc = main(
+            ["batch", "--data", str(uncertain_csv), "--queries", str(queries),
+             "--stream", *extra]
+        )
+        captured = capsys.readouterr()
+        lines = [line for line in captured.out.splitlines() if line.strip()]
+        return rc, lines, captured.err
+
+    def test_ndjson_one_envelope_per_spec(self, tmp_path, uncertain_csv, capsys):
+        from repro.api import QueryResult
+
+        specs = [
+            {"kind": "prsq", "q": [5000, 5000], "alpha": 0.5,
+             "want": "non_answers"},
+            {"kind": "prsq", "q": [5000, 5000], "alpha": 0.8},
+            {"kind": "causality", "an": "no-such-id",
+             "q": [5000, 5000], "alpha": 0.5},
+        ]
+        rc, lines, err = self._stream(uncertain_csv, tmp_path, capsys, specs)
+        assert rc == 1  # the bad causality spec failed
+        assert len(lines) == len(specs)
+        envelopes = [QueryResult.from_dict(json.loads(line)) for line in lines]
+        assert [e.kind for e in envelopes] == ["prsq", "prsq", "causality"]
+        assert envelopes[0].ok and envelopes[1].ok and not envelopes[2].ok
+        assert envelopes[2].error.code == "unknown_object"
+        # every line re-serializes byte-identically (valid NDJSON envelope)
+        for line, env in zip(lines, envelopes):
+            assert json.dumps(env.to_dict()) == line
+        assert "1 failed" in err
+
+    def test_stream_matches_json_values(self, tmp_path, uncertain_csv, capsys):
+        specs = [
+            {"kind": "prsq", "q": [4800 + 50 * i, 5100], "alpha": 0.5}
+            for i in range(3)
+        ]
+        queries = write_queries(tmp_path, specs)
+        rc = main(
+            ["batch", "--data", str(uncertain_csv), "--queries", str(queries),
+             "--json"]
+        )
+        assert rc == 0
+        as_array = json.loads(capsys.readouterr().out)
+        rc, lines, _err = self._stream(uncertain_csv, tmp_path, capsys, specs)
+        assert rc == 0
+        assert [json.loads(line)["value"] for line in lines] == [
+            e["value"] for e in as_array
+        ]
+
+    def test_stream_with_workers(self, tmp_path, uncertain_csv, capsys):
+        specs = [
+            {"kind": "prsq", "q": [4800 + 50 * i, 5100], "alpha": 0.5}
+            for i in range(4)
+        ]
+        rc, lines, _err = self._stream(
+            uncertain_csv, tmp_path, capsys, specs, extra=("--workers", "2")
+        )
+        assert rc == 0
+        assert len(lines) == len(specs)
+        alphas = [json.loads(line)["spec"]["q"][0] for line in lines]
+        assert alphas == [4800.0, 4850.0, 4900.0, 4950.0]  # input order kept
+
+    def test_stream_and_json_mutually_exclusive(self, tmp_path, uncertain_csv):
+        queries = write_queries(
+            tmp_path, [{"kind": "prsq", "q": [5000, 5000], "alpha": 0.5}]
+        )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["batch", "--data", str(uncertain_csv), "--queries",
+                 str(queries), "--json", "--stream"]
+            )
