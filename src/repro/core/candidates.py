@@ -9,7 +9,7 @@ multi-window R-tree scan followed by an exact per-sample confirmation.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Sequence
+from typing import Hashable, List, Optional, Sequence
 
 import numpy as np
 
@@ -47,6 +47,7 @@ def find_candidate_causes(
     q: PointLike,
     use_index: bool = True,
     windows: Sequence[Rect] | None = None,
+    use_numpy: Optional[bool] = None,
 ) -> List[Hashable]:
     """Candidate cause ids for the non-answer *an_oid* (filter step of CP).
 
@@ -60,7 +61,13 @@ def find_candidate_causes(
     windows:
         Override the rectangle list (the pdf model supplies region-derived
         rectangles instead of per-sample ones).
+    use_numpy:
+        Confirm the survivors with one batched Lemma-1 kernel call
+        (:func:`repro.engine.kernels.influence_mask`) instead of the
+        per-object scalar loop; the confirmed set is identical.
     """
+    from repro.engine.kernels import influence_mask, resolve_use_numpy
+
     an = dataset.get(an_oid)
     qq = as_point(q, dims=dataset.dims)
     if windows is None:
@@ -73,9 +80,11 @@ def find_candidate_causes(
         # Sample-level Lemma-2 pre-confirm of the MBR-level R-tree hits:
         # it cannot change the confirmed set (the rectangles are a complete
         # filter), only skip exact confirmations, so CP's output and node
-        # accesses are untouched.
+        # accesses are untouched.  Pool order is dataset order.
+        pool_indices = sorted(dataset.index_of(oid) for oid in hits)
+        objects = dataset.objects()
         pool = _sample_level_prefilter(
-            [dataset.get(oid) for oid in hits], windows
+            [objects[i] for i in pool_indices], windows
         )
     else:
         # The documented ablation baseline: a plain linear scan with exact
@@ -83,7 +92,16 @@ def find_candidate_causes(
         # free of any pruning so use_index on/off comparisons stay honest.
         pool = dataset.others(an_oid)
 
-    confirmed = [obj.oid for obj in pool if can_influence(obj, an, qq)]
+    if resolve_use_numpy(use_numpy) and pool:
+        tensor = dataset.tensor
+        indices = [tensor.index_of[obj.oid] for obj in pool]
+        samples, _, mask = tensor.rows(indices)
+        influencing = influence_mask(
+            an.samples, samples, mask, qq, use_numpy=True
+        )
+        confirmed = [obj.oid for obj, hit in zip(pool, influencing) if hit]
+    else:
+        confirmed = [obj.oid for obj in pool if can_influence(obj, an, qq)]
     return sorted(confirmed, key=repr)
 
 

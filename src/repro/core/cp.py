@@ -59,6 +59,7 @@ def compute_causality(
     alpha: float,
     config: CPConfig = CPConfig(),
     windows: Optional[Sequence[Rect]] = None,
+    use_numpy: Optional[bool] = None,
 ) -> CausalityResult:
     """Run algorithm CP for the non-answer *an_oid*.
 
@@ -77,6 +78,11 @@ def compute_causality(
     windows:
         Optional override of the filter rectangles (used by the pdf-model
         front-end); defaults to the discrete per-sample rectangles.
+    use_numpy:
+        Evaluate the Lemma-1 confirmation and the oracle's Eq. (3) matrix
+        through the tensorized kernels (default) or the scalar reference
+        loops; both paths are bit-compatible, so the causality output is
+        identical either way.
 
     Returns
     -------
@@ -95,10 +101,16 @@ def compute_causality(
     access_ctx = dataset.rtree.stats.measure() if config.use_index else nullcontext()
     with access_ctx as snapshot:
         candidate_ids = find_candidate_causes(
-            dataset, an_oid, qq, use_index=config.use_index, windows=windows
+            dataset,
+            an_oid,
+            qq,
+            use_index=config.use_index,
+            windows=windows,
+            use_numpy=use_numpy,
         )
         oracle = MembershipOracle(
-            dataset, an_oid, qq, alpha, relevant_ids=candidate_ids
+            dataset, an_oid, qq, alpha, relevant_ids=candidate_ids,
+            use_numpy=use_numpy,
         )
         oracle.validate_non_answer()
         result = _refine(oracle, config)
@@ -218,6 +230,7 @@ def compute_causality_pdf(
     samples_per_object: int = 64,
     rng: Optional[np.random.Generator] = None,
     config: CPConfig = CPConfig(),
+    use_numpy: Optional[bool] = None,
 ) -> Tuple[CausalityResult, UncertainDataset]:
     """CP under the continuous pdf model (Section 3.2).
 
@@ -238,6 +251,7 @@ def compute_causality_pdf(
     )
     windows = by_id[an_oid].filter_rectangles(q)
     result = compute_causality(
-        dataset, an_oid, q, alpha, config=config, windows=windows
+        dataset, an_oid, q, alpha, config=config, windows=windows,
+        use_numpy=use_numpy,
     )
     return result, dataset

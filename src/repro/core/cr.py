@@ -12,13 +12,41 @@ from __future__ import annotations
 
 import time
 from contextlib import nullcontext
-from typing import Hashable
+from typing import Hashable, List, Optional
+
+import numpy as np
 
 from repro.core.model import Cause, CauseKind, CausalityResult
 from repro.exceptions import NotANonAnswerError
-from repro.geometry.dominance import dominance_rectangle, dynamically_dominates
+from repro.geometry.dominance import dominance_rectangle
 from repro.geometry.point import PointLike, as_point
 from repro.uncertain.dataset import CertainDataset
+
+
+def confirm_dominators(
+    dataset: CertainDataset,
+    hits: List[Hashable],
+    an_oid: Hashable,
+    qq: np.ndarray,
+    an_point: np.ndarray,
+    use_numpy: Optional[bool],
+) -> List[Hashable]:
+    """Window-query hits that really dominate ``q`` w.r.t. the non-answer.
+
+    One batched :func:`repro.engine.kernels.dominance_mask` call over the
+    stacked hit points (or the scalar per-point loop — boolean-exact
+    either way), sorted for deterministic output.
+    """
+    from repro.engine.kernels import dominance_mask
+
+    pool = [oid for oid in hits if oid != an_oid]
+    if not pool:
+        return []
+    points = np.stack([dataset.point_of(oid) for oid in pool])
+    dominating = dominance_mask(points, qq, an_point, use_numpy=use_numpy)
+    return sorted(
+        (oid for oid, hit in zip(pool, dominating) if hit), key=repr
+    )
 
 
 def compute_causality_certain(
@@ -26,6 +54,7 @@ def compute_causality_certain(
     an_oid: Hashable,
     q: PointLike,
     use_index: bool = True,
+    use_numpy: Optional[bool] = None,
 ) -> CausalityResult:
     """Run algorithm CR for the non-reverse-skyline object *an_oid*.
 
@@ -35,6 +64,9 @@ def compute_causality_certain(
         When true, collect candidates with one R-tree window query
         (algorithm CR); when false, linearly scan the dataset (the filter
         half of Naive-II).
+    use_numpy:
+        Batched dominance confirmation kernel vs. the scalar per-point
+        loop; identical candidates either way.
 
     Raises
     ------
@@ -53,14 +85,8 @@ def compute_causality_certain(
             hits = dataset.rtree.range_search(window)
         else:
             hits = dataset.ids()
-        candidates = sorted(
-            (
-                oid
-                for oid in hits
-                if oid != an_oid
-                and dynamically_dominates(dataset.point_of(oid), qq, an_point)
-            ),
-            key=repr,
+        candidates = confirm_dominators(
+            dataset, list(hits), an_oid, qq, an_point, use_numpy
         )
 
     if not candidates:

@@ -19,9 +19,10 @@ from contextlib import nullcontext
 from typing import Hashable, Optional
 
 from repro.core.cp import CPConfig, compute_causality
+from repro.core.cr import confirm_dominators
 from repro.core.model import Cause, CauseKind, CausalityResult
 from repro.exceptions import NotANonAnswerError
-from repro.geometry.dominance import dominance_rectangle, dynamically_dominates
+from repro.geometry.dominance import dominance_rectangle
 from repro.geometry.point import PointLike, as_point
 from repro.prsq.probability import reverse_skyline_probability
 from repro.uncertain.dataset import CertainDataset, UncertainDataset
@@ -47,6 +48,7 @@ def naive_ii(
     q: PointLike,
     use_index: bool = True,
     max_candidates: int = MAX_NAIVE_CANDIDATES,
+    use_numpy: Optional[bool] = None,
 ) -> CausalityResult:
     """Naive-II: window-query filter + per-candidate subset verification.
 
@@ -62,14 +64,8 @@ def naive_ii(
     access_ctx = dataset.rtree.stats.measure() if use_index else nullcontext()
     with access_ctx as snapshot:
         hits = dataset.rtree.range_search(window) if use_index else dataset.ids()
-        candidates = sorted(
-            (
-                oid
-                for oid in hits
-                if oid != an_oid
-                and dynamically_dominates(dataset.point_of(oid), qq, an_point)
-            ),
-            key=repr,
+        candidates = confirm_dominators(
+            dataset, list(hits), an_oid, qq, an_point, use_numpy
         )
 
     if not candidates:
@@ -147,8 +143,11 @@ def brute_force_causality(
     qq = as_point(q, dims=dataset.dims)
 
     def pr_without(removed: frozenset) -> float:
+        # Pinned to the scalar reference path: the brute force stays an
+        # independent ground truth sharing no optimized kernel with CP.
         return reverse_skyline_probability(
-            dataset, an_oid, qq, use_index=False, exclude=removed
+            dataset, an_oid, qq, use_index=False, exclude=removed,
+            use_numpy=False,
         )
 
     if pr_without(frozenset()) >= alpha:

@@ -30,9 +30,81 @@ DEFAULT_USE_NUMPY = True
 # few MB for the cardinalities the benchmarks sweep.
 _CENTER_CHUNK = 128
 
+# Windows per broadcast chunk for points_in_any_window: bounds the
+# (n, chunk, d) containment scratch the same way.
+_WINDOW_CHUNK = 128
 
-def _resolve(use_numpy: Optional[bool]) -> bool:
+# float64 elements per Eq. (3) broadcast chunk (~16 MB of scratch): the
+# (S_center, chunk, S_max, d) distance tensor is sliced over the relevant
+# objects so one center with many samples cannot blow up memory.
+_EQ3_SCRATCH_ELEMENTS = 1 << 21
+
+# Possible worlds per Monte-Carlo broadcast chunk: bounds the (n, chunk, d)
+# instantiation-distance scratch.
+_WORLD_CHUNK = 256
+
+
+def resolve_use_numpy(use_numpy: Optional[bool]) -> bool:
+    """Apply the session default when a caller leaves the switch unset."""
     return DEFAULT_USE_NUMPY if use_numpy is None else use_numpy
+
+
+_resolve = resolve_use_numpy
+
+
+def _dominance_block(dp: np.ndarray, dq: np.ndarray) -> np.ndarray:
+    """Dynamic-dominance predicate on pre-computed |·-center| distances.
+
+    The single source of the broadcast comparison every tensor kernel
+    shares — keeping it in one place is what keeps their bit-parity
+    contracts in lockstep.  Reduces over the last (dimension) axis.
+    """
+    return np.logical_and((dp <= dq).all(axis=-1), (dp < dq).any(axis=-1))
+
+
+# ---------------------------------------------------------------------------
+# order-stable reductions (shared by the scalar and tensor probability paths)
+# ---------------------------------------------------------------------------
+def masked_ordered_sum(values: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Left-to-right sum of ``values`` where ``mask``, along the last axis.
+
+    Unlike ``np.sum`` (whose pairwise grouping depends on the axis length,
+    so a zero-padded array need not sum to the same bits as its unpadded
+    prefix), this accumulates strictly in index order.  Masked-out and
+    padded slots contribute an exact ``+0.0`` — a floating-point no-op for
+    the non-negative probabilities summed here — so the scalar path (over
+    ``l`` real samples) and the tensor path (over ``S_max`` padded slots)
+    produce **bit-identical** Eq. (3) entries.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    mask = np.asarray(mask, dtype=bool)
+    if values.ndim == 1 and mask.ndim == 1:
+        # Scalar-path fast lane: plain float accumulation, skipping the
+        # masked-out exact-zero terms (a bit-exact no-op), instead of one
+        # 0-d ufunc round-trip per element.
+        acc = 0.0
+        for v, m in zip(values.tolist(), mask.tolist()):
+            if m:
+                acc += v
+        return np.float64(acc)
+    shape = np.broadcast_shapes(values.shape, mask.shape)
+    acc = np.zeros(shape[:-1], dtype=np.float64)
+    for k in range(shape[-1]):
+        acc = acc + np.where(mask[..., k], values[..., k], 0.0)
+    return acc
+
+
+def ordered_dot(a: np.ndarray, b: np.ndarray) -> float:
+    """Left-to-right ``sum_i a[i] * b[i]`` (the Eq. (2) final reduction).
+
+    BLAS ``np.dot`` blocks and reorders; both probability paths use this
+    sequential form instead so their final bits agree.
+    """
+    acc = 0.0
+    for x, y in zip(np.asarray(a, dtype=np.float64).tolist(),
+                    np.asarray(b, dtype=np.float64).tolist()):
+        acc += x * y
+    return float(acc)
 
 
 def dominance_mask(
@@ -81,7 +153,7 @@ def dominator_counts(
         # (c, n, d) distances of every point / of q to each center.
         dp = np.abs(points[np.newaxis, :, :] - centers[:, np.newaxis, :])
         dq = np.abs(qq[np.newaxis, np.newaxis, :] - centers[:, np.newaxis, :])
-        mask = np.logical_and((dp <= dq).all(axis=2), (dp < dq).any(axis=2))
+        mask = _dominance_block(dp, dq)
         # A point never dominates w.r.t. itself (distance 0 vs 0 per dim is
         # never strict), but zero the diagonal explicitly for clarity.
         rows = np.arange(centers.shape[0])
@@ -127,11 +199,19 @@ def points_in_any_window(
     if _resolve(use_numpy):
         los = np.stack([w.lo for w in windows])  # (m, d)
         his = np.stack([w.hi for w in windows])
-        inside = np.logical_and(
-            (points[:, np.newaxis, :] >= los[np.newaxis, :, :]).all(axis=2),
-            (points[:, np.newaxis, :] <= his[np.newaxis, :, :]).all(axis=2),
-        )
-        return inside.any(axis=1)
+        # Chunk over windows: a center with many samples produces many
+        # windows, and the unchunked (n, m, d) broadcast would scale its
+        # scratch with the product.  OR-accumulation over chunks is exact.
+        hit = np.zeros(points.shape[0], dtype=bool)
+        for start in range(0, los.shape[0], _WINDOW_CHUNK):
+            lo = los[start : start + _WINDOW_CHUNK]
+            hi = his[start : start + _WINDOW_CHUNK]
+            inside = np.logical_and(
+                (points[:, np.newaxis, :] >= lo[np.newaxis, :, :]).all(axis=2),
+                (points[:, np.newaxis, :] <= hi[np.newaxis, :, :]).all(axis=2),
+            )
+            hit |= inside.any(axis=1)
+        return hit
     return np.array(
         [
             any(w.contains_point(points[i]) for w in windows)
@@ -139,3 +219,179 @@ def points_in_any_window(
         ],
         dtype=bool,
     )
+
+
+# ---------------------------------------------------------------------------
+# exact-PRSQ probability kernels (tensorized Eqs. (2) and (3))
+# ---------------------------------------------------------------------------
+def eq3_dominance_tensor(
+    center_samples: np.ndarray,
+    other_samples: np.ndarray,
+    other_probabilities: np.ndarray,
+    other_mask: np.ndarray,
+    q: PointLike,
+    use_numpy: Optional[bool] = None,
+) -> np.ndarray:
+    """Eq. (3) matrix: ``out[r, i] = Pr{other_r ≺_{center_i} q}``.
+
+    Parameters
+    ----------
+    center_samples:
+        ``(C, d)`` samples of the center object (unpadded).
+    other_samples, other_probabilities, other_mask:
+        ``(R, S, d)`` / ``(R, S)`` padded rows from a
+        :class:`~repro.uncertain.tensor.DatasetTensor` gather.
+    use_numpy:
+        Broadcast path (chunked over ``R`` so the ``(C, chunk, S, d)``
+        scratch stays bounded) vs. the scalar per-sample fallback.  Both
+        run the same float comparisons and the same left-to-right masked
+        sums, so their outputs are bit-identical.
+    """
+    center_samples = np.asarray(center_samples, dtype=np.float64)
+    other_samples = np.asarray(other_samples, dtype=np.float64)
+    other_probabilities = np.asarray(other_probabilities, dtype=np.float64)
+    other_mask = np.asarray(other_mask, dtype=bool)
+    c = center_samples.shape[0]
+    r, s, d = other_samples.shape
+    qq = as_point(q, dims=center_samples.shape[1])
+
+    if not _resolve(use_numpy):
+        out = np.zeros((r, c), dtype=np.float64)
+        for j in range(r):
+            valid = other_mask[j]
+            samples = other_samples[j][valid]
+            probs = other_probabilities[j][valid]
+            for i in range(c):
+                if samples.shape[0] == 0:
+                    continue
+                dominating = dominance_vector(samples, qq, center_samples[i])
+                out[j, i] = masked_ordered_sum(probs, dominating)
+        return out
+
+    out = np.empty((r, c), dtype=np.float64)
+    chunk = max(1, _EQ3_SCRATCH_ELEMENTS // max(1, c * s * d))
+    for start in range(0, r, chunk):
+        sl = slice(start, min(start + chunk, r))
+        block = other_samples[sl]  # (b, S, d)
+        # (C, b, S, d) distances of every sample / of q to each center sample.
+        dp = np.abs(block[np.newaxis, :, :, :] - center_samples[:, np.newaxis, np.newaxis, :])
+        dq = np.abs(qq - center_samples)[:, np.newaxis, np.newaxis, :]
+        dominating = _dominance_block(dp, dq)
+        dominating &= other_mask[sl][np.newaxis, :, :]
+        probs = np.broadcast_to(
+            other_probabilities[sl][np.newaxis, :, :], dominating.shape
+        )
+        out[sl] = masked_ordered_sum(probs, dominating).T
+    return out
+
+
+def eq2_probability(
+    center_probabilities: np.ndarray,
+    eq3: np.ndarray,
+    rows: Optional[Sequence[int]] = None,
+) -> float:
+    """Batched Eq. (2): ``sum_i p_i * prod_r (1 - eq3[r, i])``.
+
+    The survival product runs row by row in the given order (``rows``
+    restricts and orders it — the ``P − Γ`` evaluations), matching the
+    scalar :func:`repro.prsq.probability.probability_from_matrix` loop
+    factor for factor.  All-zero rows are skipped: they multiply by an
+    exact ``1.0``, a floating-point no-op (Lemma 1's irrelevance argument
+    in bit-exact form).
+    """
+    center_probabilities = np.asarray(center_probabilities, dtype=np.float64)
+    eq3 = np.asarray(eq3, dtype=np.float64)
+    survival = np.ones(center_probabilities.shape[0], dtype=np.float64)
+    order = range(eq3.shape[0]) if rows is None else rows
+    for j in order:
+        row = eq3[j]
+        if row.any():
+            survival = survival * (1.0 - row)
+    return ordered_dot(center_probabilities, survival)
+
+
+def influence_mask(
+    center_samples: np.ndarray,
+    other_samples: np.ndarray,
+    other_mask: np.ndarray,
+    q: PointLike,
+    use_numpy: Optional[bool] = None,
+) -> np.ndarray:
+    """Lemma-1 filter: can object ``r`` dominate ``q`` w.r.t. *any* center sample?
+
+    ``out[r]`` is ``True`` iff some valid sample of ``other_r`` dynamically
+    dominates ``q`` w.r.t. some row of *center_samples* — i.e. the object's
+    Eq. (3) vector is non-zero.  Boolean-exact on both paths.
+    """
+    center_samples = np.asarray(center_samples, dtype=np.float64)
+    other_samples = np.asarray(other_samples, dtype=np.float64)
+    other_mask = np.asarray(other_mask, dtype=bool)
+    c = center_samples.shape[0]
+    r, s, d = other_samples.shape
+    qq = as_point(q, dims=center_samples.shape[1])
+
+    if not _resolve(use_numpy):
+        out = np.zeros(r, dtype=bool)
+        for j in range(r):
+            samples = other_samples[j][other_mask[j]]
+            if samples.shape[0] == 0:
+                continue
+            out[j] = any(
+                dominance_vector(samples, qq, center_samples[i]).any()
+                for i in range(c)
+            )
+        return out
+
+    out = np.zeros(r, dtype=bool)
+    chunk = max(1, _EQ3_SCRATCH_ELEMENTS // max(1, c * s * d))
+    for start in range(0, r, chunk):
+        sl = slice(start, min(start + chunk, r))
+        block = other_samples[sl]
+        dp = np.abs(block[np.newaxis, :, :, :] - center_samples[:, np.newaxis, np.newaxis, :])
+        dq = np.abs(qq - center_samples)[:, np.newaxis, np.newaxis, :]
+        dominating = _dominance_block(dp, dq)
+        dominating &= other_mask[sl][np.newaxis, :, :]
+        out[sl] = dominating.any(axis=(0, 2))
+    return out
+
+
+def undominated_world_mask(
+    instantiated: np.ndarray,
+    centers: np.ndarray,
+    q: PointLike,
+    use_numpy: Optional[bool] = None,
+) -> np.ndarray:
+    """Monte-Carlo world kernel: worlds where no instantiation dominates ``q``.
+
+    Parameters
+    ----------
+    instantiated:
+        ``(R, W, d)`` — object ``r``'s drawn location in world ``w``.
+    centers:
+        ``(W, d)`` — the center object's drawn location per world.
+
+    Returns the ``(W,)`` boolean vector of *hit* worlds (the center's
+    instantiation is a reverse skyline point).  Chunked over worlds;
+    boolean-exact on both paths.
+    """
+    instantiated = np.asarray(instantiated, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    n, worlds, _ = instantiated.shape
+    qq = as_point(q, dims=centers.shape[1])
+
+    if not _resolve(use_numpy):
+        hits = np.zeros(worlds, dtype=bool)
+        for w in range(worlds):
+            hits[w] = not dominance_vector(
+                instantiated[:, w, :], qq, centers[w]
+            ).any()
+        return hits
+
+    hits = np.empty(worlds, dtype=bool)
+    for start in range(0, worlds, _WORLD_CHUNK):
+        sl = slice(start, min(start + _WORLD_CHUNK, worlds))
+        block_centers = centers[sl]  # (w, d)
+        dp = np.abs(instantiated[:, sl, :] - block_centers[np.newaxis, :, :])
+        dq = np.abs(qq - block_centers)[np.newaxis, :, :]
+        hits[sl] = ~_dominance_block(dp, dq).any(axis=0)
+    return hits

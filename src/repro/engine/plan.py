@@ -72,7 +72,8 @@ def plan_prsq(spec: PRSQSpec) -> QueryPlan:
 
     return QueryPlan(
         spec=spec,
-        steps=("prsq-probabilities (cached per query point)",
+        steps=("prsq-probabilities (cached per query point; "
+               "tensorized eq2/eq3 kernels | scalar fallback)",
                f"threshold-filter alpha={spec.alpha} want={spec.want}"),
         runner=run,
     )
@@ -81,7 +82,8 @@ def plan_prsq(spec: PRSQSpec) -> QueryPlan:
 def plan_causality(spec: CausalitySpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         return compute_causality(
-            session.dataset, spec.an, spec.q, spec.alpha, config=spec.config
+            session.dataset, spec.an, spec.q, spec.alpha, config=spec.config,
+            use_numpy=session.use_numpy,
         )
 
     return QueryPlan(
@@ -102,6 +104,7 @@ def plan_pdf_causality(spec: PdfCausalitySpec) -> QueryPlan:
             spec.alpha,
             config=spec.config,
             windows=windows,
+            use_numpy=session.use_numpy,
         )
 
     return QueryPlan(
@@ -114,7 +117,9 @@ def plan_pdf_causality(spec: PdfCausalitySpec) -> QueryPlan:
 
 def plan_causality_certain(spec: CausalityCertainSpec) -> QueryPlan:
     def run(session: "Session") -> Any:
-        return compute_causality_certain(session.dataset, spec.an, spec.q)
+        return compute_causality_certain(
+            session.dataset, spec.an, spec.q, use_numpy=session.use_numpy
+        )
 
     return QueryPlan(
         spec=spec,

@@ -273,9 +273,15 @@ class Session:
         against a common catalogue.
         """
         q_tuple = tuple(float(v) for v in q)
+        # use_numpy deliberately stays out of the cache key: both kernel
+        # paths are bit-compatible (property-tested), so sessions with
+        # different switches can share one cache without divergent hits.
         key = self._key("prsq-probabilities", q_tuple)
         value, _ = self.cache.get_or_compute(
-            key, lambda: _prsq_probabilities(self.dataset, q_tuple)
+            key,
+            lambda: _prsq_probabilities(
+                self.dataset, q_tuple, use_numpy=self.use_numpy
+            ),
         )
         return dict(value)
 

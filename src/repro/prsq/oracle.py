@@ -42,6 +42,7 @@ class MembershipOracle:
         q: PointLike,
         alpha: float,
         relevant_ids: Optional[Iterable[Hashable]] = None,
+        use_numpy: Optional[bool] = None,
     ):
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
@@ -51,12 +52,14 @@ class MembershipOracle:
         self.alpha = alpha
 
         if relevant_ids is None:
-            pool = dataset.others(an_oid)
+            indices = [
+                i for i, obj in enumerate(dataset) if obj.oid != an_oid
+            ]
         else:
             wanted = set(relevant_ids)
             wanted.discard(an_oid)
-            pool = [dataset.get(oid) for oid in wanted]
-        matrix = dominance_probability_matrix(self.an, pool, self.q)
+            indices = sorted(dataset.index_of(oid) for oid in wanted)
+        matrix = self._build_matrix(indices, use_numpy)
 
         # Stack non-zero rows into one (k, l) survival matrix for vector math.
         self.influencer_ids: List[Hashable] = sorted(matrix, key=repr)
@@ -72,6 +75,35 @@ class MembershipOracle:
         self._matrix = matrix
         self._cache: Dict[FrozenSet[Hashable], float] = {}
         self.evaluations = 0
+
+    def _build_matrix(
+        self, indices: List[int], use_numpy: Optional[bool]
+    ) -> Dict[Hashable, np.ndarray]:
+        """Eq. (3) vectors for the pool at dataset positions *indices*.
+
+        The tensor path evaluates the whole pool in one chunked broadcast
+        (:func:`repro.engine.kernels.eq3_dominance_tensor`); the scalar
+        path is the per-dominator reference.  Both produce bit-identical
+        vectors, so the oracle's answers do not depend on the switch.
+        """
+        from repro.engine.kernels import eq3_dominance_tensor, resolve_use_numpy
+
+        if resolve_use_numpy(use_numpy):
+            tensor = self.dataset.tensor
+            samples, probabilities, mask = tensor.rows(indices)
+            eq3 = eq3_dominance_tensor(
+                self.an.samples, samples, probabilities, mask, self.q,
+                use_numpy=True,
+            )
+            return {
+                tensor.ids[i]: eq3[j]
+                for j, i in enumerate(indices)
+                if eq3[j].any()
+            }
+        objects = self.dataset.objects()
+        return dominance_probability_matrix(
+            self.an, (objects[i] for i in indices), self.q
+        )
 
     # ------------------------------------------------------------------
     @property

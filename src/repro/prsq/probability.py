@@ -9,6 +9,21 @@ For an uncertain object ``u`` with samples ``u_i``:
 
 where ``Pr{u' ≺_{u_i} q}`` (Eq. (3)) sums the appearance probabilities of
 the samples of ``u'`` that dynamically dominate ``q`` w.r.t. ``u_i``.
+
+Two bit-compatible evaluation paths are provided, selected by the engine's
+``use_numpy`` switch:
+
+* the **tensor path** — one chunked ``(S_center, n_rel, S_max, d)``
+  broadcast over the dataset's padded sample tensor
+  (:func:`repro.engine.kernels.eq3_dominance_tensor`) followed by the
+  batched Eq. (2) reduction;
+* the **scalar path** — the per-dominator / per-sample loops below, kept
+  as the reference implementation.
+
+Both paths share the same left-to-right reductions and the same canonical
+Eq. (2) product order (dataset order of the relevant objects), so their
+results are bit-identical — across runs, across ``use_index=True/False``,
+and across ``use_numpy=True/False``; the parity is property-tested.
 """
 
 from __future__ import annotations
@@ -28,10 +43,13 @@ def sample_dominance_probability(
 ) -> float:
     """Eq. (3): probability that *dominator* dynamically dominates ``q``
     w.r.t. the fixed *center_sample*."""
+    # Imported lazily: the engine package imports prsq at module-import time.
+    from repro.engine.kernels import masked_ordered_sum
+
     mask = dominance_vector(dominator.samples, as_point(q), as_point(center_sample))
     if not mask.any():
         return 0.0
-    return float(dominator.probabilities[mask].sum())
+    return float(masked_ordered_sum(dominator.probabilities, mask))
 
 
 def dominance_probability_vector(
@@ -69,23 +87,21 @@ def dominance_probability_matrix(
     return matrix
 
 
-def reverse_skyline_probability(
+def relevant_indices(
     dataset: UncertainDataset,
     oid: Hashable,
     q: PointLike,
     use_index: bool = True,
     exclude: Optional[Iterable[Hashable]] = None,
-) -> float:
-    """Eq. (2): the probability of *oid* being a reverse skyline object of ``q``.
+) -> List[int]:
+    """Dataset positions of the objects Eq. (2) must visit, in dataset order.
 
-    Parameters
-    ----------
-    use_index:
-        When true, prune with the dataset R-tree: only objects whose MBR
-        crosses one of *oid*'s dominance rectangles can have a non-zero
-        Eq. (3) vector (Lemma 2), so only those are evaluated exactly.
-    exclude:
-        Treat these object ids as removed (evaluates ``Pr`` over ``P - Γ``).
+    With the index, only objects whose MBR crosses one of *oid*'s dominance
+    rectangles can have a non-zero Eq. (3) vector (Lemma 2).  The R-tree
+    hits come back in traversal order; sorting them by dataset position
+    fixes the Eq. (2) floating-point product order, so the returned
+    probability bits are identical across runs and across
+    ``use_index=True/False``.
     """
     target = dataset.get(oid)
     qq = as_point(q, dims=dataset.dims)
@@ -98,13 +114,58 @@ def reverse_skyline_probability(
             for i in range(target.num_samples)
         ]
         hit_ids = set(dataset.rtree.range_search_any(windows))
-        relevant = [
-            dataset.get(hit) for hit in hit_ids if hit not in excluded
-        ]
-    else:
-        relevant = [obj for obj in dataset if obj.oid not in excluded]
+        return sorted(
+            dataset.index_of(hit) for hit in hit_ids if hit not in excluded
+        )
+    return [
+        i for i, obj in enumerate(dataset) if obj.oid not in excluded
+    ]
 
-    matrix = dominance_probability_matrix(target, relevant, qq)
+
+def reverse_skyline_probability(
+    dataset: UncertainDataset,
+    oid: Hashable,
+    q: PointLike,
+    use_index: bool = True,
+    exclude: Optional[Iterable[Hashable]] = None,
+    use_numpy: Optional[bool] = None,
+) -> float:
+    """Eq. (2): the probability of *oid* being a reverse skyline object of ``q``.
+
+    Parameters
+    ----------
+    use_index:
+        When true, prune with the dataset R-tree: only objects whose MBR
+        crosses one of *oid*'s dominance rectangles can have a non-zero
+        Eq. (3) vector (Lemma 2), so only those are evaluated exactly.
+    exclude:
+        Treat these object ids as removed (evaluates ``Pr`` over ``P - Γ``).
+    use_numpy:
+        Tensorized kernels (default) vs. the scalar reference loop; both
+        produce bit-identical results.
+    """
+    from repro.engine.kernels import (
+        eq2_probability,
+        eq3_dominance_tensor,
+        resolve_use_numpy,
+    )
+
+    target = dataset.get(oid)
+    qq = as_point(q, dims=dataset.dims)
+    indices = relevant_indices(dataset, oid, qq, use_index=use_index, exclude=exclude)
+
+    if resolve_use_numpy(use_numpy):
+        tensor = dataset.tensor
+        samples, probabilities, mask = tensor.rows(indices)
+        eq3 = eq3_dominance_tensor(
+            target.samples, samples, probabilities, mask, qq, use_numpy=True
+        )
+        return eq2_probability(target.probabilities, eq3)
+
+    objects = dataset.objects()
+    matrix = dominance_probability_matrix(
+        target, (objects[i] for i in indices), qq
+    )
     return probability_from_matrix(target, matrix)
 
 
@@ -118,11 +179,13 @@ def probability_from_matrix(
     *keep* restricts the product to a subset of the matrix rows (used when
     evaluating ``Pr`` over ``P - Γ`` without recomputing dominance).
     """
+    from repro.engine.kernels import ordered_dot
+
     if keep is None:
         rows: List[np.ndarray] = list(matrix.values())
     else:
         rows = [matrix[k] for k in keep if k in matrix]
     survival = np.ones(center.num_samples)
     for vector in rows:
-        survival *= 1.0 - vector
-    return float(np.dot(center.probabilities, survival))
+        survival = survival * (1.0 - vector)
+    return ordered_dot(center.probabilities, survival)

@@ -7,7 +7,7 @@ uncertain object whose probability of being a reverse skyline object of
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.geometry.point import PointLike, as_point
 from repro.prsq.probability import reverse_skyline_probability
@@ -15,12 +15,17 @@ from repro.uncertain.dataset import UncertainDataset
 
 
 def prsq_probabilities(
-    dataset: UncertainDataset, q: PointLike, use_index: bool = True
+    dataset: UncertainDataset,
+    q: PointLike,
+    use_index: bool = True,
+    use_numpy: Optional[bool] = None,
 ) -> Dict[Hashable, float]:
     """``Pr(u)`` for every object in the dataset."""
     qq = as_point(q, dims=dataset.dims)
     return {
-        obj.oid: reverse_skyline_probability(dataset, obj.oid, qq, use_index=use_index)
+        obj.oid: reverse_skyline_probability(
+            dataset, obj.oid, qq, use_index=use_index, use_numpy=use_numpy
+        )
         for obj in dataset
     }
 
@@ -30,11 +35,14 @@ def probabilistic_reverse_skyline(
     q: PointLike,
     alpha: float,
     use_index: bool = True,
+    use_numpy: Optional[bool] = None,
 ) -> List[Hashable]:
     """Object ids whose ``Pr(u) >= alpha`` (the PRSQ answer set)."""
     if not 0.0 < alpha <= 1.0:
         raise ValueError(f"alpha must be in (0, 1], got {alpha}")
-    probabilities = prsq_probabilities(dataset, q, use_index=use_index)
+    probabilities = prsq_probabilities(
+        dataset, q, use_index=use_index, use_numpy=use_numpy
+    )
     return [oid for oid, pr in probabilities.items() if pr >= alpha]
 
 
@@ -43,9 +51,12 @@ def prsq_non_answers(
     q: PointLike,
     alpha: float,
     use_index: bool = True,
+    use_numpy: Optional[bool] = None,
 ) -> List[Hashable]:
     """Object ids that are *non-answers* (the CRP inputs)."""
-    probabilities = prsq_probabilities(dataset, q, use_index=use_index)
+    probabilities = prsq_probabilities(
+        dataset, q, use_index=use_index, use_numpy=use_numpy
+    )
     return [oid for oid, pr in probabilities.items() if pr < alpha]
 
 
@@ -55,7 +66,10 @@ def is_prsq_answer(
     q: PointLike,
     alpha: float,
     use_index: bool = True,
+    use_numpy: Optional[bool] = None,
 ) -> Tuple[bool, float]:
     """Membership plus the underlying probability for one object."""
-    pr = reverse_skyline_probability(dataset, oid, q, use_index=use_index)
+    pr = reverse_skyline_probability(
+        dataset, oid, q, use_index=use_index, use_numpy=use_numpy
+    )
     return pr >= alpha, pr

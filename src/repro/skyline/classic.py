@@ -26,9 +26,9 @@ def skyline_indices(points: np.ndarray) -> List[int]:
     n = matrix.shape[0]
     if n == 0:
         return []
-    order = np.argsort(matrix.sum(axis=1), kind="stable")
+    sums = matrix.sum(axis=1)
+    order = np.argsort(sums, kind="stable")
     window: List[int] = []
-    result: List[int] = []
     for idx in order:
         candidate = matrix[idx]
         dominated = False
@@ -38,9 +38,23 @@ def skyline_indices(points: np.ndarray) -> List[int]:
                 dominated = True
                 break
         if not dominated:
+            # Float rounding can tie the sums of a dominating/dominated
+            # pair (e.g. 1e-165 vanishing into 1.0), and the stable sort
+            # may then visit the dominated point first — evict any
+            # equal-sum keeper the new point dominates.  Exact arithmetic
+            # forbids a strictly larger float sum for a dominator, so
+            # only ties need the back-check.
+            window = [
+                kept
+                for kept in window
+                if sums[kept] != sums[idx]
+                or not (
+                    np.all(candidate <= matrix[kept])
+                    and np.any(candidate < matrix[kept])
+                )
+            ]
             window.append(int(idx))
-            result.append(int(idx))
-    return sorted(result)
+    return sorted(window)
 
 
 def skyline_points(points: np.ndarray) -> np.ndarray:

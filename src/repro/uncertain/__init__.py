@@ -7,6 +7,7 @@ from repro.uncertain.pdf import (
     TruncatedGaussianObject,
     UniformBoxObject,
 )
+from repro.uncertain.tensor import DatasetTensor
 from repro.uncertain.possible_worlds import (
     MAX_ENUMERABLE_WORLDS,
     is_reverse_skyline_in_world,
@@ -19,6 +20,7 @@ from repro.uncertain.possible_worlds import (
 __all__ = [
     "CertainDataset",
     "ContinuousUncertainObject",
+    "DatasetTensor",
     "MAX_ENUMERABLE_WORLDS",
     "TruncatedGaussianObject",
     "UncertainDataset",

@@ -16,6 +16,7 @@ from repro.geometry.point import PointLike, as_point_matrix
 from repro.index.bulk import bulk_load
 from repro.index.rtree import DEFAULT_PAGE_SIZE, RTree
 from repro.uncertain.object import UncertainObject
+from repro.uncertain.tensor import DatasetTensor
 
 
 class UncertainDataset:
@@ -40,9 +41,13 @@ class UncertainDataset:
             if obj.oid in self._by_id:
                 raise ValueError(f"duplicate object id {obj.oid!r}")
             self._by_id[obj.oid] = obj
+        self._index_of: Dict[Hashable, int] = {
+            obj.oid: i for i, obj in enumerate(self._objects)
+        }
         self.dims = dims
         self.page_size = page_size
         self._rtree: Optional[RTree] = None
+        self._tensor: Optional[DatasetTensor] = None
 
     # ------------------------------------------------------------------
     @property
@@ -55,6 +60,26 @@ class UncertainDataset:
                 page_size=self.page_size,
             )
         return self._rtree
+
+    @property
+    def tensor(self) -> DatasetTensor:
+        """Padded ``(n, S_max, d)`` sample/probability tensor, built lazily.
+
+        Rows follow dataset order — the canonical Eq. (2) product order —
+        and the cache is sound because object arrays are immutable.
+        """
+        if self._tensor is None:
+            self._tensor = DatasetTensor(self._objects)
+        return self._tensor
+
+    def index_of(self, oid: Hashable) -> int:
+        """Dataset position of *oid* (the tensor row index)."""
+        try:
+            return self._index_of[oid]
+        except KeyError:
+            from repro.exceptions import UnknownObjectError
+
+            raise UnknownObjectError(f"unknown object {oid!r}") from None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

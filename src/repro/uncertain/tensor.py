@@ -1,0 +1,87 @@
+"""Padded tensor view of an uncertain dataset (the Eq. (2)/(3) layout).
+
+The exact-probability kernels in :mod:`repro.engine.kernels` evaluate the
+Eq. (3) dominance-probability matrix for one center against *all* relevant
+objects in a single broadcast.  That requires the ragged per-object sample
+lists to live in one rectangular array, so a :class:`DatasetTensor` packs
+the dataset into
+
+* ``samples`` — ``(n, S_max, d)`` float64, object ``i``'s samples in rows
+  ``samples[i, :l_i]``, zero-padded beyond;
+* ``probabilities`` — ``(n, S_max)`` float64 appearance probabilities,
+  zero-padded (a padded slot therefore contributes an exact ``+0.0`` to
+  any Eq. (3) sum — a floating-point no-op);
+* ``mask`` — ``(n, S_max)`` bool validity mask (``True`` for real samples).
+
+Row order is dataset order, which is the canonical Eq. (2) product order
+used by both the tensor and the scalar probability paths.  The tensor is
+built lazily by :attr:`repro.uncertain.dataset.UncertainDataset.tensor`
+and cached for the dataset's lifetime — sound because
+:class:`~repro.uncertain.object.UncertainObject` arrays are immutable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence
+
+import numpy as np
+
+from repro.uncertain.object import UncertainObject
+
+
+class DatasetTensor:
+    """Rectangular (padded + masked) arrays over one object sequence."""
+
+    __slots__ = ("samples", "probabilities", "mask", "ids", "index_of")
+
+    def __init__(self, objects: Sequence[UncertainObject]):
+        n = len(objects)
+        if n == 0:
+            raise ValueError("cannot build a tensor over zero objects")
+        dims = objects[0].dims
+        s_max = max(obj.num_samples for obj in objects)
+        samples = np.zeros((n, s_max, dims), dtype=np.float64)
+        probabilities = np.zeros((n, s_max), dtype=np.float64)
+        mask = np.zeros((n, s_max), dtype=bool)
+        for i, obj in enumerate(objects):
+            l = obj.num_samples
+            samples[i, :l] = obj.samples
+            probabilities[i, :l] = obj.probabilities
+            mask[i, :l] = True
+        for array in (samples, probabilities, mask):
+            array.flags.writeable = False
+        self.samples = samples
+        self.probabilities = probabilities
+        self.mask = mask
+        self.ids: List[Hashable] = [obj.oid for obj in objects]
+        self.index_of: Dict[Hashable, int] = {
+            oid: i for i, oid in enumerate(self.ids)
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.samples.shape[0]
+
+    @property
+    def max_samples(self) -> int:
+        return self.samples.shape[1]
+
+    @property
+    def dims(self) -> int:
+        return self.samples.shape[2]
+
+    def rows(self, indices: Sequence[int]):
+        """``(samples, probabilities, mask)`` gathered for *indices*.
+
+        The gather preserves the given index order — callers pass sorted
+        dataset positions so the Eq. (2) product order is canonical.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        return self.samples[idx], self.probabilities[idx], self.mask[idx]
+
+    def __repr__(self) -> str:
+        return (
+            f"<DatasetTensor n={self.n} max_samples={self.max_samples} "
+            f"dims={self.dims}>"
+        )

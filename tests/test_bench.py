@@ -124,6 +124,29 @@ class TestBatchRunners:
         assert batch.aggregate.count == 0
 
 
+class TestPrsqKernelBench:
+    def test_smoke_parity_and_determinism(self):
+        """Tiny-scale run of the kernel benchmark's checks.
+
+        The speedup bar is dropped to ~0 here — at this cardinality the
+        timing is noise; CI runs the script at a meaningful scale and the
+        full bar.
+        """
+        import importlib.util
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).resolve().parents[1]
+            / "benchmarks"
+            / "bench_prsq_kernels.py"
+        )
+        spec = importlib.util.spec_from_file_location("bench_prsq_kernels", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        row = module.bench(objects=60, dims=2, batch=6, min_speedup=0.0)
+        assert row["speedup"] > 0
+
+
 class TestReporting:
     def test_format_table_alignment(self):
         rows = [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}]

@@ -15,6 +15,7 @@ from repro.datasets.cardb import generate_cardb
 from repro.datasets.nba import generate_nba
 from repro.datasets.synthetic_certain import generate_certain_dataset
 from repro.datasets.synthetic_uncertain import generate_uncertain_dataset
+from repro.prsq.probability import reverse_skyline_probability
 from repro.prsq.query import prsq_non_answers
 from tests.conftest import make_uncertain_dataset
 
@@ -56,6 +57,48 @@ class TestWorkloadDeterminism:
         picks_a = select_prsq_non_answers(ds, q, 0.5, count=3, seed=25)
         picks_b = select_prsq_non_answers(ds, q, 0.5, count=3, seed=25)
         assert picks_a == picks_b
+
+
+class TestProbabilityDeterminism:
+    """Eq. (2) must return the same *bits* run after run.
+
+    The pruned path once iterated an unordered ``set`` of R-tree hits, so
+    the floating-point product order — and the returned bits — could vary
+    between runs; hits are now sorted into dataset order, the same order
+    the unpruned scan uses.
+    """
+
+    def _dataset(self):
+        return generate_uncertain_dataset(120, 2, radius_range=(0, 150), seed=31)
+
+    def test_bits_stable_across_runs_and_fresh_indexes(self):
+        q = random_query(2, seed=31)
+        reference = None
+        for _ in range(3):
+            ds = self._dataset()  # fresh dataset => fresh R-tree
+            bits = [
+                reverse_skyline_probability(ds, oid, q).hex()
+                for oid in ds.ids()[:30]
+            ]
+            if reference is None:
+                reference = bits
+            assert bits == reference
+
+    def test_bits_identical_across_use_index(self):
+        ds = self._dataset()
+        q = random_query(2, seed=31)
+        for oid in ds.ids()[:30]:
+            pruned = reverse_skyline_probability(ds, oid, q, use_index=True)
+            scanned = reverse_skyline_probability(ds, oid, q, use_index=False)
+            assert pruned.hex() == scanned.hex()
+
+    def test_bits_identical_across_kernel_paths(self):
+        ds = self._dataset()
+        q = random_query(2, seed=31)
+        for oid in ds.ids()[:15]:
+            fast = reverse_skyline_probability(ds, oid, q, use_numpy=True)
+            slow = reverse_skyline_probability(ds, oid, q, use_numpy=False)
+            assert fast.hex() == slow.hex()
 
 
 class TestAlgorithmDeterminism:

@@ -141,3 +141,19 @@ class TestWindowKernels:
     def test_empty_windows(self, rng):
         points = random_points(rng, 10, 2)
         assert not kernels.points_in_any_window(points, []).any()
+
+    def test_window_chunking_invariant(self, rng, monkeypatch):
+        """Chunking over windows must not change the containment mask.
+
+        (The kernel once materialized one unchunked (n, m, d) broadcast; a
+        center with many samples — many windows — could blow up scratch.)
+        """
+        points = random_points(rng, 60, 2)
+        windows = [
+            Rect(lo, lo + rng.uniform(0.5, 3.0, 2))
+            for lo in rng.uniform(0, 8, size=(23, 2))
+        ]
+        whole = kernels.points_in_any_window(points, windows)
+        monkeypatch.setattr(kernels, "_WINDOW_CHUNK", 4)
+        chunked = kernels.points_in_any_window(points, windows)
+        np.testing.assert_array_equal(whole, chunked)

@@ -24,6 +24,35 @@ class TestEstimateContainer:
         assert 0.55 in est
         assert 0.99 not in est
 
+    def test_wilson_interval_not_degenerate_at_certainty(self):
+        """At an observed 0 or 1 the interval must keep real width.
+
+        The old normal approximation collapsed to ~±3e-6 (the 1e-12
+        variance floor), so a true probability of e.g. 0.002 that sampled
+        0/1000 hits fell outside and flaked the exact-vs-MC property.
+        """
+        at_zero = ProbabilityEstimate(value=0.0, std_error=0.0, worlds=1_000)
+        lo, hi = at_zero.confidence_interval()
+        assert lo == 0.0
+        assert hi > 1e-3  # z^2 / (n + z^2) ~ 0.0038
+        assert 0.002 in at_zero
+        at_one = ProbabilityEstimate(value=1.0, std_error=0.0, worlds=1_000)
+        lo, hi = at_one.confidence_interval()
+        assert hi == 1.0
+        assert lo < 1.0 - 1e-3
+        assert 0.998 in at_one
+
+    def test_wilson_matches_closed_form(self):
+        est = ProbabilityEstimate(value=0.3, std_error=0.0, worlds=200)
+        z = 1.96
+        n, p = 200, 0.3
+        denominator = 1 + z * z / n
+        center = (p + z * z / (2 * n)) / denominator
+        half = z / denominator * ((p * (1 - p) / n + z * z / (4 * n * n)) ** 0.5)
+        lo, hi = est.confidence_interval(z=z)
+        assert lo == pytest.approx(center - half)
+        assert hi == pytest.approx(center + half)
+
 
 class TestEstimator:
     def test_deterministic_case_exact(self):
@@ -62,6 +91,28 @@ class TestEstimator:
             ds, "u", [3.0, 3.0], worlds=4_000, rng=np.random.default_rng(1)
         )
         assert est.value == pytest.approx(0.1, abs=0.03)
+
+    def test_distinct_seeds_give_independent_estimates(self, rng):
+        """Repeated calls must not silently reuse one generator state.
+
+        The old default of ``rng or np.random.default_rng(0)`` made every
+        nominally independent estimate identical; seeds now vary the draw
+        while the default stays reproducible.
+        """
+        ds = make_uncertain_dataset(rng, n=8, dims=2)
+        q = rng.uniform(0, 10, size=2)
+        target = ds.ids()[0]
+        default_a = sample_reverse_skyline_probability(ds, target, q, worlds=300)
+        default_b = sample_reverse_skyline_probability(ds, target, q, worlds=300)
+        assert default_a.value == default_b.value  # documented default seed
+        seeded = [
+            sample_reverse_skyline_probability(
+                ds, target, q, worlds=300, seed=s
+            ).value
+            for s in range(8)
+        ]
+        assert seeded[0] == default_a.value  # seed=0 is the default
+        assert len(set(seeded)) > 1  # distinct seeds decorrelate
 
     def test_worlds_validation(self, rng):
         ds = make_uncertain_dataset(rng, n=3, dims=2)

@@ -44,6 +44,19 @@ class TestClassicSkyline:
         for i in set(range(60)) - sky:
             assert any(dominates(pts[j], pts[i]) for j in range(60))
 
+    def test_float_sum_tie_still_detects_dominance(self):
+        """Regression: a dominating point whose coordinate sum rounds to the
+        same float as the dominated point's must still evict it.
+
+        With ``(1.9e-165, 1.0)`` and ``(0.0, 1.0)`` both sums round to 1.0,
+        so the stable presort visits the dominated point first; the old
+        single-pass window kept it forever.
+        """
+        pts = np.array([[1.9105846684395523e-165, 1.0], [0.0, 1.0]])
+        assert skyline_indices(pts) == [1]
+        # And symmetric order (dominator first) is unchanged.
+        assert skyline_indices(pts[::-1]) == [0]
+
     def test_skyline_points_rows(self):
         pts = np.array([[1, 4], [2, 2], [4, 1], [3, 3]])
         rows = skyline_points(pts)
