@@ -38,6 +38,7 @@ from repro.api.results import (
     RunInfo,
     SCHEMA_VERSION,
     StatsRecord,
+    UpdateResult,
 )
 from repro.api.wire import decode_value, encode_value
 
@@ -59,6 +60,7 @@ __all__ = [
     "RunInfo",
     "SCHEMA_VERSION",
     "StatsRecord",
+    "UpdateResult",
     "connect",
     "connect_pdf",
     "decode_value",

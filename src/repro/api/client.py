@@ -43,8 +43,11 @@ from repro.engine.spec import (
     ReverseKSkybandSpec,
     ReverseSkylineSpec,
     ReverseTopKSpec,
+    UpdateSpec,
 )
 from repro.uncertain.dataset import UncertainDataset
+from repro.uncertain.delta import DatasetDelta
+from repro.uncertain.object import UncertainObject
 from repro.uncertain.pdf import ContinuousUncertainObject
 
 
@@ -187,6 +190,61 @@ class Client:
             )
         )
 
+    # ------------------------------------------------------------------
+    # live updates (the write path; see Session.apply)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_object(
+        obj: Union[UncertainObject, Hashable],
+        samples: Optional[Sequence[Sequence[float]]],
+        probabilities: Optional[Sequence[float]],
+        name: Optional[str],
+    ) -> UncertainObject:
+        if isinstance(obj, UncertainObject):
+            if samples is not None or probabilities is not None or name is not None:
+                raise ValueError(
+                    "cannot combine an UncertainObject with samples=/"
+                    "probabilities=/name= overrides; build the replacement "
+                    "object yourself, or pass the bare id with samples="
+                )
+            return obj
+        if samples is None:
+            raise ValueError(
+                "pass an UncertainObject, or an id plus samples= "
+                "(and optionally probabilities=/name=)"
+            )
+        return UncertainObject(obj, samples, probabilities, name=name)
+
+    def insert(
+        self,
+        obj: Union[UncertainObject, Hashable],
+        samples: Optional[Sequence[Sequence[float]]] = None,
+        probabilities: Optional[Sequence[float]] = None,
+        name: Optional[str] = None,
+    ) -> QueryResult:
+        """Insert one object; accepts an object or ``(id, samples=...)``."""
+        target = self._as_object(obj, samples, probabilities, name)
+        return self.query(UpdateSpec(inserts=(target,)))
+
+    def delete(self, oid: Hashable) -> QueryResult:
+        """Delete the object with id *oid*."""
+        return self.query(UpdateSpec(deletes=(oid,)))
+
+    def update(
+        self,
+        obj: Union[UncertainObject, Hashable],
+        samples: Optional[Sequence[Sequence[float]]] = None,
+        probabilities: Optional[Sequence[float]] = None,
+        name: Optional[str] = None,
+    ) -> QueryResult:
+        """Replace the object sharing the given id, keeping its position."""
+        target = self._as_object(obj, samples, probabilities, name)
+        return self.query(UpdateSpec(updates=(target,)))
+
+    def apply(self, delta: DatasetDelta) -> QueryResult:
+        """Apply a multi-op :class:`DatasetDelta` atomically."""
+        return self.query(UpdateSpec.from_delta(delta))
+
     def __repr__(self) -> str:
         return f"<Client {self.session!r}>"
 
@@ -197,6 +255,7 @@ class BatchBuilder:
     def __init__(self, client: Client):
         self._client = client
         self._specs: List[QuerySpec] = []
+        self._last_executor: Optional[Executor] = None
 
     def __len__(self) -> int:
         return len(self._specs)
@@ -239,6 +298,19 @@ class BatchBuilder:
     ) -> "BatchBuilder":
         return self.add(ReverseKSkybandSpec(q=tuple(q), k=k))
 
+    def insert(self, obj: UncertainObject) -> "BatchBuilder":
+        """Queue an insert (serial execution only; see ``UpdateSpec``)."""
+        return self.add(UpdateSpec(inserts=(obj,)))
+
+    def delete(self, oid: Hashable) -> "BatchBuilder":
+        return self.add(UpdateSpec(deletes=(oid,)))
+
+    def update(self, obj: UncertainObject) -> "BatchBuilder":
+        return self.add(UpdateSpec(updates=(obj,)))
+
+    def apply(self, delta: DatasetDelta) -> "BatchBuilder":
+        return self.add(UpdateSpec.from_delta(delta))
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -252,15 +324,37 @@ class BatchBuilder:
     def stream(
         self, workers: int = 1, executor: Optional[Executor] = None
     ) -> Iterator[QueryResult]:
-        """Yield one envelope per spec, incrementally, in input order."""
+        """Yield one envelope per spec, incrementally, in input order.
+
+        The fingerprint is re-read per envelope so a serial batch that
+        interleaves ``update`` specs stamps each result with the dataset
+        version it was actually computed against.
+        """
         session = self._client.session
-        fingerprint = session.fingerprint
         chosen = self._executor(workers, executor)
+        self._last_executor = chosen
         for outcome in chosen.stream(session, list(self._specs)):
-            yield QueryResult.from_outcome(outcome, fingerprint=fingerprint)
+            yield QueryResult.from_outcome(
+                outcome, fingerprint=session.fingerprint
+            )
 
     def run(
         self, workers: int = 1, executor: Optional[Executor] = None
     ) -> List[QueryResult]:
         """Execute the batch and return all envelopes at once."""
         return list(self.stream(workers=workers, executor=executor))
+
+    def cache_stats(self) -> Optional[dict]:
+        """Merged hit/miss/eviction counters for the last run.
+
+        For a parallel run this aggregates the per-worker cache deltas
+        (workers hold private caches), so churn-induced cold-cache
+        regressions show up even though the parent session's own cache
+        saw no traffic.  ``None`` before the first ``run()``/``stream()``.
+        """
+        if (
+            self._last_executor is None
+            or self._last_executor.last_cache_stats is None
+        ):
+            return None
+        return self._last_executor.last_cache_stats.as_dict()

@@ -20,6 +20,7 @@ from repro.api.results import (
     ReverseKSkybandResult,
     ReverseSkylineResult,
     ReverseTopKResult,
+    UpdateResult,
 )
 from repro.engine.plan import (
     plan_causality,
@@ -30,6 +31,7 @@ from repro.engine.plan import (
     plan_reverse_k_skyband,
     plan_reverse_skyline,
     plan_reverse_top_k,
+    plan_update,
 )
 from repro.engine.spec import (
     CausalityCertainSpec,
@@ -41,6 +43,7 @@ from repro.engine.spec import (
     ReverseKSkybandSpec,
     ReverseSkylineSpec,
     ReverseTopKSpec,
+    UpdateSpec,
 )
 
 _BUILTIN = (
@@ -52,6 +55,7 @@ _BUILTIN = (
     (ReverseSkylineSpec, plan_reverse_skyline, ReverseSkylineResult),
     (ReverseKSkybandSpec, plan_reverse_k_skyband, ReverseKSkybandResult),
     (ReverseTopKSpec, plan_reverse_top_k, ReverseTopKResult),
+    (UpdateSpec, plan_update, UpdateResult),
 )
 
 for _spec_cls, _planner, _result_cls in _BUILTIN:

@@ -295,6 +295,48 @@ class ReverseTopKResult:
         return cls(k=payload["k"], user_ids=_decode_ids(payload["user_ids"]))
 
 
+@dataclass(frozen=True)
+class UpdateResult:
+    """Acknowledgement of one applied dataset delta (the write family).
+
+    ``fingerprint`` here is the *post-update* dataset fingerprint (the
+    envelope's own ``fingerprint`` field matches it);
+    ``previous_fingerprint`` is what cached results keyed before the
+    update — entries under it can never be served again and age out of
+    the LRU.
+    """
+
+    version: int
+    n_objects: int
+    deleted: int
+    updated: int
+    inserted: int
+    previous_fingerprint: Optional[str] = None
+    fingerprint: Optional[str] = None
+
+    @classmethod
+    def from_raw(cls, value: Dict[str, Any], spec: Any = None) -> "UpdateResult":
+        return cls(**value)
+
+    def to_raw(self) -> Dict[str, Any]:
+        return self.to_dict()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "n_objects": self.n_objects,
+            "deleted": self.deleted,
+            "updated": self.updated,
+            "inserted": self.inserted,
+            "previous_fingerprint": self.previous_fingerprint,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "UpdateResult":
+        return cls(**payload)
+
+
 # ---------------------------------------------------------------------------
 # the uniform envelope
 # ---------------------------------------------------------------------------

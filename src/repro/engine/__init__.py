@@ -37,14 +37,17 @@ from repro.engine.spec import (
     ReverseSkylineSpec,
     ReverseTopKSpec,
     SPEC_KINDS,
+    UpdateSpec,
     spec_from_dict,
     spec_to_dict,
 )
+from repro.uncertain.delta import DatasetDelta
 
 __all__ = [
     "CacheStats",
     "CausalityCertainSpec",
     "CausalitySpec",
+    "DatasetDelta",
     "Executor",
     "KSkybandCausalitySpec",
     "LRUCache",
@@ -61,6 +64,7 @@ __all__ = [
     "SPEC_KINDS",
     "SerialExecutor",
     "Session",
+    "UpdateSpec",
     "compile_plan",
     "dataset_fingerprint",
     "spec_from_dict",

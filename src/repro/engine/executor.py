@@ -29,6 +29,7 @@ from typing import (
     Tuple,
 )
 
+from repro.engine.cache import CacheStats
 from repro.engine.spec import QuerySpec
 from repro.exceptions import ReproError, error_code
 from repro.uncertain.dataset import CertainDataset, UncertainDataset
@@ -114,12 +115,27 @@ def _worker_init(
 
 def _worker_run(
     chunk: List[Tuple[int, QuerySpec]]
-) -> List[Tuple[int, "QueryOutcome"]]:
+) -> Tuple[List[Tuple[int, "QueryOutcome"]], CacheStats]:
+    """Run one chunk; returns the outcomes plus this chunk's cache delta.
+
+    Worker cache stats accumulate across chunks within one process, so the
+    parent can't just sum end-of-batch snapshots — each chunk reports the
+    *delta* it contributed and the parent merges those into the batch-wide
+    :class:`CacheStats` surfaced as ``executor.last_cache_stats``.
+    """
     assert _WORKER_SESSION is not None, "worker initialized without a session"
-    return [
+    stats = _WORKER_SESSION.cache.stats
+    before = (stats.hits, stats.misses, stats.evictions)
+    outcomes = [
         (index, _execute_captured(_WORKER_SESSION, spec))
         for index, spec in chunk
     ]
+    delta = CacheStats(
+        hits=stats.hits - before[0],
+        misses=stats.misses - before[1],
+        evictions=stats.evictions - before[2],
+    )
+    return outcomes, delta
 
 
 # ---------------------------------------------------------------------------
@@ -127,6 +143,13 @@ def _worker_run(
 # ---------------------------------------------------------------------------
 class Executor:
     """Maps a batch of specs over a session, preserving input order."""
+
+    #: Merged hit/miss/eviction counters for the most recent batch run by
+    #: this executor — across *all* worker processes for the parallel
+    #: executor, so cold-cache regressions under churn stay observable
+    #: even though workers hold private caches.  ``None`` until a batch
+    #: has run; updated incrementally while a stream is being consumed.
+    last_cache_stats: Optional[CacheStats] = None
 
     def map(
         self, session: "Session", specs: Sequence[QuerySpec]
@@ -165,8 +188,17 @@ class SerialExecutor(Executor):
     ) -> Iterator["QueryOutcome"]:
         specs = list(specs)
         self._precheck(session, specs)
+        stats = session.cache.stats
+        base = (stats.hits, stats.misses, stats.evictions)
+        self.last_cache_stats = CacheStats()
         for spec in specs:
-            yield _execute_captured(session, spec)
+            outcome = _execute_captured(session, spec)
+            # record before yielding: an abandoned stream must still
+            # account for every spec that actually executed
+            self.last_cache_stats.hits = stats.hits - base[0]
+            self.last_cache_stats.misses = stats.misses - base[1]
+            self.last_cache_stats.evictions = stats.evictions - base[2]
+            yield outcome
 
 
 class ParallelExecutor(Executor):
@@ -234,6 +266,24 @@ class ParallelExecutor(Executor):
         except ValueError:  # pragma: no cover - non-fork platforms
             return multiprocessing.get_context()
 
+    @staticmethod
+    def _reject_mutating(specs: Sequence[QuerySpec]) -> None:
+        """Mutating specs (dataset updates) may not fan out to workers.
+
+        Workers hold private copies of the dataset, so a mutation applied
+        there is silently lost — and its ordering relative to queries in
+        other chunks would be undefined even if it were not.  This holds
+        even on the single-worker serial fallback, so behavior does not
+        depend on the worker count.
+        """
+        mutating = sorted({s.kind for s in specs if getattr(s, "mutates", False)})
+        if mutating:
+            raise ValueError(
+                f"mutating spec kind(s) {mutating} cannot run under a "
+                "ParallelExecutor; apply updates serially (SerialExecutor "
+                "or Session.apply) between read-only batches"
+            )
+
     def map(
         self, session: "Session", specs: Sequence[QuerySpec]
     ) -> List["QueryOutcome"]:
@@ -241,10 +291,16 @@ class ParallelExecutor(Executor):
         if not specs:
             return []
         self._precheck(session, specs)
+        self._reject_mutating(specs)
         if self.workers == 1 or len(specs) == 1:
-            return SerialExecutor().map(session, specs)
+            serial = SerialExecutor()
+            try:
+                return serial.map(session, specs)
+            finally:
+                self.last_cache_stats = serial.last_cache_stats
 
         chunks = self._chunks(list(enumerate(specs)))
+        self.last_cache_stats = CacheStats()
         with self._context().Pool(
             processes=min(self.workers, len(chunks)),
             initializer=_worker_init,
@@ -252,11 +308,18 @@ class ParallelExecutor(Executor):
         ) as pool:
             parts = pool.map(_worker_run, chunks)
 
-        outcomes: List[Tuple[int, "QueryOutcome"]] = [
-            item for part in parts for item in part
-        ]
+        outcomes: List[Tuple[int, "QueryOutcome"]] = []
+        for part, delta in parts:
+            outcomes.extend(part)
+            self._merge_stats(delta)
         outcomes.sort(key=lambda pair: pair[0])
         return [outcome for _index, outcome in outcomes]
+
+    def _merge_stats(self, delta: CacheStats) -> None:
+        merged = self.last_cache_stats
+        merged.hits += delta.hits
+        merged.misses += delta.misses
+        merged.evictions += delta.evictions
 
     def stream(
         self, session: "Session", specs: Sequence[QuerySpec]
@@ -272,16 +335,23 @@ class ParallelExecutor(Executor):
         if not specs:
             return
         self._precheck(session, specs)
+        self._reject_mutating(specs)
         if self.workers == 1 or len(specs) == 1:
-            yield from SerialExecutor().stream(session, specs)
+            serial = SerialExecutor()
+            try:
+                yield from serial.stream(session, specs)
+            finally:
+                self.last_cache_stats = serial.last_cache_stats
             return
 
         chunks = self._chunks(list(enumerate(specs)))
+        self.last_cache_stats = CacheStats()
         with self._context().Pool(
             processes=min(self.workers, len(chunks)),
             initializer=_worker_init,
             initargs=self._initargs(session),
         ) as pool:
-            for part in pool.imap(_worker_run, chunks):
+            for part, delta in pool.imap(_worker_run, chunks):
+                self._merge_stats(delta)
                 for _index, outcome in part:
                     yield outcome

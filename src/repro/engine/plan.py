@@ -27,6 +27,7 @@ from repro.engine.spec import (
     ReverseKSkybandSpec,
     ReverseSkylineSpec,
     ReverseTopKSpec,
+    UpdateSpec,
 )
 from repro.rtopk.query import WeightSet, reverse_top_k
 from repro.skyline.reverse import reverse_skyline
@@ -188,6 +189,21 @@ def plan_reverse_top_k(spec: ReverseTopKSpec) -> QueryPlan:
     return QueryPlan(
         spec=spec,
         steps=("linear-score-ranking", f"top-{spec.k}-membership"),
+        runner=run,
+    )
+
+
+def plan_update(spec: UpdateSpec) -> QueryPlan:
+    def run(session: "Session") -> Any:
+        return session.apply(spec.to_delta())
+
+    return QueryPlan(
+        spec=spec,
+        steps=(
+            f"apply-delta -{len(spec.deletes)} ~{len(spec.updates)} "
+            f"+{len(spec.inserts)} (incremental rtree/tensor/digest patch)",
+            "bump-version-refresh-fingerprint",
+        ),
         runner=run,
     )
 

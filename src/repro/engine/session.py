@@ -24,7 +24,6 @@ the legacy ``run``/``execute`` methods remain as deprecation shims.)
 
 from __future__ import annotations
 
-import hashlib
 import time
 import warnings
 from dataclasses import dataclass, replace
@@ -49,6 +48,7 @@ from repro.engine.spec import QuerySpec
 from repro.exceptions import SpecMismatchError
 from repro.prsq.query import prsq_probabilities as _prsq_probabilities
 from repro.uncertain.dataset import CertainDataset, UncertainDataset
+from repro.uncertain.delta import DatasetDelta
 from repro.uncertain.pdf import ContinuousUncertainObject
 
 CacheLike = Union[LRUCache, NullCache]
@@ -86,24 +86,13 @@ def dataset_fingerprint(dataset: UncertainDataset) -> str:
     silently invalidates every cached result for the old contents.  Every
     field is length-prefixed (and arrays carry their shape) so no two
     distinct datasets can concatenate to the same byte stream.
+
+    The hash combines per-object digests cached on the (immutable) objects
+    — see :meth:`repro.uncertain.dataset.UncertainDataset.content_digest`
+    — so after an incremental :meth:`Session.apply` only changed objects
+    are re-hashed and the refresh costs O(changed), not O(n) sample bytes.
     """
-    hasher = hashlib.sha1()
-
-    def feed(data: bytes) -> None:
-        hasher.update(str(len(data)).encode())
-        hasher.update(b":")
-        hasher.update(data)
-
-    feed(type(dataset).__name__.encode())
-    feed(str(dataset.dims).encode())
-    feed(str(len(dataset)).encode())
-    for obj in dataset:
-        feed(repr(obj.oid).encode())
-        feed(repr(obj.name).encode())
-        feed(repr(obj.samples.shape).encode())
-        feed(obj.samples.tobytes())
-        feed(obj.probabilities.tobytes())
-    return hasher.hexdigest()
+    return dataset.content_digest()
 
 
 @dataclass
@@ -175,6 +164,11 @@ class Session:
     ):
         self.dataset = dataset
         self.use_numpy = use_numpy
+        self.build_index = build_index
+        #: Monotonic dataset version: 0 at construction, bumped by every
+        #: :meth:`apply` / :meth:`replace_dataset`.  Purely informational —
+        #: cache soundness rides on the fingerprint, not the version.
+        self.version = 0
         if cache is _DEFAULT:
             self.cache: CacheLike = (
                 LRUCache(cache_size) if cache_size > 0 else NullCache()
@@ -183,9 +177,6 @@ class Session:
             self.cache = NullCache()
         else:
             self.cache = cache
-        # Lazy: a parent session that only validates and dispatches (the
-        # parallel CLI path) never pays the O(data) hashing pass.
-        self._fingerprint: Optional[str] = None
         self._pdf_objects: Dict[Hashable, ContinuousUncertainObject] = {}
         if build_index:
             dataset.rtree  # noqa: B018 - bulk-load now, reuse for every query
@@ -220,9 +211,17 @@ class Session:
     # ------------------------------------------------------------------
     @property
     def fingerprint(self) -> str:
-        if self._fingerprint is None:
-            self._fingerprint = dataset_fingerprint(self.dataset)
-        return self._fingerprint
+        """The live dataset's content digest (cache-key material).
+
+        Delegates to the dataset, which caches the combined digest and
+        invalidates it on every mutation — so a dataset mutated directly
+        through its own ``insert_object``/``delete_object``/``apply_delta``
+        API (or through another session sharing it) can never leave this
+        session serving results under a stale fingerprint.  Lazy: a parent
+        session that only validates and dispatches (the parallel CLI path)
+        never pays the hashing pass.
+        """
+        return self.dataset.content_digest()
 
     @property
     def is_certain(self) -> bool:
@@ -298,13 +297,21 @@ class Session:
         return self.plan(spec).execute(self)
 
     def _execute_outcome(self, spec: QuerySpec) -> QueryOutcome:
-        """Execute *spec* with result caching; returns the outcome record."""
+        """Execute *spec* with result caching; returns the outcome record.
+
+        Specs flagged ``cacheable = False`` (dataset updates) bypass the
+        result cache entirely: caching a mutation would let a repeated
+        identical update hit the cache and silently not apply.
+        """
         plan = self.plan(spec)
-        key = self._key(*spec.cache_key())
         started = time.perf_counter()
-        value, was_hit = self.cache.get_or_compute(
-            key, lambda: plan.execute(self)
-        )
+        if not getattr(spec, "cacheable", True):
+            value, was_hit = plan.execute(self), False
+        else:
+            key = self._key(*spec.cache_key())
+            value, was_hit = self.cache.get_or_compute(
+                key, lambda: plan.execute(self)
+            )
         return QueryOutcome(
             spec=spec,
             value=_copy_out(value),
@@ -372,21 +379,84 @@ class Session:
     # ------------------------------------------------------------------
     # dataset lifecycle
     # ------------------------------------------------------------------
-    def replace_dataset(self, dataset: UncertainDataset) -> None:
-        """Swap in a new dataset version.
+    def apply(self, delta: DatasetDelta) -> Dict[str, Any]:
+        """Apply *delta* to the live dataset incrementally.
 
-        The fingerprint is recomputed, so previously cached results can
-        never be served for the new contents; old entries age out of the
-        LRU naturally.
+        The dataset patches its own derived state in O(changed) work (the
+        R-tree via ``insert``/``delete`` — only if it was already built,
+        honoring ``build_index=False`` —, the cached tensor by row, the
+        content digest by re-combining cached per-object digests).  The
+        session then bumps :attr:`version` and refreshes its fingerprint,
+        so every cached result keyed by the old fingerprint can never be
+        served again; with a shared cache the old entries simply age out
+        of the LRU.
+
+        Returns a summary dict (the raw payload the ``update`` query
+        family wraps): old/new fingerprints, the new version, op counts,
+        and the resulting object count.
+
+        Pdf sessions are refused: their dataset is a discretization of the
+        continuous objects, and patching one side would silently desync
+        the other — rebuild via :meth:`from_pdf_objects`, or use
+        :meth:`replace_dataset` with ``pdf_objects=``.
         """
+        if self.has_pdf_objects:
+            raise ValueError(
+                "cannot apply a dataset delta to a Session.from_pdf_objects "
+                "session: the discrete dataset is derived from the continuous "
+                "objects; rebuild with Session.from_pdf_objects(...) or use "
+                "replace_dataset(dataset, pdf_objects=...)"
+            )
+        previous = self.fingerprint
+        self.dataset.apply_delta(delta)
+        self.version += 1
+        return {
+            "version": self.version,
+            "n_objects": len(self.dataset),
+            "deleted": len(delta.deletes),
+            "updated": len(delta.updates),
+            "inserted": len(delta.inserts),
+            "previous_fingerprint": previous,
+            "fingerprint": self.fingerprint,
+        }
+
+    def replace_dataset(
+        self,
+        dataset: UncertainDataset,
+        pdf_objects: Optional[Sequence[ContinuousUncertainObject]] = None,
+    ) -> None:
+        """Swap in a new dataset wholesale — the full-rebuild fallback.
+
+        Prefer :meth:`apply` for small changes; use this when most of the
+        dataset changed (bulk reload beats replaying a long delta).  The
+        fingerprint is recomputed, so previously cached results can never
+        be served for the new contents; old entries age out of the LRU
+        naturally.
+
+        A session built with :meth:`from_pdf_objects` must pass matching
+        *pdf_objects* (the continuous objects *dataset* discretizes) or an
+        empty sequence to explicitly drop the pdf side; omitting the
+        argument raises instead of silently breaking later pdf causality
+        queries.  The session's ``build_index`` choice is honored: with
+        ``build_index=False`` the new index stays lazy.
+        """
+        if pdf_objects is None and self._pdf_objects:
+            raise ValueError(
+                "this session was created with Session.from_pdf_objects; "
+                "replace_dataset needs the matching pdf_objects= (or an "
+                "explicit empty sequence to drop pdf support)"
+            )
         self.dataset = dataset
-        self._fingerprint = None
-        self._pdf_objects = {}
-        dataset.rtree  # noqa: B018 - rebuild the index eagerly
+        self.version += 1
+        if pdf_objects is not None:
+            self._pdf_objects = {obj.oid: obj for obj in pdf_objects}
+        if self.build_index:
+            dataset.rtree  # noqa: B018 - rebuild the index eagerly
 
     def __repr__(self) -> str:
         kind = "certain" if self.is_certain else "uncertain"
-        fp = self._fingerprint[:10] if self._fingerprint else "(lazy)"
+        digest = self.dataset._content_digest
+        fp = digest[:10] if digest else "(lazy)"
         return (
             f"<Session {kind} n={len(self.dataset)} dims={self.dataset.dims} "
             f"fingerprint={fp} cache={self.cache!r}>"

@@ -28,6 +28,8 @@ from typing import Any, ClassVar, Dict, Hashable, Optional, Tuple, Type
 
 from repro.core.cp import CPConfig
 from repro.geometry.point import PointLike
+from repro.uncertain.delta import DatasetDelta
+from repro.uncertain.object import UncertainObject
 
 
 def _point_tuple(q: PointLike) -> Tuple[float, ...]:
@@ -70,6 +72,15 @@ class QuerySpec:
 
     kind: ClassVar[str] = "abstract"
     dataset_kind: ClassVar[str] = "uncertain"  # uncertain | certain | pdf
+    #: Results of this spec may be served from the LRU result cache.  Specs
+    #: with side effects (dataset updates) must opt out, or a repeated
+    #: identical op would hit the cache and silently not run.
+    cacheable: ClassVar[bool] = True
+    #: This spec changes session state.  Parallel executors refuse mutating
+    #: specs: worker processes hold dataset copies, so a mutation applied
+    #: in a worker would be lost — and batch order vs. other chunks is
+    #: undefined anyway.
+    mutates: ClassVar[bool] = False
 
     def cache_key(self) -> Tuple:
         """Hashable identity of the spec (kind + every field value)."""
@@ -236,6 +247,146 @@ class ReverseTopKSpec(QuerySpec):
             raise ValueError("at least one weight vector is required")
 
 
+#: Wire form of one object in an :class:`UpdateSpec`:
+#: ``(id, samples, probabilities, name)`` with nested float tuples.
+ObjectEntry = Tuple[Hashable, Tuple[Tuple[float, ...], ...],
+                    Optional[Tuple[float, ...]], Optional[str]]
+
+
+def object_entry(obj: UncertainObject) -> ObjectEntry:
+    """The hashable, JSON-safe wire form of one uncertain object."""
+    return (
+        obj.oid,
+        tuple(tuple(float(v) for v in row) for row in obj.samples),
+        tuple(float(p) for p in obj.probabilities),
+        obj.name,
+    )
+
+
+def entry_object(entry: ObjectEntry) -> UncertainObject:
+    """Rebuild the :class:`UncertainObject` an :func:`object_entry` encodes."""
+    oid, samples, probabilities, name = entry
+    return UncertainObject(
+        oid,
+        [list(row) for row in samples],
+        None if probabilities is None else list(probabilities),
+        name=name,
+    )
+
+
+def _normalize_entry(label: str, entry: Any) -> ObjectEntry:
+    if isinstance(entry, UncertainObject):
+        return object_entry(entry)
+    try:
+        oid, samples, probabilities, name = entry
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{label} entries must be (id, samples, probabilities, name) "
+            f"4-tuples or UncertainObject instances, got {entry!r}"
+        ) from None
+    _require_hashable(f"{label} id", oid)
+    samples_t = tuple(_point_tuple(row) for row in samples)
+    if not samples_t:
+        raise ValueError(f"{label} entry {oid!r} has no samples")
+    probabilities_t = (
+        None
+        if probabilities is None
+        else tuple(float(p) for p in probabilities)
+    )
+    if name is not None and not isinstance(name, str):
+        raise ValueError(
+            f"{label} entry {oid!r}: name must be a string or None, "
+            f"got {name!r}"
+        )
+    return (oid, samples_t, probabilities_t, name)
+
+
+@dataclass(frozen=True)
+class UpdateSpec(QuerySpec):
+    """A dataset delta as a registered query family (the write path).
+
+    ``deletes`` removes ids, ``updates`` replaces objects in place,
+    ``inserts`` appends new ones — applied in exactly that order by
+    :meth:`repro.engine.session.Session.apply`.  Objects travel as
+    :data:`ObjectEntry` tuples so the spec stays hashable and survives the
+    JSON wire format; pass :class:`~repro.uncertain.object.UncertainObject`
+    instances and they are converted on construction.
+
+    Updates are never cached (``cacheable = False``) and never fan out to
+    worker processes (``mutates = True``): workers hold dataset copies, so
+    a mutation applied there would be silently lost.
+    """
+
+    deletes: Tuple[Hashable, ...] = ()
+    updates: Tuple[ObjectEntry, ...] = ()
+    inserts: Tuple[ObjectEntry, ...] = ()
+
+    kind: ClassVar[str] = "update"
+    dataset_kind: ClassVar[str] = "uncertain"  # accepted by any session
+    cacheable: ClassVar[bool] = False
+    mutates: ClassVar[bool] = True
+
+    def __post_init__(self):
+        if isinstance(self.deletes, str):
+            # tuple("hot-1") would silently explode into per-char deletes
+            raise ValueError(
+                f"deletes must be a sequence of ids, got the bare string "
+                f"{self.deletes!r}; wrap it: deletes=({self.deletes!r},)"
+            )
+        deletes = tuple(self.deletes)
+        for oid in deletes:
+            _require_hashable("deletes id", oid)
+        object.__setattr__(self, "deletes", deletes)
+        object.__setattr__(
+            self,
+            "updates",
+            tuple(_normalize_entry("updates", e) for e in self.updates),
+        )
+        object.__setattr__(
+            self,
+            "inserts",
+            tuple(_normalize_entry("inserts", e) for e in self.inserts),
+        )
+        seen = set()
+        for oid in (
+            *self.deletes,
+            *(e[0] for e in self.updates),
+            *(e[0] for e in self.inserts),
+        ):
+            if oid in seen:
+                raise ValueError(
+                    f"id {oid!r} appears in more than one update op; "
+                    "a delete + insert of the same id is an update"
+                )
+            seen.add(oid)
+        if not seen:
+            raise ValueError(
+                "empty update: no deletes, updates, or inserts"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_delta(cls, delta: DatasetDelta) -> "UpdateSpec":
+        return cls(
+            deletes=delta.deletes,
+            updates=tuple(object_entry(o) for o in delta.updates),
+            inserts=tuple(object_entry(o) for o in delta.inserts),
+        )
+
+    def to_delta(self) -> DatasetDelta:
+        """The executable :class:`DatasetDelta` this spec encodes.
+
+        Object construction — and therefore probability validation —
+        happens here, at execution time, so a malformed entry in a batch
+        becomes a captured per-spec data error instead of a parse failure.
+        """
+        return DatasetDelta(
+            deletes=self.deletes,
+            updates=tuple(entry_object(e) for e in self.updates),
+            inserts=tuple(entry_object(e) for e in self.inserts),
+        )
+
+
 #: Legacy view of the built-in kind -> spec-class mapping.  The
 #: authoritative table is :data:`repro.api.registry.REGISTRY` (which also
 #: holds planners, result codecs, and any runtime-registered families);
@@ -251,6 +402,7 @@ SPEC_KINDS: Dict[str, Type[QuerySpec]] = {
         ReverseSkylineSpec,
         ReverseKSkybandSpec,
         ReverseTopKSpec,
+        UpdateSpec,
     )
 }
 

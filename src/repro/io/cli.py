@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro explain-certain --data cars.csv --q 11580 49000 --an an-7510-10180
     python -m repro batch    --data data.csv --queries queries.json --workers 4
     python -m repro batch    --data data.csv --queries queries.json --stream
+    python -m repro update   --data data.csv --ops ops.ndjsonl --out new.csv
 
 ``generate`` writes a synthetic dataset; ``prsq`` lists answers and
 non-answers with probabilities; ``explain`` runs algorithm CP on one
@@ -18,6 +19,14 @@ the typed :class:`~repro.api.results.QueryResult` envelopes: ``--json``
 prints one JSON array of envelopes, ``--stream`` prints NDJSON — one
 envelope per line, flushed as each result lands, so a consumer can pipe
 the output while long batches are still running.
+
+``update`` drives one **live session**: each NDJSON input line is either a
+shorthand op (``{"op": "insert"|"update"|"delete", "id": ..., "samples":
+[[...]], ...}``) or any registered query-spec dict (``{"kind": ...}``),
+executed strictly in order against a single session whose dataset is
+patched incrementally — queries interleaved with updates see exactly the
+contents written before them.  One envelope per line is emitted as NDJSON,
+and ``--out`` saves the final dataset as CSV.
 """
 
 from __future__ import annotations
@@ -137,6 +146,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--stream",
         action="store_true",
         help="emit NDJSON: one envelope per line, flushed incrementally",
+    )
+
+    update = sub.add_parser(
+        "update",
+        help="apply an NDJSON stream of live updates (and interleaved queries)",
+        description=(
+            "Run a live session over --data: every line of --ops is one op "
+            '(shorthand {"op": "insert", "id": "x", "samples": [[1, 2]]} / '
+            '{"op": "delete", "id": "x"}) or one query-spec dict '
+            '({"kind": "prsq", ...}), executed in order with incremental '
+            "dataset patching (no per-op O(n) rebuild).  Emits one NDJSON "
+            "envelope per line; --out writes the final dataset."
+        ),
+    )
+    update.add_argument("--data", required=True, help="dataset CSV")
+    update.add_argument(
+        "--dataset-kind",
+        choices=["uncertain", "certain"],
+        default="uncertain",
+        help="CSV flavour of --data (default: uncertain, long format)",
+    )
+    update.add_argument(
+        "--ops",
+        required=True,
+        help="NDJSON file: one op or query spec per line ('-' for stdin)",
+    )
+    update.add_argument(
+        "--out", default=None, help="write the final dataset to this CSV"
+    )
+    update.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="LRU result-cache capacity (default 4096; 0 disables caching)",
     )
 
     return parser
@@ -314,7 +357,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         stats = client.cache_stats()
         cache_note = f"cache hits={stats['hits']} misses={stats['misses']}"
     else:
-        cache_note = f"worker-local caches, {hits} cached outcome(s)"
+        # Merged per-worker deltas: cold-cache regressions stay visible
+        # even though each worker holds a private cache.
+        merged = executor.last_cache_stats
+        cache_note = (
+            "worker caches (merged) "
+            f"hits={merged.hits} misses={merged.misses} "
+            f"evictions={merged.evictions}"
+            if merged is not None
+            else f"worker-local caches, {hits} cached outcome(s)"
+        )
     failure_note = f", {failures} failed" if failures else ""
     print(
         f"# {total} queries in {elapsed:.3f}s "
@@ -325,12 +377,117 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _op_line_spec(item: dict):
+    """One NDJSON line -> an executable spec (shorthand op or spec dict)."""
+    from repro.api import decode_value
+    from repro.engine import UpdateSpec, spec_from_dict
+
+    if not isinstance(item, dict):
+        raise ValueError(f"each ops line must be a JSON object, got {item!r}")
+    if "kind" in item:
+        return spec_from_dict(item)
+    op = item.get("op")
+    if op == "delete":
+        return UpdateSpec(deletes=(decode_value(item["id"]),))
+    if op in ("insert", "update"):
+        entry = (
+            decode_value(item["id"]),
+            item["samples"],
+            item.get("probabilities"),
+            item.get("name"),
+        )
+        if op == "insert":
+            return UpdateSpec(inserts=(entry,))
+        return UpdateSpec(updates=(entry,))
+    raise ValueError(
+        f"ops line needs 'kind' or 'op' in insert|update|delete, got {item!r}"
+    )
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    from repro.api.results import QueryResult
+    from repro.engine import Session
+    from repro.engine.executor import _execute_captured
+    from repro.io.csvio import save_certain_csv, save_uncertain_csv
+
+    if args.dataset_kind == "certain":
+        dataset = load_certain_csv(args.data)
+    else:
+        dataset = load_uncertain_csv(args.data)
+    session = Session(dataset, cache_size=max(args.cache_size, 0))
+
+    def parse(lineno: int, line: str):
+        try:
+            return _op_line_spec(json.loads(line))
+        except (ReproError, KeyError, ValueError) as exc:
+            raise ValueError(f"{args.ops}:{lineno}: {exc}") from exc
+
+    if args.ops == "-":
+        # stdin streams: specs parse lazily, one per incoming line
+        specs = (
+            (lineno, parse(lineno, line))
+            for lineno, line in enumerate(sys.stdin, start=1)
+            if line.strip()
+        )
+    else:
+        # file input is fully in memory: prevalidate every line up front,
+        # so a malformed line 50 fails before op 1 is applied (same
+        # fail-the-batch-first contract as the batch subcommand)
+        specs = [
+            (lineno, parse(lineno, line))
+            for lineno, line in enumerate(
+                Path(args.ops).read_text().splitlines(), start=1
+            )
+            if line.strip()
+        ]
+
+    started = time.perf_counter()
+    total = updates = failures = 0
+    abort: Optional[ValueError] = None
+    try:
+        for _lineno, spec in specs:
+            outcome = _execute_captured(session, spec)
+            envelope = QueryResult.from_outcome(
+                outcome, fingerprint=session.fingerprint
+            )
+            print(json.dumps(envelope.to_dict()), flush=True)
+            total += 1
+            updates += envelope.ok and getattr(spec, "mutates", False)
+            failures += not envelope.ok
+    except ValueError as exc:
+        # a malformed stdin line mid-stream: stop reading, but fall
+        # through so already-acknowledged writes still reach --out
+        abort = exc
+    elapsed = max(time.perf_counter() - started, 1e-9)
+
+    if args.out is not None:
+        if args.dataset_kind == "certain":
+            save_certain_csv(session.dataset, args.out)
+        else:
+            save_uncertain_csv(session.dataset, args.out)
+
+    stats = session.cache_stats()
+    print(
+        f"# {total} op(s) ({updates} update(s)) in {elapsed:.3f}s, "
+        f"dataset version={session.version} n={len(session.dataset)}, "
+        f"cache hits={stats['hits']} misses={stats['misses']}"
+        f"{f', {failures} failed' if failures else ''}"
+        f"{f', wrote {args.out}' if args.out else ''}",
+        file=sys.stderr,
+    )
+    if abort is not None:
+        print(f"error: {abort}", file=sys.stderr)
+        return 1
+    return 1 if failures else 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "prsq": _cmd_prsq,
     "explain": _cmd_explain,
     "explain-certain": _cmd_explain_certain,
     "batch": _cmd_batch,
+    "update": _cmd_update,
 }
 
 

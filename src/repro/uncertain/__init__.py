@@ -1,6 +1,7 @@
 """Uncertain data model: discrete samples, possible worlds, continuous pdfs."""
 
 from repro.uncertain.dataset import CertainDataset, UncertainDataset
+from repro.uncertain.delta import DatasetDelta
 from repro.uncertain.object import UncertainObject
 from repro.uncertain.pdf import (
     ContinuousUncertainObject,
@@ -20,6 +21,7 @@ from repro.uncertain.possible_worlds import (
 __all__ = [
     "CertainDataset",
     "ContinuousUncertainObject",
+    "DatasetDelta",
     "DatasetTensor",
     "MAX_ENUMERABLE_WORLDS",
     "TruncatedGaussianObject",

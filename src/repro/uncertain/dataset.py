@@ -3,10 +3,21 @@
 The R-tree indexes one entry per object: its sample MBR (uncertain) or its
 point (certain), exactly as the paper assumes when algorithm CP traverses
 ``R_P`` in a branch-and-bound manner.
+
+Datasets are **live**: :meth:`UncertainDataset.insert_object`,
+:meth:`~UncertainDataset.delete_object`, :meth:`~UncertainDataset.
+update_object` and :meth:`~UncertainDataset.apply_delta` change the
+contents in place while every derived structure is patched incrementally —
+the R-tree through its own ``insert``/``delete`` (only if it was already
+built), the cached :class:`DatasetTensor` by row, and the content digest
+by re-combining cached per-object digests — so a single-object change
+costs O(changed) hashing/kernel work instead of the O(n) full rebuild that
+:meth:`repro.engine.session.Session.replace_dataset` pays.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence
 
 import numpy as np
@@ -15,6 +26,7 @@ from repro.exceptions import EmptyDatasetError
 from repro.geometry.point import PointLike, as_point_matrix
 from repro.index.bulk import bulk_load
 from repro.index.rtree import DEFAULT_PAGE_SIZE, RTree
+from repro.uncertain.delta import DatasetDelta
 from repro.uncertain.object import UncertainObject
 from repro.uncertain.tensor import DatasetTensor
 
@@ -48,6 +60,7 @@ class UncertainDataset:
         self.page_size = page_size
         self._rtree: Optional[RTree] = None
         self._tensor: Optional[DatasetTensor] = None
+        self._content_digest: Optional[str] = None
 
     # ------------------------------------------------------------------
     @property
@@ -81,6 +94,172 @@ class UncertainDataset:
 
             raise UnknownObjectError(f"unknown object {oid!r}") from None
 
+    def content_digest(self) -> str:
+        """Content hash: type, dims, and every object's cached digest.
+
+        The same function the engine's
+        :func:`~repro.engine.session.dataset_fingerprint` uses as cache-key
+        material.  Per-object digests are cached on the (immutable) objects
+        and the combined digest is cached here, so after an incremental
+        update only the changed objects are re-hashed — the re-combination
+        touches 20 bytes per object instead of every sample byte.
+        """
+        if self._content_digest is None:
+            hasher = hashlib.sha1()
+            # Object digests are fixed-width (20 bytes), so one join is
+            # unambiguous; the header pins type, dims and count.
+            hasher.update(
+                f"{type(self).__name__}:{self.dims}:{len(self._objects)}:".encode()
+            )
+            hasher.update(b"".join(obj.digest() for obj in self._objects))
+            self._content_digest = hasher.hexdigest()
+        return self._content_digest
+
+    # ------------------------------------------------------------------
+    # live updates (incremental: R-tree, tensor, digest all patched)
+    # ------------------------------------------------------------------
+    def _check_new_object(self, obj: UncertainObject) -> None:
+        if not isinstance(obj, UncertainObject):
+            raise TypeError(
+                f"expected an UncertainObject, got {type(obj).__name__}"
+            )
+        if obj.dims != self.dims:
+            raise ValueError(
+                f"object {obj.oid!r} has {obj.dims} dims, dataset has {self.dims}"
+            )
+
+    def insert_object(self, obj: UncertainObject) -> None:
+        """Add *obj* at the end of the dataset order, in O(changed) work."""
+        self._check_new_object(obj)
+        if obj.oid in self._by_id:
+            raise ValueError(f"duplicate object id {obj.oid!r}")
+        self._insert_many((obj,))
+
+    def delete_object(self, oid: Hashable) -> UncertainObject:
+        """Remove the object with id *oid*; returns the removed object."""
+        obj = self.get(oid)  # raises UnknownObjectError
+        if len(self._objects) == 1:
+            raise EmptyDatasetError(
+                f"deleting {oid!r} would leave the dataset empty"
+            )
+        self._delete_many((oid,))
+        return obj
+
+    def update_object(self, obj: UncertainObject) -> UncertainObject:
+        """Replace the object sharing ``obj.oid`` in place (same position).
+
+        Returns the previous object.  Position in the dataset order — and
+        therefore the canonical Eq. (2) product order — is preserved, so
+        results stay bit-identical to a fresh dataset built with the
+        replacement at the same index.
+        """
+        self._check_new_object(obj)
+        old = self.get(obj.oid)  # raises UnknownObjectError
+        self._update_many((obj,))
+        return old
+
+    # -- batch primitives (validated by the callers above / apply_delta) --
+    def _insert_many(self, objects: Sequence[UncertainObject]) -> None:
+        base = len(self._objects)
+        self._objects.extend(objects)
+        for offset, obj in enumerate(objects):
+            self._by_id[obj.oid] = obj
+            self._index_of[obj.oid] = base + offset
+        if self._rtree is not None:
+            for obj in objects:
+                self._rtree.insert(obj.mbr, obj.oid)
+        if self._tensor is not None:
+            self._tensor = self._tensor.with_inserted_rows(objects)
+        self._content_digest = None
+
+    def _delete_many(self, oids: Sequence[Hashable]) -> List[int]:
+        """Remove *oids* in one pass; returns their (old) sorted positions."""
+        positions = sorted(self._index_of[oid] for oid in oids)
+        if self._rtree is not None:
+            for oid in oids:
+                self._rtree.delete(self._by_id[oid].mbr, oid)
+        if self._tensor is not None:
+            self._tensor = self._tensor.with_deleted_rows(positions)
+        removed = set(oids)
+        for oid in oids:
+            del self._by_id[oid]
+        self._objects = [o for o in self._objects if o.oid not in removed]
+        self._index_of = {o.oid: i for i, o in enumerate(self._objects)}
+        self._content_digest = None
+        self._maybe_shrink_tensor()
+        return positions
+
+    def _update_many(self, objects: Sequence[UncertainObject]) -> List[int]:
+        """Replace each object in place; returns the affected positions."""
+        replacements = []
+        for obj in objects:
+            position = self._index_of[obj.oid]
+            old = self._objects[position]
+            self._objects[position] = obj
+            self._by_id[obj.oid] = obj
+            if self._rtree is not None:
+                self._rtree.delete(old.mbr, obj.oid)
+                self._rtree.insert(obj.mbr, obj.oid)
+            replacements.append((position, obj))
+        if self._tensor is not None:
+            self._tensor = self._tensor.with_replaced_rows(replacements)
+        self._content_digest = None
+        self._maybe_shrink_tensor()
+        return [position for position, _obj in replacements]
+
+    def _maybe_shrink_tensor(self) -> None:
+        """Re-pack the cached tensor when churn left it mostly padding.
+
+        Deleting (or narrowing) the widest object never shrinks ``S_max``
+        on the incremental path, so a transiently wide object would
+        otherwise inflate every later kernel broadcast forever.  The 2x
+        threshold keeps re-packs rare enough that alternating wide
+        inserts/deletes cannot thrash.
+        """
+        tensor = self._tensor
+        if tensor is None:
+            return
+        live = tensor.live_max_samples()
+        if live and tensor.max_samples > 2 * live:
+            self._tensor = tensor.narrowed(live)
+
+    def apply_delta(self, delta: DatasetDelta) -> DatasetDelta:
+        """Apply *delta* (deletes, then updates, then inserts) atomically.
+
+        All ops are validated before the first mutation, so a bad delta
+        leaves the dataset untouched instead of half-applied; each op
+        group patches the tensor and the id maps in one batched pass, so
+        a k-op delta pays one O(n) array copy per group, not k.
+        """
+        if not isinstance(delta, DatasetDelta):
+            raise TypeError(
+                f"expected a DatasetDelta, got {type(delta).__name__}"
+            )
+        for oid in delta.deletes:
+            self.get(oid)
+        if len(delta.deletes) >= len(self._objects):
+            # Deletes run first, so this would transiently empty the
+            # dataset even when the delta also inserts.
+            raise EmptyDatasetError(
+                "delta would delete every object; apply the inserts in a "
+                "separate (earlier) delta"
+            )
+        for obj in delta.updates:
+            self._check_new_object(obj)
+            self.get(obj.oid)
+        for obj in delta.inserts:
+            self._check_new_object(obj)
+            # delta ids are op-disjoint, so an existing id is a real dup
+            if obj.oid in self._by_id:
+                raise ValueError(f"duplicate object id {obj.oid!r}")
+        if delta.deletes:
+            self._delete_many(delta.deletes)
+        if delta.updates:
+            self._update_many(delta.updates)
+        if delta.inserts:
+            self._insert_many(delta.inserts)
+        return delta
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._objects)
@@ -112,13 +291,32 @@ class UncertainDataset:
     def without(self, removed: Iterable[Hashable]) -> "UncertainDataset":
         """A new dataset with *removed* ids deleted (``P - Γ``).
 
-        Used by tests and naive baselines; the optimized algorithms never
-        materialize removals — they evaluate restricted probabilities through
-        :class:`repro.prsq.oracle.MembershipOracle` instead.
+        Used by tests and naive what-if baselines; the optimized algorithms
+        never materialize removals — they evaluate restricted probabilities
+        through :class:`repro.prsq.oracle.MembershipOracle` instead.
+
+        Kept objects are shared with this dataset, so their cached MBRs
+        and content digests are reused, and when this dataset's tensor is
+        already built the reduced tensor is derived by vectorized row
+        deletion (the delta fast path) instead of a per-object rebuild.
         """
         removed_set = set(removed)
         kept = [obj for obj in self._objects if obj.oid not in removed_set]
-        return UncertainDataset(kept, page_size=self.page_size)
+        reduced = UncertainDataset(kept, page_size=self.page_size)
+        self._seed_reduced_tensor(reduced, removed_set)
+        return reduced
+
+    def _seed_reduced_tensor(
+        self, reduced: "UncertainDataset", removed_set: set
+    ) -> None:
+        """Pre-seed a ``P - Γ`` dataset's tensor from this one, if built."""
+        if self._tensor is not None and len(reduced) > 0:
+            positions = [
+                self._index_of[oid]
+                for oid in removed_set
+                if oid in self._index_of
+            ]
+            reduced._tensor = self._tensor.with_deleted_rows(positions)
 
     def max_samples(self) -> int:
         return max(obj.num_samples for obj in self._objects)
@@ -154,16 +352,71 @@ class CertainDataset(UncertainDataset):
         super().__init__(objects, page_size=page_size)
         self.points = matrix
 
+    @classmethod
+    def from_objects(
+        cls,
+        objects: Sequence[UncertainObject],
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ) -> "CertainDataset":
+        """A certain dataset over existing 1-sample objects, shared not copied.
+
+        The objects (and their cached MBRs/digests) are reused as-is; only
+        the ``points`` matrix is materialized.  This is what keeps
+        :meth:`without` and the delta path from re-validating and
+        re-hashing every surviving object.
+        """
+        dataset = cls.__new__(cls)
+        UncertainDataset.__init__(dataset, objects, page_size=page_size)
+        for obj in dataset._objects:
+            if not obj.is_certain:
+                raise ValueError(
+                    f"object {obj.oid!r} has {obj.num_samples} samples; "
+                    "certain datasets need single-sample objects"
+                )
+        dataset.points = np.vstack([obj.samples[0] for obj in dataset._objects])
+        return dataset
+
     def point_of(self, oid: Hashable) -> np.ndarray:
         return self.get(oid).samples[0]
 
     def without(self, removed: Iterable[Hashable]) -> "CertainDataset":
-        """A new certain dataset with *removed* ids deleted (``P - Γ``)."""
+        """A new certain dataset with *removed* ids deleted (``P - Γ``).
+
+        Surviving objects are shared (cached MBRs and digests included)
+        and ``page_size`` propagates, matching the uncertain variant.
+        """
         removed_set = set(removed)
         kept = [obj for obj in self._objects if obj.oid not in removed_set]
-        return CertainDataset(
-            [obj.samples[0] for obj in kept],
-            ids=[obj.oid for obj in kept],
-            names=[obj.name for obj in kept],
-            page_size=self.page_size,
+        reduced = CertainDataset.from_objects(kept, page_size=self.page_size)
+        self._seed_reduced_tensor(reduced, removed_set)
+        return reduced
+
+    # ------------------------------------------------------------------
+    # live updates: keep the dense ``points`` matrix in sync
+    # ------------------------------------------------------------------
+    def _check_new_object(self, obj: UncertainObject) -> None:
+        super()._check_new_object(obj)
+        if not obj.is_certain:
+            raise ValueError(
+                f"object {obj.oid!r} has {obj.num_samples} samples; "
+                "certain datasets need single-sample objects"
+            )
+
+    def _insert_many(self, objects: Sequence[UncertainObject]) -> None:
+        super()._insert_many(objects)
+        self.points = np.concatenate(
+            [self.points] + [obj.samples[:1] for obj in objects]
         )
+
+    def _delete_many(self, oids: Sequence[Hashable]) -> List[int]:
+        positions = super()._delete_many(oids)
+        self.points = np.delete(self.points, positions, axis=0)
+        return positions
+
+    def _update_many(self, objects: Sequence[UncertainObject]) -> List[int]:
+        positions = super()._update_many(objects)
+        points = self.points.copy()
+        for position, obj in zip(positions, objects):
+            points[position] = obj.samples[0]
+        self.points = points
+        return positions

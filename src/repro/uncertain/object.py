@@ -9,6 +9,7 @@ reuses all the uncertain machinery.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Hashable, Optional, Sequence
 
 import numpy as np
@@ -36,7 +37,7 @@ class UncertainObject:
         Optional human-readable label (player name, car trim, ...).
     """
 
-    __slots__ = ("oid", "samples", "probabilities", "name", "_mbr")
+    __slots__ = ("oid", "samples", "probabilities", "name", "_mbr", "_digest")
 
     def __init__(
         self,
@@ -72,6 +73,7 @@ class UncertainObject:
         self.probabilities = probs
         self.name = name
         self._mbr: Optional[Rect] = None
+        self._digest: Optional[bytes] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -104,6 +106,30 @@ class UncertainObject:
     def expected_position(self) -> np.ndarray:
         """Probability-weighted mean location."""
         return self.probabilities @ self.samples
+
+    def digest(self) -> bytes:
+        """Content hash of this object, cached for its (immutable) lifetime.
+
+        Every field is length-prefixed (and the sample matrix carries its
+        shape) so no two distinct objects can concatenate to the same byte
+        stream.  Dataset fingerprints combine these per-object digests, so
+        a single-object change re-hashes O(changed) sample bytes instead
+        of the whole dataset.
+        """
+        if self._digest is None:
+            hasher = hashlib.sha1()
+            for data in (
+                repr(self.oid).encode(),
+                repr(self.name).encode(),
+                repr(self.samples.shape).encode(),
+                self.samples.tobytes(),
+                self.probabilities.tobytes(),
+            ):
+                hasher.update(str(len(data)).encode())
+                hasher.update(b":")
+                hasher.update(data)
+            self._digest = hasher.digest()
+        return self._digest
 
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:

@@ -18,11 +18,18 @@ used by both the tensor and the scalar probability paths.  The tensor is
 built lazily by :attr:`repro.uncertain.dataset.UncertainDataset.tensor`
 and cached for the dataset's lifetime — sound because
 :class:`~repro.uncertain.object.UncertainObject` arrays are immutable.
+
+Live updates never mutate a tensor in place (query code may still hold a
+reference): :meth:`~DatasetTensor.with_inserted`,
+:meth:`~DatasetTensor.with_deleted` and :meth:`~DatasetTensor.with_replaced`
+derive a patched copy with vectorized row operations — re-padding only
+when the new object's sample count grows ``S_max`` — which is how a
+single-object change avoids the O(n) per-object rebuild loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Sequence
+from typing import Dict, Hashable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -70,6 +77,153 @@ class DatasetTensor:
     @property
     def dims(self) -> int:
         return self.samples.shape[2]
+
+    # ------------------------------------------------------------------
+    # derived (patched) tensors — the incremental-update fast path
+    # ------------------------------------------------------------------
+    @classmethod
+    def _from_parts(
+        cls,
+        samples: np.ndarray,
+        probabilities: np.ndarray,
+        mask: np.ndarray,
+        ids: List[Hashable],
+    ) -> "DatasetTensor":
+        tensor = cls.__new__(cls)
+        for array in (samples, probabilities, mask):
+            array.flags.writeable = False
+        tensor.samples = samples
+        tensor.probabilities = probabilities
+        tensor.mask = mask
+        tensor.ids = ids
+        tensor.index_of = {oid: i for i, oid in enumerate(ids)}
+        return tensor
+
+    def _padded_to(self, s_max: int):
+        """Writable copies of the arrays, widened to *s_max* slots."""
+        n, old, d = self.samples.shape
+        grow = s_max - old
+        if grow <= 0:
+            return (
+                self.samples.copy(),
+                self.probabilities.copy(),
+                self.mask.copy(),
+            )
+        samples = np.concatenate(
+            [self.samples, np.zeros((n, grow, d))], axis=1
+        )
+        probabilities = np.concatenate(
+            [self.probabilities, np.zeros((n, grow))], axis=1
+        )
+        mask = np.concatenate(
+            [self.mask, np.zeros((n, grow), dtype=bool)], axis=1
+        )
+        return samples, probabilities, mask
+
+    def with_inserted_rows(
+        self, objects: Sequence[UncertainObject]
+    ) -> "DatasetTensor":
+        """A new tensor with *objects* appended, in order, as one copy."""
+        n, old_s, d = self.samples.shape
+        k = len(objects)
+        s_max = max(old_s, max(obj.num_samples for obj in objects))
+        # allocate the final arrays once, fill by slice — one O(n) copy
+        # for the whole batch, re-padding only when S_max grows
+        samples = np.zeros((n + k, s_max, d))
+        probabilities = np.zeros((n + k, s_max))
+        mask = np.zeros((n + k, s_max), dtype=bool)
+        samples[:n, :old_s] = self.samples
+        probabilities[:n, :old_s] = self.probabilities
+        mask[:n, :old_s] = self.mask
+        for offset, obj in enumerate(objects):
+            l = obj.num_samples
+            samples[n + offset, :l] = obj.samples
+            probabilities[n + offset, :l] = obj.probabilities
+            mask[n + offset, :l] = True
+        return DatasetTensor._from_parts(
+            samples, probabilities, mask,
+            self.ids + [obj.oid for obj in objects],
+        )
+
+    def with_inserted(self, obj: UncertainObject) -> "DatasetTensor":
+        """A new tensor with *obj* appended as the last row."""
+        return self.with_inserted_rows([obj])
+
+    def with_deleted(self, position: int) -> "DatasetTensor":
+        """A new tensor with the row at *position* removed.
+
+        ``S_max`` is kept even if the deleted object was the widest: the
+        padding stays masked out, so every kernel result is unchanged and
+        no O(n) re-pack is needed.
+        """
+        return DatasetTensor._from_parts(
+            np.delete(self.samples, position, axis=0),
+            np.delete(self.probabilities, position, axis=0),
+            np.delete(self.mask, position, axis=0),
+            self.ids[:position] + self.ids[position + 1:],
+        )
+
+    def with_replaced_rows(
+        self, replacements: Sequence[Tuple[int, UncertainObject]]
+    ) -> "DatasetTensor":
+        """A new tensor with every ``(position, object)`` row replaced.
+
+        One O(n) copy covers the whole batch, so a k-update delta costs
+        O(n + k·S_max) instead of k full-array copies.
+        """
+        s_max = max(
+            self.max_samples,
+            max(obj.num_samples for _pos, obj in replacements),
+        )
+        samples, probabilities, mask = self._padded_to(s_max)
+        ids = list(self.ids)
+        for position, obj in replacements:
+            l = obj.num_samples
+            samples[position] = 0.0
+            probabilities[position] = 0.0
+            mask[position] = False
+            samples[position, :l] = obj.samples
+            probabilities[position, :l] = obj.probabilities
+            mask[position, :l] = True
+            ids[position] = obj.oid
+        return DatasetTensor._from_parts(samples, probabilities, mask, ids)
+
+    def with_replaced(
+        self, position: int, obj: UncertainObject
+    ) -> "DatasetTensor":
+        """A new tensor with the row at *position* replaced by *obj*."""
+        return self.with_replaced_rows([(position, obj)])
+
+    def with_deleted_rows(self, positions: Sequence[int]) -> "DatasetTensor":
+        """A new tensor with all *positions* removed (``P - Γ`` in one shot)."""
+        dropped = set(positions)
+        idx = np.asarray(sorted(dropped), dtype=np.intp)
+        keep = [oid for i, oid in enumerate(self.ids) if i not in dropped]
+        return DatasetTensor._from_parts(
+            np.delete(self.samples, idx, axis=0),
+            np.delete(self.probabilities, idx, axis=0),
+            np.delete(self.mask, idx, axis=0),
+            keep,
+        )
+
+    def narrowed(self, s_max: int) -> "DatasetTensor":
+        """A copy with the sample axis cut to *s_max* slots.
+
+        Only valid when every live sample fits (``s_max >=`` the widest
+        row's count); :meth:`live_max_samples` reports that bound.  Used
+        to re-pack after churn so one transiently wide object does not
+        inflate every later kernel broadcast forever.
+        """
+        return DatasetTensor._from_parts(
+            self.samples[:, :s_max].copy(),
+            self.probabilities[:, :s_max].copy(),
+            self.mask[:, :s_max].copy(),
+            list(self.ids),
+        )
+
+    def live_max_samples(self) -> int:
+        """Widest live row (mask rows are prefix-packed, so sum = count)."""
+        return int(self.mask.sum(axis=1).max())
 
     def rows(self, indices: Sequence[int]):
         """``(samples, probabilities, mask)`` gathered for *indices*.

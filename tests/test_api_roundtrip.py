@@ -30,6 +30,7 @@ from repro.api.results import (
     ReverseTopKResult,
     RunInfo,
     StatsRecord,
+    UpdateResult,
 )
 from repro.core.cp import CPConfig
 from repro.engine.spec import (
@@ -41,6 +42,7 @@ from repro.engine.spec import (
     ReverseKSkybandSpec,
     ReverseSkylineSpec,
     ReverseTopKSpec,
+    UpdateSpec,
     spec_from_dict,
     spec_to_dict,
 )
@@ -63,7 +65,44 @@ configs = st.builds(
     use_bound_prune=st.booleans(),
 )
 
+_entry_samples = st.lists(
+    st.lists(finite, min_size=1, max_size=3).map(tuple),
+    min_size=1,
+    max_size=3,
+).map(tuple)
+_entry_probabilities = st.one_of(
+    st.none(),
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=3
+    ).map(tuple),
+)
+_entry_names = st.one_of(st.none(), st.text(max_size=8))
+
+
+@st.composite
+def _update_specs(draw):
+    """Non-empty update specs with op-disjoint ids (the spec invariant)."""
+    ids = draw(st.lists(oids, min_size=1, max_size=5, unique=True))
+    deletes, updates, inserts = [], [], []
+    for oid in ids:
+        op = draw(st.sampled_from(["delete", "update", "insert"]))
+        if op == "delete":
+            deletes.append(oid)
+        else:
+            entry = (
+                oid,
+                draw(_entry_samples),
+                draw(_entry_probabilities),
+                draw(_entry_names),
+            )
+            (updates if op == "update" else inserts).append(entry)
+    return UpdateSpec(
+        deletes=tuple(deletes), updates=tuple(updates), inserts=tuple(inserts)
+    )
+
+
 SPEC_STRATEGIES = {
+    "update": _update_specs(),
     "prsq": st.builds(
         PRSQSpec,
         q=coords,
@@ -171,6 +210,16 @@ RESULT_STRATEGIES = {
     ),
     "reverse_top_k": st.builds(
         ReverseTopKResult, k=ks, user_ids=st.lists(oids, max_size=6).map(tuple)
+    ),
+    "update": st.builds(
+        UpdateResult,
+        version=st.integers(min_value=0, max_value=1_000),
+        n_objects=st.integers(min_value=1, max_value=10_000),
+        deleted=st.integers(min_value=0, max_value=100),
+        updated=st.integers(min_value=0, max_value=100),
+        inserted=st.integers(min_value=0, max_value=100),
+        previous_fingerprint=st.one_of(st.none(), st.text(min_size=4, max_size=40)),
+        fingerprint=st.one_of(st.none(), st.text(min_size=4, max_size=40)),
     ),
 }
 

@@ -184,11 +184,26 @@ class TestCaching:
             assert not session.execute(spec).cached
             assert session.cache_stats()["hits"] == 0
 
-    def test_fingerprint_is_lazy(self, uncertain_ds):
-        session = Session(uncertain_ds, build_index=False)
-        assert session._fingerprint is None  # not hashed until needed
+    def test_fingerprint_is_lazy(self):
+        dataset = generate_uncertain_dataset(20, 2, seed=7)
+        session = Session(dataset, build_index=False)
+        assert dataset._content_digest is None  # not hashed until needed
         first = session.fingerprint
-        assert session._fingerprint == first == session.fingerprint
+        assert dataset._content_digest == first == session.fingerprint
+
+    def test_fingerprint_tracks_direct_dataset_mutation(self):
+        # The dataset's mutation API is public: a session must never keep
+        # serving results under the pre-mutation fingerprint, even when
+        # the mutation bypassed Session.apply.
+        dataset = generate_uncertain_dataset(12, 2, seed=9)
+        session = Session(dataset)
+        spec = PRSQSpec(q=Q, alpha=ALPHA, want="probabilities")
+        session.query(spec)
+        victim = dataset.ids()[0]
+        dataset.delete_object(victim)
+        outcome = session.query(spec)
+        assert not outcome.run.cached
+        assert victim not in outcome.value.probabilities
 
     def test_caller_mutation_cannot_poison_cache(self, uncertain_ds):
         session = Session(uncertain_ds)

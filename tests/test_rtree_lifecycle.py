@@ -1,0 +1,94 @@
+"""Mixed R-tree lifecycles: STR bulk load interleaved with insert/delete.
+
+The live-update path relies on a single tree surviving an arbitrary
+interleaving of bulk-loaded construction, incremental inserts (splits) and
+deletes (condense + reinsertion).  Hypothesis drives random interleavings
+with a tiny page size (fanout 4) so splits, underfull condensing, root
+collapse and height changes all trigger constantly; after every step the
+structural invariants are re-validated and a range query is compared
+against a brute-force scan over the live entry set.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import IndexError_
+from repro.geometry.rectangle import Rect
+from repro.index.bulk import bulk_load
+from repro.index.rtree import RTree
+
+# 2 corners * 2 dims * 8 bytes + 8-byte pointer = 40 bytes/entry -> fanout 4
+TINY_PAGE = 160
+
+
+def _rect(rng):
+    lo = rng.uniform(0.0, 100.0, size=2)
+    return Rect(lo, lo + rng.uniform(0.0, 10.0, size=2))
+
+
+def _brute_force(live, window):
+    return sorted(payload for rect, payload in live if window.intersects(rect))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_initial=st.integers(min_value=0, max_value=25),
+    op_kinds=st.lists(
+        st.sampled_from(["insert", "delete", "delete", "insert"]), max_size=30
+    ),
+)
+def test_bulk_load_then_churn_keeps_invariants(seed, n_initial, op_kinds):
+    rng = np.random.default_rng(seed)
+    live = [(_rect(rng), i) for i in range(n_initial)]
+    tree = bulk_load(list(live), dims=2, page_size=TINY_PAGE)
+    tree.validate(allow_underfull=True)
+    next_payload = n_initial
+
+    for kind in op_kinds:
+        if kind == "insert" or not live:
+            entry = (_rect(rng), next_payload)
+            next_payload += 1
+            tree.insert(*entry)
+            live.append(entry)
+        else:
+            victim = live.pop(int(rng.integers(len(live))))
+            assert tree.delete(*victim) is True
+        # invariants after *every* step, not just at the end
+        tree.validate(allow_underfull=True)
+        assert len(tree) == len(live)
+        window = _rect(rng)
+        assert sorted(tree.range_search(window)) == _brute_force(live, window)
+
+    # full drain: deleting everything leaves a valid empty tree
+    for entry in live:
+        assert tree.delete(*entry) is True
+    tree.validate(allow_underfull=True)
+    assert len(tree) == 0 and tree.range_search(_rect(rng)) == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_delete_of_absent_entry_is_harmless(seed):
+    rng = np.random.default_rng(seed)
+    live = [(_rect(rng), i) for i in range(10)]
+    tree = bulk_load(list(live), dims=2, page_size=TINY_PAGE)
+    absent = _rect(rng)
+    assert tree.delete(absent, "nope") is False
+    # same rect, wrong payload: also a no-op
+    assert tree.delete(live[0][0], "wrong-payload") is False
+    assert len(tree) == 10
+    tree.validate(allow_underfull=True)
+
+
+def test_validate_still_catches_corruption():
+    """The invariant checker itself must not have been weakened."""
+    rng = np.random.default_rng(0)
+    tree = bulk_load(
+        [(_rect(rng), i) for i in range(30)], dims=2, page_size=TINY_PAGE
+    )
+    tree.size += 1  # simulate a bookkeeping bug
+    with pytest.raises(IndexError_, match="size mismatch"):
+        tree.validate(allow_underfull=True)
