@@ -1,0 +1,214 @@
+"""Packed vs. pointer R-tree traversal on the many-window filter phase.
+
+Times the Lemma-2-shaped workload every index-guided algorithm funnels
+through: for a batch of target objects, collect all dataset objects whose
+MBR crosses any of the target's per-sample dominance rectangles.  The
+pointer path answers one ``range_search_any`` per target; the packed path
+(:class:`repro.index.packed.PackedRTree`) answers the whole batch with one
+grouped level-frontier pass.  Three properties are asserted:
+
+* **speedup** — the packed kernel must beat the pointer loop by at least
+  ``--min-speedup`` (default 5x, the acceptance bar on the 1,000-object
+  2-d workload);
+* **bit parity** — identical hit lists (both paths share the canonical
+  unique/``repr``-sorted contract) and *identical* ``AccessStats`` node /
+  leaf / query counts;
+* **churn parity** — after a ``DatasetDelta`` insert/update/delete mix the
+  re-frozen snapshot still matches the patched pointer tree exactly.
+
+Emits a machine-readable ``BENCH_packed_rtree.json`` (``--json``) so CI
+records the perf trajectory.  Runs standalone or under pytest:
+
+    PYTHONPATH=src python benchmarks/bench_packed_rtree.py
+    PYTHONPATH=src python benchmarks/bench_packed_rtree.py --objects 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.bench.reporting import write_json_report
+from repro.core.candidates import filter_rectangles
+from repro.datasets.synthetic_uncertain import generate_uncertain_dataset
+from repro.uncertain.delta import DatasetDelta
+from repro.uncertain.object import UncertainObject
+
+
+def _build(objects: int, dims: int, seed: int):
+    return generate_uncertain_dataset(
+        objects,
+        dims,
+        radius_range=(0, 150),
+        samples_range=(6, 12),
+        seed=seed,
+    )
+
+
+def _window_groups(dataset, targets: List, q: np.ndarray) -> List[List]:
+    return [filter_rectangles(dataset.get(oid), q) for oid in targets]
+
+
+def _timed_pointer(dataset, groups) -> Dict:
+    tree = dataset.rtree
+    with dataset.access_stats.measure() as snapshot:
+        started = time.perf_counter()
+        hits = [tree.range_search_any(group) for group in groups]
+        seconds = time.perf_counter() - started
+    return {"hits": hits, "seconds": seconds, "stats": snapshot}
+
+
+def _timed_packed(dataset, groups) -> Dict:
+    packed = dataset.packed  # freeze outside the timed region (O(n) pass)
+    with dataset.access_stats.measure() as snapshot:
+        started = time.perf_counter()
+        hits = packed.range_search_any_grouped(groups)
+        seconds = time.perf_counter() - started
+    return {"hits": hits, "seconds": seconds, "stats": snapshot}
+
+
+def _assert_parity(pointer: Dict, packed: Dict, label: str) -> None:
+    assert pointer["hits"] == packed["hits"], (
+        f"{label}: packed hit lists diverge from the pointer tree"
+    )
+    a, b = pointer["stats"], packed["stats"]
+    observed = (b.node_accesses, b.leaf_accesses, b.queries)
+    expected = (a.node_accesses, a.leaf_accesses, a.queries)
+    assert observed == expected, (
+        f"{label}: access accounting diverges "
+        f"(pointer {expected}, packed {observed})"
+    )
+
+
+def _churn(dataset, seed: int) -> None:
+    """Apply a delete/update/insert mix through the incremental path."""
+    rng = np.random.default_rng(seed)
+    ids = dataset.ids()
+    doomed = [ids[i] for i in rng.choice(len(ids), size=10, replace=False)]
+    survivors = [oid for oid in ids if oid not in set(doomed)]
+    updates = []
+    for oid in survivors[:10]:
+        obj = dataset.get(oid)
+        updates.append(
+            UncertainObject(
+                oid,
+                obj.samples + rng.uniform(-5, 5, size=obj.samples.shape),
+                obj.probabilities,
+            )
+        )
+    inserts = [
+        UncertainObject.certain(
+            f"churn-{i}", rng.uniform(0, 10_000, size=dataset.dims)
+        )
+        for i in range(10)
+    ]
+    dataset.apply_delta(
+        DatasetDelta(deletes=doomed, updates=updates, inserts=inserts)
+    )
+
+
+def bench(
+    objects: int = 1_000,
+    dims: int = 2,
+    batch: int = 64,
+    min_speedup: float = 5.0,
+    seed: int = 23,
+    json_path: str = "",
+) -> Dict:
+    """One full comparison run; raises AssertionError on any violated bar.
+
+    When *json_path* is set the measured row is recorded **before** the
+    speedup bar is checked, so a regressing run still leaves its numbers
+    behind for diagnosis.
+    """
+    dataset = _build(objects, dims, seed)
+    rng = np.random.default_rng(seed)
+    q = rng.uniform(2_000, 8_000, size=dims)
+    targets = list(dataset.ids())[:batch]
+    groups = _window_groups(dataset, targets, q)
+    n_windows = sum(len(g) for g in groups)
+
+    dataset.rtree  # build the tree outside every timed region
+    pointer = _timed_pointer(dataset, groups)
+    packed = _timed_packed(dataset, groups)
+    _assert_parity(pointer, packed, "fresh dataset")
+
+    speedup = pointer["seconds"] / max(packed["seconds"], 1e-12)
+    row = {
+        "objects": objects,
+        "dims": dims,
+        "batch": batch,
+        "windows": n_windows,
+        "node_accesses": pointer["stats"].node_accesses,
+        "pointer_s": pointer["seconds"],
+        "packed_s": packed["seconds"],
+        "speedup": speedup,
+    }
+    if json_path:
+        write_json_report(
+            json_path,
+            "packed_rtree",
+            rows=[row],
+            meta={
+                "seed": seed,
+                "min_speedup": min_speedup,
+                "workload": "lemma2-multi-window-filter",
+            },
+        )
+    assert speedup >= min_speedup, (
+        f"packed traversal only {speedup:.1f}x faster than the pointer "
+        f"loop (bar: {min_speedup:.1f}x)"
+    )
+
+    # Parity must survive incremental churn: the delta patches the pointer
+    # tree in place and invalidates the snapshot, which re-freezes lazily.
+    _churn(dataset, seed)
+    assert dataset._packed is None, "churn must invalidate the snapshot"
+    survivors = [oid for oid in targets if oid in dataset]
+    churn_groups = _window_groups(dataset, survivors, q)
+    _assert_parity(
+        _timed_pointer(dataset, churn_groups),
+        _timed_packed(dataset, churn_groups),
+        "after DatasetDelta churn",
+    )
+
+    return row
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=int, default=1_000)
+    parser.add_argument("--dims", type=int, default=2)
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument("--min-speedup", type=float, default=5.0)
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument(
+        "--json",
+        default="BENCH_packed_rtree.json",
+        help="machine-readable report path ('' disables)",
+    )
+    args = parser.parse_args(argv)
+    row = bench(
+        objects=args.objects,
+        dims=args.dims,
+        batch=args.batch,
+        min_speedup=args.min_speedup,
+        seed=args.seed,
+        json_path=args.json,
+    )
+    print(
+        "bench_packed_rtree: "
+        f"n={row['objects']} d={row['dims']} batch={row['batch']} "
+        f"windows={row['windows']} | "
+        f"pointer {row['pointer_s'] * 1e3:8.1f} ms | "
+        f"packed {row['packed_s'] * 1e3:8.1f} ms | "
+        f"speedup {row['speedup']:6.1f}x "
+        "(bit-identical hits, identical node accesses, churn-stable)"
+    )
+
+
+if __name__ == "__main__":
+    main()

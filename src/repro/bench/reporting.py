@@ -1,14 +1,21 @@
-"""Plain-text reporting in the shape of the paper's figures and tables.
+"""Reporting in the shape of the paper's figures and tables.
 
 Each benchmark prints one table whose rows/series correspond to a paper
 figure: the x-axis parameter, and per algorithm the mean node accesses
 (I/O) and mean CPU time.  Absolute CPU numbers differ from the paper's C++
 testbed by a constant factor; the *shape* is what EXPERIMENTS.md compares.
+
+Benchmarks that feed CI additionally emit a machine-readable JSON report
+(:func:`write_json_report`, one ``BENCH_<name>.json`` per benchmark) so
+the perf trajectory is recorded run over run instead of scrolling away in
+a log.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 def format_table(rows: Sequence[Dict], columns: Sequence[str] | None = None) -> str:
@@ -51,3 +58,34 @@ def is_non_increasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
 
 def is_non_decreasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
     return all(b + tolerance >= a for a, b in zip(values, values[1:]))
+
+
+def json_report(
+    name: str,
+    rows: Sequence[Dict],
+    meta: Optional[Dict] = None,
+) -> Dict:
+    """The canonical machine-readable benchmark payload.
+
+    ``rows`` are the same dict rows :func:`format_table` renders; ``meta``
+    carries the workload parameters (cardinality, dims, seed, ...) so a
+    recorded number is reproducible without reading the emitting script.
+    """
+    return {
+        "schema": "repro-bench-report/v1",
+        "benchmark": str(name),
+        "meta": dict(meta or {}),
+        "rows": [dict(row) for row in rows],
+    }
+
+
+def write_json_report(
+    path: str | Path,
+    name: str,
+    rows: Sequence[Dict],
+    meta: Optional[Dict] = None,
+) -> Dict:
+    """Write :func:`json_report` to *path*; returns the written payload."""
+    payload = json_report(name, rows, meta=meta)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload

@@ -62,9 +62,12 @@ def find_candidate_causes(
         Override the rectangle list (the pdf model supplies region-derived
         rectangles instead of per-sample ones).
     use_numpy:
-        Confirm the survivors with one batched Lemma-1 kernel call
+        Run the filter through the packed level-frontier traversal
+        (:class:`repro.index.packed.PackedRTree`) and confirm the
+        survivors with one batched Lemma-1 kernel call
         (:func:`repro.engine.kernels.influence_mask`) instead of the
-        per-object scalar loop; the confirmed set is identical.
+        pointer tree and the per-object scalar loop; the confirmed set
+        and the node-access accounting are identical either way.
     """
     from repro.engine.kernels import influence_mask, resolve_use_numpy
 
@@ -75,13 +78,15 @@ def find_candidate_causes(
     windows = list(windows)
 
     if use_index:
-        hits = set(dataset.rtree.range_search_any(windows))
-        hits.discard(an_oid)
+        # The kernel returns unique, canonically ordered payloads on both
+        # the packed and the pointer path, so no per-caller set() is
+        # needed and traversal order can never leak into result bits.
+        hits = dataset.spatial_index(use_numpy).range_search_any(windows)
         # Sample-level Lemma-2 pre-confirm of the MBR-level R-tree hits:
         # it cannot change the confirmed set (the rectangles are a complete
         # filter), only skip exact confirmations, so CP's output and node
         # accesses are untouched.  Pool order is dataset order.
-        pool_indices = sorted(dataset.index_of(oid) for oid in hits)
+        pool_indices = dataset.positions_of(hits, exclude=(an_oid,))
         objects = dataset.objects()
         pool = _sample_level_prefilter(
             [objects[i] for i in pool_indices], windows

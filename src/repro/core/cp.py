@@ -98,7 +98,9 @@ def compute_causality(
     started = time.perf_counter()
     qq = as_point(q, dims=dataset.dims)
 
-    access_ctx = dataset.rtree.stats.measure() if config.use_index else nullcontext()
+    access_ctx = (
+        dataset.access_stats.measure() if config.use_index else nullcontext()
+    )
     with access_ctx as snapshot:
         candidate_ids = find_candidate_causes(
             dataset,

@@ -65,8 +65,9 @@ def compute_causality_certain(
         (algorithm CR); when false, linearly scan the dataset (the filter
         half of Naive-II).
     use_numpy:
-        Batched dominance confirmation kernel vs. the scalar per-point
-        loop; identical candidates either way.
+        Packed window-query traversal plus the batched dominance
+        confirmation kernel vs. the pointer tree and the scalar per-point
+        loop; identical candidates and node accesses either way.
 
     Raises
     ------
@@ -79,10 +80,10 @@ def compute_causality_certain(
     qq = as_point(q, dims=dataset.dims)
     window = dominance_rectangle(an_point, qq)
 
-    access_ctx = dataset.rtree.stats.measure() if use_index else nullcontext()
+    access_ctx = dataset.access_stats.measure() if use_index else nullcontext()
     with access_ctx as snapshot:
         if use_index:
-            hits = dataset.rtree.range_search(window)
+            hits = dataset.spatial_index(use_numpy).range_search(window)
         else:
             hits = dataset.ids()
         candidates = confirm_dominators(

@@ -61,9 +61,13 @@ def naive_ii(
     qq = as_point(q, dims=dataset.dims)
     window = dominance_rectangle(an_point, qq)
 
-    access_ctx = dataset.rtree.stats.measure() if use_index else nullcontext()
+    access_ctx = dataset.access_stats.measure() if use_index else nullcontext()
     with access_ctx as snapshot:
-        hits = dataset.rtree.range_search(window) if use_index else dataset.ids()
+        hits = (
+            dataset.spatial_index(use_numpy).range_search(window)
+            if use_index
+            else dataset.ids()
+        )
         candidates = confirm_dominators(
             dataset, list(hits), an_oid, qq, an_point, use_numpy
         )

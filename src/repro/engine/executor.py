@@ -1,8 +1,10 @@
 """Executors: serial and multiprocess fan-out for query batches.
 
-The :class:`ParallelExecutor` ships the *dataset contents* (never the
-built R-tree) to each worker once, via the pool initializer; workers build
-their own session — index, cache and kernels — and then drain chunks of
+The :class:`ParallelExecutor` ships the *dataset contents* plus the frozen
+:class:`~repro.index.packed.PackedRTree` arrays (never the pointer R-tree)
+to each worker once, via the pool initializer; workers adopt the packed
+snapshot by array handoff — no per-worker O(n log n) index rebuild — build
+their own session (cache, kernels) and then drain chunks of
 ``(index, spec)`` pairs.  ``Pool.map`` over contiguous chunks keeps the
 result order deterministic and identical to the serial executor, which is
 asserted by the engine parity tests.
@@ -64,33 +66,52 @@ def _execute_captured(session: "Session", spec: QuerySpec) -> "QueryOutcome":
 
 
 # ---------------------------------------------------------------------------
-# dataset (de)hydration — ship contents, rebuild indexes worker-side
+# dataset (de)hydration — ship contents plus the frozen packed index, so
+# workers reconstruct the spatial index by array handoff instead of a
+# per-worker O(n log n) rebuild
 # ---------------------------------------------------------------------------
-def _dataset_payload(dataset: UncertainDataset) -> Dict[str, Any]:
+def _dataset_payload(
+    dataset: UncertainDataset, include_packed: bool = True
+) -> Dict[str, Any]:
     if isinstance(dataset, CertainDataset):
-        return {
+        payload: Dict[str, Any] = {
             "kind": "certain",
             "points": dataset.points,
             "ids": dataset.ids(),
             "names": [obj.name for obj in dataset],
             "page_size": dataset.page_size,
         }
-    return {
-        "kind": "uncertain",
-        "objects": dataset.objects(),
-        "page_size": dataset.page_size,
-    }
+    else:
+        payload = {
+            "kind": "uncertain",
+            "objects": dataset.objects(),
+            "page_size": dataset.page_size,
+        }
+    # The packed snapshot is immutable contiguous arrays — cheap to pickle
+    # and adopted as-is on the other side (PackedRTree.__getstate__ drops
+    # the shared stats counter).  Only shipped when already frozen (a lazy
+    # parent stays lazy end to end) and wanted: scalar sessions query the
+    # pointer tree only, so shipping them the arrays would be dead weight.
+    payload["packed"] = dataset._packed if include_packed else None
+    return payload
 
 
 def _restore_dataset(payload: Dict[str, Any]) -> UncertainDataset:
     if payload["kind"] == "certain":
-        return CertainDataset(
+        dataset: UncertainDataset = CertainDataset(
             payload["points"],
             ids=payload["ids"],
             names=payload["names"],
             page_size=payload["page_size"],
         )
-    return UncertainDataset(payload["objects"], page_size=payload["page_size"])
+    else:
+        dataset = UncertainDataset(
+            payload["objects"], page_size=payload["page_size"]
+        )
+    packed = payload.get("packed")
+    if packed is not None:
+        dataset.adopt_packed(packed)
+    return dataset
 
 
 # ---------------------------------------------------------------------------
@@ -243,15 +264,23 @@ class ParallelExecutor(Executor):
     def _initargs(
         self, session: "Session"
     ) -> Tuple[Dict[str, Any], Optional[list], Dict[str, Any]]:
-        payload = _dataset_payload(session.dataset)
+        if session.build_index and session.use_numpy:
+            session.dataset.packed  # noqa: B018 - freeze once, ship to all
+        payload = _dataset_payload(
+            session.dataset, include_packed=session.use_numpy
+        )
         pdf_objects = (
             list(session._pdf_objects.values())
             if session.has_pdf_objects
             else None
         )
+        # Workers inherit the parent session's switches verbatim: a
+        # build_index=False session stays lazy worker-side too, and a
+        # use_numpy worker adopts the shipped packed arrays instead of
+        # paying a per-process bulk load.
         session_kwargs: Dict[str, Any] = {
             "use_numpy": session.use_numpy,
-            "build_index": True,
+            "build_index": session.build_index,
         }
         if self.cache_size <= 0:
             session_kwargs["cache"] = None

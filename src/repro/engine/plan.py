@@ -132,7 +132,8 @@ def plan_causality_certain(spec: CausalityCertainSpec) -> QueryPlan:
 def plan_k_skyband_causality(spec: KSkybandCausalitySpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         return compute_causality_k_skyband(
-            session.dataset, spec.an, spec.q, spec.k
+            session.dataset, spec.an, spec.q, spec.k,
+            use_numpy=session.use_numpy,
         )
 
     return QueryPlan(
@@ -151,11 +152,14 @@ def plan_reverse_skyline(spec: ReverseSkylineSpec) -> QueryPlan:
             )
             ids = session.dataset.ids()
             return [ids[i] for i in range(len(ids)) if mask[i]]
-        return reverse_skyline(session.dataset, spec.q)
+        return reverse_skyline(
+            session.dataset, spec.q, use_numpy=session.use_numpy
+        )
 
     return QueryPlan(
         spec=spec,
-        steps=("vectorized-dominator-counts | rtree-window-per-object",),
+        steps=("vectorized-dominator-counts | "
+               "packed-batched-windows | rtree-window-per-object",),
         runner=run,
     )
 
@@ -168,12 +172,14 @@ def plan_reverse_k_skyband(spec: ReverseKSkybandSpec) -> QueryPlan:
             )
             ids = session.dataset.ids()
             return [ids[i] for i in range(len(ids)) if mask[i]]
-        return reverse_k_skyband(session.dataset, spec.q, spec.k)
+        return reverse_k_skyband(
+            session.dataset, spec.q, spec.k, use_numpy=session.use_numpy
+        )
 
     return QueryPlan(
         spec=spec,
         steps=(f"vectorized-k-skyband-counts k={spec.k} | "
-               "rtree-window-per-object",),
+               "packed-batched-windows | rtree-window-per-object",),
         runner=run,
     )
 

@@ -179,7 +179,22 @@ class Session:
             self.cache = cache
         self._pdf_objects: Dict[Hashable, ContinuousUncertainObject] = {}
         if build_index:
-            dataset.rtree  # noqa: B018 - bulk-load now, reuse for every query
+            self._build_index_for(dataset)
+
+    def _build_index_for(self, dataset: UncertainDataset) -> None:
+        """Eagerly build the traversal structure this session will query.
+
+        ``use_numpy`` sessions run the packed level-frontier kernels, so
+        the packed snapshot is frozen now — if the dataset already holds
+        one (the worker array handoff), this is a no-op and **no pointer
+        tree is built at all**; otherwise the bulk load runs once and the
+        freeze adds a single O(n) array pass.  Scalar sessions bulk-load
+        the pointer tree as before.
+        """
+        if self.use_numpy:
+            dataset.packed  # noqa: B018 - freeze (or adopt) the snapshot
+        else:
+            dataset.rtree  # noqa: B018 - bulk-load now, reuse every query
 
     # ------------------------------------------------------------------
     # construction variants
@@ -451,7 +466,7 @@ class Session:
         if pdf_objects is not None:
             self._pdf_objects = {obj.oid: obj for obj in pdf_objects}
         if self.build_index:
-            dataset.rtree  # noqa: B018 - rebuild the index eagerly
+            self._build_index_for(dataset)
 
     def __repr__(self) -> str:
         kind = "certain" if self.is_certain else "uncertain"

@@ -3,6 +3,7 @@
 from repro.index.bulk import bulk_load
 from repro.index.knn import k_nearest, nearest
 from repro.index.node import Node
+from repro.index.packed import PackedRTree
 from repro.index.rtree import DEFAULT_PAGE_SIZE, RTree, fanout_for_page
 from repro.index.stats import AccessSnapshot, AccessStats
 
@@ -11,6 +12,7 @@ __all__ = [
     "AccessStats",
     "DEFAULT_PAGE_SIZE",
     "Node",
+    "PackedRTree",
     "RTree",
     "bulk_load",
     "fanout_for_page",

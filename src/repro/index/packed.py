@@ -1,0 +1,422 @@
+"""Packed (flattened) NumPy snapshot of an R-tree.
+
+The pointer :class:`~repro.index.rtree.RTree` pays a Python-level
+``Rect.intersects`` call per node per window.  For the filter phase of the
+index-guided algorithms — Lemma-2 candidate discovery, CR's window query,
+reverse skylines / k-skybands, the PRSQ relevance prune — that scalar
+traversal dominates the runtime once queries arrive in batches.
+
+:class:`PackedRTree` freezes one tree into contiguous arrays:
+
+* ``node_lo`` / ``node_hi`` — ``(N, d)`` node MBRs in **BFS order** (the
+  root is node 0; every level is a contiguous block; the leaves are
+  exactly the last level, because the R-tree keeps all leaves at equal
+  depth);
+* ``child_start`` / ``child_count`` — each internal node's children as a
+  contiguous node-id range (BFS numbering makes sibling blocks adjacent);
+* ``entry_start`` / ``entry_count`` — each leaf's entries as a range into
+* ``entry_lo`` / ``entry_hi`` / ``payloads`` — the flattened leaf-entry
+  rectangles and their payload table.
+
+Traversal is a *level frontier*: all children of the current frontier are
+tested against all query windows in one broadcast comparison per level.
+The frontier visits exactly the node set the pointer traversal visits (the
+root unconditionally, then every child whose MBR crosses a window), and
+every visit is recorded through the same :class:`AccessStats` counters, so
+the paper's node-access metric is identical on both paths — this parity is
+property-tested.
+
+A snapshot is immutable and self-contained (plain arrays plus the payload
+list), so it pickles cheaply: :class:`~repro.engine.executor
+.ParallelExecutor` ships it to worker processes, which adopt the arrays
+instead of re-running the O(n log n) bulk load.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.rectangle import Rect
+from repro.index.rtree import RTree
+from repro.index.stats import AccessStats
+
+#: Windows per grouped-traversal block: groups are processed in blocks so
+#: the (frontier, windows) intersection scratch stays a few MB even when
+#: thousands of windows are answered in one call.
+GROUP_WINDOW_CHUNK = 1024
+
+#: Elements per (rects, windows, dims) intersection broadcast: rect rows
+#: are sliced so one wide frontier (every leaf entry of a large dataset)
+#: cannot blow up the comparison scratch.
+_INTERSECT_SCRATCH_ELEMENTS = 1 << 22
+
+
+def _ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(s, s + c)`` for every ``(start, count)`` pair."""
+    counts = np.asarray(counts, dtype=np.intp)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.intp)
+    starts = np.asarray(starts, dtype=np.intp)
+    ends = np.cumsum(counts)
+    offsets = np.arange(total, dtype=np.intp) - np.repeat(ends - counts, counts)
+    return np.repeat(starts, counts) + offsets
+
+
+def _stack_windows(
+    windows: Sequence[Rect], dims: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    if not windows:
+        empty = np.empty((0, dims), dtype=np.float64)
+        return empty, empty.copy()
+    lo = np.stack([w.lo for w in windows])
+    hi = np.stack([w.hi for w in windows])
+    return lo, hi
+
+
+class PackedRTree:
+    """Immutable array-backed snapshot of one :class:`RTree`.
+
+    Build via :meth:`from_rtree` (or ``tree.freeze()``); query via the
+    same ``range_search`` / ``range_search_any`` family the pointer tree
+    exposes, plus the batched multi-window kernels ``range_search_many``
+    and ``range_search_any_grouped``.  Hit *sets* and access accounting
+    are identical to the pointer tree; ``range_search_any`` additionally
+    shares its canonical (unique, ``repr``-sorted) result order.
+    """
+
+    __slots__ = (
+        "dims",
+        "size",
+        "height",
+        "leaf_start",
+        "node_lo",
+        "node_hi",
+        "child_start",
+        "child_count",
+        "entry_start",
+        "entry_count",
+        "entry_lo",
+        "entry_hi",
+        "payloads",
+        "stats",
+    )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rtree(
+        cls, tree: RTree, stats: Optional[AccessStats] = None
+    ) -> "PackedRTree":
+        """Freeze *tree* into a packed snapshot (one O(n) array pass).
+
+        *stats* shares an existing access counter (the dataset-level one)
+        so pointer and packed traversals accumulate into the same I/O
+        metric; omitted, the snapshot gets a private counter.
+        """
+        levels: List[List] = [[tree.root]]
+        while not levels[-1][0].is_leaf:
+            levels.append(
+                [child for node in levels[-1] for child in node.children]
+            )
+        nodes = [node for level in levels for node in level]
+        n = len(nodes)
+        dims = tree.dims
+
+        packed = cls.__new__(cls)
+        packed.dims = dims
+        packed.size = tree.size
+        packed.height = len(levels)
+        packed.leaf_start = n - len(levels[-1])
+        packed.stats = stats if stats is not None else AccessStats()
+
+        # An MBR-less node (only the root of an empty tree) gets inverted
+        # infinite bounds so no window can ever intersect it.
+        node_lo = np.full((n, dims), np.inf, dtype=np.float64)
+        node_hi = np.full((n, dims), -np.inf, dtype=np.float64)
+        child_start = np.zeros(n, dtype=np.intp)
+        child_count = np.zeros(n, dtype=np.intp)
+        entry_start = np.zeros(n, dtype=np.intp)
+        entry_count = np.zeros(n, dtype=np.intp)
+        lo_parts: List[np.ndarray] = []
+        hi_parts: List[np.ndarray] = []
+        payloads: List[Any] = []
+
+        next_child = 1  # BFS numbering: children fill the array in order
+        entry_cursor = 0
+        for i, node in enumerate(nodes):
+            if node.mbr is not None:
+                node_lo[i] = node.mbr.lo
+                node_hi[i] = node.mbr.hi
+            if node.is_leaf:
+                entry_start[i] = entry_cursor
+                entry_count[i] = len(node.entries)
+                entry_cursor += len(node.entries)
+                for rect, payload in node.entries:
+                    lo_parts.append(rect.lo)
+                    hi_parts.append(rect.hi)
+                    payloads.append(payload)
+            else:
+                child_start[i] = next_child
+                child_count[i] = len(node.children)
+                next_child += len(node.children)
+
+        if payloads:
+            entry_lo = np.stack(lo_parts)
+            entry_hi = np.stack(hi_parts)
+        else:
+            entry_lo = np.empty((0, dims), dtype=np.float64)
+            entry_hi = np.empty((0, dims), dtype=np.float64)
+        for array in (node_lo, node_hi, child_start, child_count,
+                      entry_start, entry_count, entry_lo, entry_hi):
+            array.flags.writeable = False
+        packed.node_lo = node_lo
+        packed.node_hi = node_hi
+        packed.child_start = child_start
+        packed.child_count = child_count
+        packed.entry_start = entry_start
+        packed.entry_count = entry_count
+        packed.entry_lo = entry_lo
+        packed.entry_hi = entry_hi
+        packed.payloads = payloads
+        return packed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return self.node_lo.shape[0]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"<PackedRTree n={self.size} dims={self.dims} "
+            f"nodes={self.node_count} height={self.height}>"
+        )
+
+    # ------------------------------------------------------------------
+    # pickling (worker handoff): ship arrays, never the stats counter
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__
+                if slot != "stats"}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self.stats = AccessStats()
+
+    # ------------------------------------------------------------------
+    # traversal kernels
+    # ------------------------------------------------------------------
+    def _leaf_frontier(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Visited leaves for one window, recording every node visit.
+
+        Level frontier: the root is visited unconditionally (as the
+        pointer traversal does), then exactly the children whose MBR
+        intersects the window — the same closed-interval comparisons
+        ``Rect.intersects`` performs, so the visit set is bit-identical.
+        """
+        active = np.zeros(1, dtype=np.intp)
+        for _ in range(self.height - 1):
+            self.stats.node_accesses += int(active.size)
+            children = _ranges(
+                self.child_start[active], self.child_count[active]
+            )
+            keep = np.logical_and(
+                (lo <= self.node_hi[children]).all(axis=1),
+                (self.node_lo[children] <= hi).all(axis=1),
+            )
+            active = children[keep]
+        self.stats.node_accesses += int(active.size)
+        self.stats.leaf_accesses += int(active.size)
+        return active
+
+    def range_hits(self, window: Rect) -> np.ndarray:
+        """Entry indices intersecting *window* (ascending entry order)."""
+        self.stats.record_query()
+        leaves = self._leaf_frontier(window.lo, window.hi)
+        eidx = _ranges(self.entry_start[leaves], self.entry_count[leaves])
+        if eidx.size == 0:
+            return eidx
+        keep = np.logical_and(
+            (window.lo <= self.entry_hi[eidx]).all(axis=1),
+            (self.entry_lo[eidx] <= window.hi).all(axis=1),
+        )
+        return eidx[keep]
+
+    def range_search(self, window: Rect) -> List[Any]:
+        """Payloads of all entries intersecting *window*.
+
+        Same hit set and access accounting as ``RTree.range_search``;
+        payloads come back in (deterministic) packed entry order.
+        """
+        return [self.payloads[i] for i in self.range_hits(window)]
+
+    def range_search_any(self, windows: Sequence[Rect]) -> List[Any]:
+        """Unique payloads intersecting *any* window, canonically ordered.
+
+        Matches ``RTree.range_search_any`` exactly: the multi-rectangle
+        branch-and-bound scan of Algorithm 1 (each node read once no
+        matter how many rectangles it crosses), returning unique payloads
+        sorted by ``repr`` so no traversal order can leak downstream.
+        """
+        return self.range_search_any_grouped([windows])[0]
+
+    def range_search_many(
+        self, windows: Sequence[Rect]
+    ) -> List[List[Any]]:
+        """Per-window payload lists for W windows in one batched pass.
+
+        Semantically (hit sets *and* access accounting) identical to
+        calling ``range_search`` once per window; each list comes back in
+        packed entry order.
+        """
+        results: List[List[Any]] = []
+        for wlo, whi, gstarts in self._window_blocks(windows):
+            for eidx in self._grouped_hits(wlo, whi, gstarts):
+                results.append([self.payloads[i] for i in eidx])
+        return results
+
+    def range_search_any_grouped(
+        self, groups: Sequence[Sequence[Rect]]
+    ) -> List[List[Any]]:
+        """One ``range_search_any`` answer per window group, in one pass.
+
+        Semantically (hit sets, canonical order, *and* access accounting)
+        identical to calling ``range_search_any`` once per group — this is
+        the many-window filter kernel the batched PRSQ evaluation uses.
+        """
+        results: List[List[Any]] = []
+        for wlo, whi, gstarts in self._group_blocks(groups):
+            for eidx in self._grouped_hits(wlo, whi, gstarts):
+                unique = dict.fromkeys(self.payloads[i] for i in eidx)
+                results.append(sorted(unique, key=repr))
+        return results
+
+    # ------------------------------------------------------------------
+    # grouped traversal core
+    # ------------------------------------------------------------------
+    def _window_blocks(self, windows):
+        """Yield ``(wlo, whi, gstarts)`` blocks of singleton groups."""
+        windows = list(windows)
+        for start in range(0, len(windows), GROUP_WINDOW_CHUNK):
+            chunk = windows[start : start + GROUP_WINDOW_CHUNK]
+            wlo, whi = _stack_windows(chunk, self.dims)
+            yield wlo, whi, np.arange(len(chunk) + 1, dtype=np.intp)
+
+    def _group_blocks(self, groups):
+        """Yield ``(wlo, whi, gstarts)`` blocks covering whole groups.
+
+        Groups are never split (a group is one independent query), so a
+        block holds as many whole groups as fit the window budget — at
+        least one per block even when a single group exceeds it.
+        """
+        pending: List[Sequence[Rect]] = []
+        pending_windows = 0
+        for group in groups:
+            group = list(group)
+            if pending and pending_windows + len(group) > GROUP_WINDOW_CHUNK:
+                yield self._pack_block(pending)
+                pending, pending_windows = [], 0
+            pending.append(group)
+            pending_windows += len(group)
+        if pending:
+            yield self._pack_block(pending)
+
+    def _pack_block(self, block_groups: List[Sequence[Rect]]):
+        flat = [w for group in block_groups for w in group]
+        wlo, whi = _stack_windows(flat, self.dims)
+        gstarts = np.zeros(len(block_groups) + 1, dtype=np.intp)
+        np.cumsum([len(g) for g in block_groups], out=gstarts[1:])
+        return wlo, whi, gstarts
+
+    def _group_incidence(
+        self,
+        rect_lo: np.ndarray,
+        rect_hi: np.ndarray,
+        wlo: np.ndarray,
+        whi: np.ndarray,
+        gstarts: np.ndarray,
+    ) -> np.ndarray:
+        """``(R, G)`` mask: rect r intersects *some* window of group g."""
+        n_groups = gstarts.shape[0] - 1
+        n_windows = wlo.shape[0]
+        n_rects = rect_lo.shape[0]
+        if n_windows == 0 or n_rects == 0:
+            return np.zeros((n_rects, n_groups), dtype=bool)
+        # reduceat cannot express empty segments, so reduce over the
+        # non-empty groups only (their starts are strictly increasing and
+        # in range; empty groups between or after them contribute zero
+        # windows, keeping every segment boundary correct) and leave the
+        # empty groups' columns False.
+        empty = gstarts[1:] == gstarts[:-1]
+        nonempty_cols = np.flatnonzero(~empty)
+        nonempty_starts = gstarts[:-1][nonempty_cols]
+        grouped = np.zeros((n_rects, n_groups), dtype=bool)
+        chunk = max(
+            1, _INTERSECT_SCRATCH_ELEMENTS // (n_windows * self.dims)
+        )
+        for lo in range(0, n_rects, chunk):
+            sl = slice(lo, min(lo + chunk, n_rects))
+            hit = np.logical_and(
+                (wlo[np.newaxis, :, :] <= rect_hi[sl, np.newaxis, :]).all(
+                    axis=2
+                ),
+                (rect_lo[sl, np.newaxis, :] <= whi[np.newaxis, :, :]).all(
+                    axis=2
+                ),
+            )
+            block = grouped[sl]  # slice view: writes land in `grouped`
+            block[:, nonempty_cols] = np.logical_or.reduceat(
+                hit, nonempty_starts, axis=1
+            )
+        return grouped
+
+    def _grouped_hits(
+        self, wlo: np.ndarray, whi: np.ndarray, gstarts: np.ndarray
+    ) -> List[np.ndarray]:
+        """Entry-index hits per group; accounting matches per-group scans.
+
+        A node is visited *for group g* iff its parent was and its MBR
+        crosses at least one of g's windows (the root unconditionally),
+        exactly the pointer traversal's per-group visit set — so summing
+        the incidence matrix reproduces the node accesses a Python loop
+        over the groups would record, while every level is evaluated in
+        one broadcast over frontier × windows.
+        """
+        n_groups = gstarts.shape[0] - 1
+        self.stats.queries += n_groups
+        active = np.zeros(1, dtype=np.intp)
+        incidence = np.ones((1, n_groups), dtype=bool)
+        for _ in range(self.height - 1):
+            self.stats.node_accesses += int(incidence.sum())
+            counts = self.child_count[active]
+            children = _ranges(self.child_start[active], counts)
+            parent = np.repeat(np.arange(active.size, dtype=np.intp), counts)
+            grouped = self._group_incidence(
+                self.node_lo[children], self.node_hi[children],
+                wlo, whi, gstarts,
+            )
+            grouped &= incidence[parent]
+            keep = grouped.any(axis=1)
+            active = children[keep]
+            incidence = grouped[keep]
+        self.stats.node_accesses += int(incidence.sum())
+        self.stats.leaf_accesses += int(incidence.sum())
+
+        counts = self.entry_count[active]
+        eidx = _ranges(self.entry_start[active], counts)
+        parent = np.repeat(np.arange(active.size, dtype=np.intp), counts)
+        grouped = self._group_incidence(
+            self.entry_lo[eidx], self.entry_hi[eidx], wlo, whi, gstarts
+        )
+        if grouped.size:
+            grouped &= incidence[parent]
+        return [eidx[grouped[:, g]] for g in range(n_groups)]

@@ -85,6 +85,29 @@ class RTree:
         self.size += 1
 
     def insert_many(self, items: Iterable[Tuple[Rect | PointLike, Any]]) -> None:
+        """Insert a batch of entries.
+
+        On an **empty** tree the batch is STR bulk-loaded (one sort per
+        level instead of O(n log n) insertion splits; the final page per
+        level may be legitimately underfull, as with any bulk load).  A
+        non-empty tree keeps the incremental one-at-a-time path so the
+        existing structure is preserved.
+        """
+        items = list(items)
+        if not items:
+            return
+        if self.size == 0:
+            from repro.index.bulk import bulk_load
+
+            built = bulk_load(
+                items,
+                dims=self.dims,
+                max_entries=self.max_entries,
+                page_size=self.page_size,
+            )
+            self.root = built.root
+            self.size = built.size
+            return
         for rect, payload in items:
             self.insert(rect, payload)
 
@@ -245,12 +268,17 @@ class RTree:
         return out
 
     def range_search_any(self, windows: Sequence[Rect]) -> List[Any]:
-        """Payloads of entries intersecting *any* of the given windows.
+        """Unique payloads intersecting *any* window, canonically ordered.
 
         This is the multi-rectangle branch-and-bound scan of Algorithm 1
         (lines 2-8): a node is expanded when its MBR crosses at least one
         rectangle in the list, and it is read once no matter how many
         rectangles it crosses.
+
+        The result is deduplicated and sorted by ``repr`` *inside* the
+        kernel, so traversal order can never leak into downstream result
+        bits and callers need no per-call ``set()`` — the packed snapshot
+        (:class:`~repro.index.packed.PackedRTree`) shares this contract.
         """
         self.stats.record_query()
         out: List[Any] = []
@@ -268,7 +296,29 @@ class RTree:
                         window.intersects(child.mbr) for window in windows
                     ):
                         stack.append(child)
-        return out
+        return sorted(dict.fromkeys(out), key=repr)
+
+    def range_search_many(self, windows: Sequence[Rect]) -> List[List[Any]]:
+        """Per-window payload lists (the packed kernel's loop reference)."""
+        return [self.range_search(window) for window in windows]
+
+    def range_search_any_grouped(
+        self, groups: Sequence[Sequence[Rect]]
+    ) -> List[List[Any]]:
+        """One ``range_search_any`` answer per window group (loop reference)."""
+        return [self.range_search_any(group) for group in groups]
+
+    def freeze(self, stats: Optional[AccessStats] = None):
+        """Export this tree as an immutable array-backed
+        :class:`~repro.index.packed.PackedRTree` snapshot.
+
+        Pass *stats* to share an access counter (defaults to this tree's
+        own, so pointer and packed traversals accumulate into one I/O
+        metric).
+        """
+        from repro.index.packed import PackedRTree
+
+        return PackedRTree.from_rtree(self, stats=stats or self.stats)
 
     def traverse_if(self, predicate: Callable[[Rect], bool]) -> Iterator[LeafEntry]:
         """Generic guided traversal: descend into nodes whose MBR satisfies

@@ -16,6 +16,7 @@ from typing import Dict, FrozenSet, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.geometry.dominance import dominance_rectangle
 from repro.geometry.point import PointLike, as_point
 from repro.prsq.probability import dominance_probability_matrix
 from repro.uncertain.dataset import UncertainDataset
@@ -31,8 +32,12 @@ class MembershipOracle:
         The CR2PRSQ instance.
     relevant_ids:
         Object ids that may influence ``Pr(an)`` (the candidate causes from
-        the filter step).  When omitted, every other object is checked —
-        exact but slower; the zero rows are dropped either way.
+        the filter step).  When omitted, the pool is restricted with one
+        Lemma-2 multi-window scan of the dataset's spatial index
+        (*use_index*, default on) — exact, because an object outside every
+        dominance rectangle has an identically-zero Eq. (3) vector — or,
+        with ``use_index=False``, every other object is checked; the zero
+        rows are dropped either way, so the oracle's answers are identical.
     """
 
     def __init__(
@@ -43,6 +48,7 @@ class MembershipOracle:
         alpha: float,
         relevant_ids: Optional[Iterable[Hashable]] = None,
         use_numpy: Optional[bool] = None,
+        use_index: bool = True,
     ):
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
@@ -51,14 +57,21 @@ class MembershipOracle:
         self.q = as_point(q, dims=dataset.dims)
         self.alpha = alpha
 
-        if relevant_ids is None:
+        if relevant_ids is None and use_index:
+            windows = [
+                dominance_rectangle(self.an.samples[i], self.q)
+                for i in range(self.an.num_samples)
+            ]
+            hits = dataset.spatial_index(use_numpy).range_search_any(windows)
+            indices = dataset.positions_of(hits, exclude=(an_oid,))
+        elif relevant_ids is None:
             indices = [
                 i for i, obj in enumerate(dataset) if obj.oid != an_oid
             ]
         else:
-            wanted = set(relevant_ids)
-            wanted.discard(an_oid)
-            indices = sorted(dataset.index_of(oid) for oid in wanted)
+            indices = dataset.positions_of(
+                set(relevant_ids), exclude=(an_oid,)
+            )
         matrix = self._build_matrix(indices, use_numpy)
 
         # Stack non-zero rows into one (k, l) survival matrix for vector math.

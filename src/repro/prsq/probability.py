@@ -93,12 +93,15 @@ def relevant_indices(
     q: PointLike,
     use_index: bool = True,
     exclude: Optional[Iterable[Hashable]] = None,
+    use_numpy: Optional[bool] = None,
 ) -> List[int]:
     """Dataset positions of the objects Eq. (2) must visit, in dataset order.
 
     With the index, only objects whose MBR crosses one of *oid*'s dominance
-    rectangles can have a non-zero Eq. (3) vector (Lemma 2).  The R-tree
-    hits come back in traversal order; sorting them by dataset position
+    rectangles can have a non-zero Eq. (3) vector (Lemma 2); ``use_numpy``
+    selects the packed level-frontier traversal vs. the pointer tree —
+    identical hit sets and node accesses either way.  The kernel returns
+    canonically ordered unique hits, and sorting them by dataset position
     fixes the Eq. (2) floating-point product order, so the returned
     probability bits are identical across runs and across
     ``use_index=True/False``.
@@ -113,10 +116,8 @@ def relevant_indices(
             dominance_rectangle(target.samples[i], qq)
             for i in range(target.num_samples)
         ]
-        hit_ids = set(dataset.rtree.range_search_any(windows))
-        return sorted(
-            dataset.index_of(hit) for hit in hit_ids if hit not in excluded
-        )
+        hit_ids = dataset.spatial_index(use_numpy).range_search_any(windows)
+        return dataset.positions_of(hit_ids, exclude=excluded)
     return [
         i for i, obj in enumerate(dataset) if obj.oid not in excluded
     ]
@@ -144,15 +145,36 @@ def reverse_skyline_probability(
         Tensorized kernels (default) vs. the scalar reference loop; both
         produce bit-identical results.
     """
+    target = dataset.get(oid)
+    qq = as_point(q, dims=dataset.dims)
+    indices = relevant_indices(
+        dataset, oid, qq, use_index=use_index, exclude=exclude,
+        use_numpy=use_numpy,
+    )
+    return probability_at_indices(
+        dataset, target, indices, qq, use_numpy=use_numpy
+    )
+
+
+def probability_at_indices(
+    dataset: UncertainDataset,
+    target: UncertainObject,
+    indices: List[int],
+    qq: np.ndarray,
+    use_numpy: Optional[bool] = None,
+) -> float:
+    """Eq. (2) over the relevant objects at dataset positions *indices*.
+
+    The shared evaluation core of :func:`reverse_skyline_probability` and
+    the batched PRSQ path (:func:`repro.prsq.query.prsq_probabilities`):
+    *indices* must be sorted dataset positions (the canonical Eq. (2)
+    product order).  Tensor and scalar paths are bit-identical.
+    """
     from repro.engine.kernels import (
         eq2_probability,
         eq3_dominance_tensor,
         resolve_use_numpy,
     )
-
-    target = dataset.get(oid)
-    qq = as_point(q, dims=dataset.dims)
-    indices = relevant_indices(dataset, oid, qq, use_index=use_index, exclude=exclude)
 
     if resolve_use_numpy(use_numpy):
         tensor = dataset.tensor

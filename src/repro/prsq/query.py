@@ -9,8 +9,14 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Tuple
 
+import numpy as np
+
+from repro.geometry.dominance import dominance_rectangle
 from repro.geometry.point import PointLike, as_point
-from repro.prsq.probability import reverse_skyline_probability
+from repro.prsq.probability import (
+    probability_at_indices,
+    reverse_skyline_probability,
+)
 from repro.uncertain.dataset import UncertainDataset
 
 
@@ -20,14 +26,46 @@ def prsq_probabilities(
     use_index: bool = True,
     use_numpy: Optional[bool] = None,
 ) -> Dict[Hashable, float]:
-    """``Pr(u)`` for every object in the dataset."""
+    """``Pr(u)`` for every object in the dataset.
+
+    On the ``use_numpy`` index path the Lemma-2 filter for *all* objects
+    runs as one grouped multi-window traversal of the packed R-tree
+    (:meth:`~repro.index.packed.PackedRTree.range_search_any_grouped`)
+    instead of one pointer scan per object; hit sets, node accesses and
+    result bits are identical to the per-object loop.
+    """
+    from repro.engine.kernels import resolve_use_numpy
+
     qq = as_point(q, dims=dataset.dims)
+    if use_index and resolve_use_numpy(use_numpy):
+        return _prsq_probabilities_batched(dataset, qq)
     return {
         obj.oid: reverse_skyline_probability(
             dataset, obj.oid, qq, use_index=use_index, use_numpy=use_numpy
         )
         for obj in dataset
     }
+
+
+def _prsq_probabilities_batched(
+    dataset: UncertainDataset, qq: np.ndarray
+) -> Dict[Hashable, float]:
+    """One grouped filter pass, then per-object Eq. (2) on the tensor path."""
+    groups = [
+        [
+            dominance_rectangle(obj.samples[i], qq)
+            for i in range(obj.num_samples)
+        ]
+        for obj in dataset
+    ]
+    hits_per = dataset.spatial_index(True).range_search_any_grouped(groups)
+    out: Dict[Hashable, float] = {}
+    for obj, hits in zip(dataset, hits_per):
+        indices = dataset.positions_of(hits, exclude=(obj.oid,))
+        out[obj.oid] = probability_at_indices(
+            dataset, obj, indices, qq, use_numpy=True
+        )
+    return out
 
 
 def probabilistic_reverse_skyline(

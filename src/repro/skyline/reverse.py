@@ -13,7 +13,7 @@ Two implementations are provided:
 
 from __future__ import annotations
 
-from typing import Hashable, List
+from typing import Hashable, List, Optional
 
 from repro.geometry.dominance import dominance_rectangle, dynamically_dominates
 from repro.geometry.point import PointLike, as_point
@@ -52,6 +52,23 @@ def is_reverse_skyline(dataset: CertainDataset, oid: Hashable, q: PointLike) -> 
     return True
 
 
-def reverse_skyline(dataset: CertainDataset, q: PointLike) -> List[Hashable]:
-    """Reverse skyline of ``q`` using the dataset R-tree."""
+def reverse_skyline(
+    dataset: CertainDataset,
+    q: PointLike,
+    use_numpy: Optional[bool] = None,
+) -> List[Hashable]:
+    """Reverse skyline of ``q`` using the dataset R-tree.
+
+    On the ``use_numpy`` path all per-object window queries run as one
+    batched multi-window pass over the packed index — the reverse skyline
+    is exactly the reverse 1-skyband, so the batched traversal lives in
+    :func:`repro.skyline.skyband.reverse_k_skyband`.  The membership set,
+    its order (dataset order) and the node-access accounting are identical
+    to the per-object pointer loop.
+    """
+    from repro.engine.kernels import resolve_use_numpy
+    from repro.skyline.skyband import reverse_k_skyband
+
+    if resolve_use_numpy(use_numpy):
+        return reverse_k_skyband(dataset, q, 1, use_numpy=True)
     return [obj.oid for obj in dataset if is_reverse_skyline(dataset, obj.oid, q)]

@@ -12,7 +12,11 @@ the R-tree through its own ``insert``/``delete`` (only if it was already
 built), the cached :class:`DatasetTensor` by row, and the content digest
 by re-combining cached per-object digests — so a single-object change
 costs O(changed) hashing/kernel work instead of the O(n) full rebuild that
-:meth:`repro.engine.session.Session.replace_dataset` pays.
+:meth:`repro.engine.session.Session.replace_dataset` pays.  The packed
+R-tree snapshot (:attr:`UncertainDataset.packed`) is the one derived
+structure that is *invalidated* instead of patched: the next access
+re-freezes it from the already-patched pointer tree in one O(n) array
+pass.
 """
 
 from __future__ import annotations
@@ -25,7 +29,9 @@ import numpy as np
 from repro.exceptions import EmptyDatasetError
 from repro.geometry.point import PointLike, as_point_matrix
 from repro.index.bulk import bulk_load
+from repro.index.packed import PackedRTree
 from repro.index.rtree import DEFAULT_PAGE_SIZE, RTree
+from repro.index.stats import AccessStats
 from repro.uncertain.delta import DatasetDelta
 from repro.uncertain.object import UncertainObject
 from repro.uncertain.tensor import DatasetTensor
@@ -59,10 +65,19 @@ class UncertainDataset:
         self.dims = dims
         self.page_size = page_size
         self._rtree: Optional[RTree] = None
+        self._packed: Optional[PackedRTree] = None
+        self._access_stats = AccessStats()
         self._tensor: Optional[DatasetTensor] = None
         self._content_digest: Optional[str] = None
 
     # ------------------------------------------------------------------
+    @property
+    def access_stats(self) -> AccessStats:
+        """Node-access counters shared by the pointer tree *and* the packed
+        snapshot, so the paper's I/O metric accumulates in one place no
+        matter which traversal kernel a query selected."""
+        return self._access_stats
+
     @property
     def rtree(self) -> RTree:
         """R-tree over object MBRs, bulk-loaded on first use."""
@@ -72,7 +87,53 @@ class UncertainDataset:
                 dims=self.dims,
                 page_size=self.page_size,
             )
+            self._rtree.stats = self._access_stats
         return self._rtree
+
+    @property
+    def packed(self) -> PackedRTree:
+        """Packed (array-backed) snapshot of :attr:`rtree`, frozen lazily.
+
+        Invalidated by every live update — the next access re-freezes from
+        the incrementally patched pointer tree in one O(n) array pass (no
+        O(n log n) rebuild).  Shares :attr:`access_stats`.
+        """
+        if self._packed is None:
+            self._packed = PackedRTree.from_rtree(
+                self.rtree, stats=self._access_stats
+            )
+        return self._packed
+
+    def spatial_index(self, use_numpy: Optional[bool] = None):
+        """The traversal structure matching the engine's kernel switch.
+
+        ``use_numpy=True`` (or unset, the engine default) selects the
+        packed level-frontier kernels; ``False`` the pointer-tree
+        reference.  Both answer the same ``range_search`` /
+        ``range_search_any`` / ``range_search_many`` /
+        ``range_search_any_grouped`` calls with identical hit sets and
+        identical node-access accounting.
+        """
+        from repro.engine.kernels import resolve_use_numpy
+
+        return self.packed if resolve_use_numpy(use_numpy) else self.rtree
+
+    def adopt_packed(self, packed: PackedRTree) -> None:
+        """Install a pre-built packed snapshot (the worker array handoff).
+
+        Used by :class:`~repro.engine.executor.ParallelExecutor` workers,
+        which receive the parent's frozen arrays instead of re-running the
+        bulk load.  The snapshot is re-pointed at this dataset's
+        :attr:`access_stats`.
+        """
+        if packed.size != len(self._objects) or packed.dims != self.dims:
+            raise ValueError(
+                f"packed snapshot ({packed.size} entries, {packed.dims} dims)"
+                f" does not match dataset ({len(self._objects)} objects, "
+                f"{self.dims} dims)"
+            )
+        packed.stats = self._access_stats
+        self._packed = packed
 
     @property
     def tensor(self) -> DatasetTensor:
@@ -93,6 +154,22 @@ class UncertainDataset:
             from repro.exceptions import UnknownObjectError
 
             raise UnknownObjectError(f"unknown object {oid!r}") from None
+
+    def positions_of(
+        self, oids: Iterable[Hashable], exclude: Iterable[Hashable] = ()
+    ) -> List[int]:
+        """Sorted dataset positions of *oids* minus *exclude*.
+
+        The one canonicalization every filter call site shares: index hits
+        become a pool in ascending dataset order — the Eq. (2) product
+        order the bit-parity contracts depend on — with the center (and
+        any ``P − Γ`` removals) dropped.  Keeping it here means no caller
+        can drift to a different tie-break.
+        """
+        excluded = set(exclude)
+        return sorted(
+            self.index_of(oid) for oid in oids if oid not in excluded
+        )
 
     def content_digest(self) -> str:
         """Content hash: type, dims, and every object's cached digest.
@@ -170,6 +247,7 @@ class UncertainDataset:
                 self._rtree.insert(obj.mbr, obj.oid)
         if self._tensor is not None:
             self._tensor = self._tensor.with_inserted_rows(objects)
+        self._packed = None  # re-frozen lazily from the patched tree
         self._content_digest = None
 
     def _delete_many(self, oids: Sequence[Hashable]) -> List[int]:
@@ -185,6 +263,7 @@ class UncertainDataset:
             del self._by_id[oid]
         self._objects = [o for o in self._objects if o.oid not in removed]
         self._index_of = {o.oid: i for i, o in enumerate(self._objects)}
+        self._packed = None
         self._content_digest = None
         self._maybe_shrink_tensor()
         return positions
@@ -203,6 +282,7 @@ class UncertainDataset:
             replacements.append((position, obj))
         if self._tensor is not None:
             self._tensor = self._tensor.with_replaced_rows(replacements)
+        self._packed = None
         self._content_digest = None
         self._maybe_shrink_tensor()
         return [position for position, _obj in replacements]
