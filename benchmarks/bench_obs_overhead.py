@@ -1,0 +1,195 @@
+"""Disabled-path cost of the ``repro.obs`` instrumentation seams.
+
+Every phase boundary in the query path calls :func:`repro.obs.span`; when
+no tracer is ambient that call is one thread-local attribute lookup plus a
+shared no-op context manager.  This benchmark bounds what those seams cost
+a session that never opts into tracing:
+
+* time the reference workload — a PRSQ batch over the 1,000-object 2-d
+  uncertain dataset, cache disabled — with tracing off (min of
+  ``--trials`` runs);
+* replay the identical batch once with an in-memory tracer and count the
+  spans it produces (= the number of instrumentation calls the disabled
+  run executed);
+* microbenchmark the disabled ``span()`` call in isolation and compute
+  the bound ``spans * cost_per_call / workload_seconds``.
+
+The computed bound must stay under ``--max-overhead`` (default 3%).  A
+wall-clock comparison of traced vs. disabled runs is recorded alongside
+for context but not asserted — at millisecond scales it is noise-bound.
+
+Emits a machine-readable ``BENCH_obs_overhead.json`` (``--json``) so CI
+records the trajectory.  Runs standalone:
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --objects 300
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro import obs
+from repro.api.client import Client, connect
+from repro.bench.reporting import write_json_report
+from repro.datasets.synthetic_uncertain import generate_uncertain_dataset
+from repro.engine.spec import PRSQSpec
+
+
+def _build(objects: int, dims: int, seed: int):
+    return generate_uncertain_dataset(
+        objects,
+        dims,
+        radius_range=(0, 150),
+        samples_range=(6, 12),
+        seed=seed,
+    )
+
+
+def _specs(dims: int, batch: int, seed: int) -> List[PRSQSpec]:
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(2_000, 8_000, size=(batch, dims))
+    alphas = rng.uniform(0.2, 0.8, size=batch)
+    return [
+        PRSQSpec(q=tuple(float(x) for x in q), alpha=float(a))
+        for q, a in zip(points, alphas)
+    ]
+
+
+def _run_batch(client: Client, specs: List[PRSQSpec]) -> None:
+    client.batch().extend(specs).run()
+
+
+def _timed_batch(client: Client, specs: List[PRSQSpec], trials: int) -> float:
+    best = float("inf")
+    for _ in range(trials):
+        started = time.perf_counter()
+        _run_batch(client, specs)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _count_spans(roots) -> int:
+    total = 0
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        total += 1
+        stack.extend(node.children)
+    return total
+
+
+def _disabled_span_cost(calls: int = 200_000) -> float:
+    """Per-call seconds of ``obs.span`` with no ambient tracer."""
+    assert obs.active_tracer() is None, "microbenchmark needs tracing off"
+    span = obs.span
+    started = time.perf_counter()
+    for _ in range(calls):
+        with span("bench"):
+            pass
+    return (time.perf_counter() - started) / calls
+
+
+def bench(
+    objects: int = 1_000,
+    dims: int = 2,
+    batch: int = 8,
+    trials: int = 3,
+    max_overhead: float = 0.03,
+    seed: int = 29,
+    json_path: str = "",
+) -> Dict:
+    """One full overhead run; raises AssertionError past the bar.
+
+    When *json_path* is set the measured row is recorded **before** the
+    overhead bar is checked, so a regressing run still leaves its numbers
+    behind for diagnosis.
+    """
+    dataset = _build(objects, dims, seed)
+    specs = _specs(dims, batch, seed)
+
+    # Cache off: every trial must recompute the full filter+probability
+    # path, otherwise trial 2+ only measures the cache probe.
+    plain = connect(dataset, cache_size=0)
+    _run_batch(plain, specs)  # warm the index / packed snapshot
+    disabled_s = _timed_batch(plain, specs, trials)
+
+    tracer = obs.Tracer()
+    traced = connect(dataset, cache_size=0, trace=tracer)
+    traced_s = _timed_batch(traced, specs, trials)
+    n_spans = _count_spans(tracer.drain()) // trials
+
+    cost_per_call = _disabled_span_cost()
+    overhead = (n_spans * cost_per_call) / disabled_s
+
+    row = {
+        "objects": objects,
+        "dims": dims,
+        "batch": batch,
+        "spans_per_run": n_spans,
+        "span_call_ns": cost_per_call * 1e9,
+        "disabled_s": disabled_s,
+        "traced_s": traced_s,
+        "overhead_bound": overhead,
+    }
+    if json_path:
+        write_json_report(
+            json_path,
+            "obs_overhead",
+            rows=[row],
+            meta={
+                "seed": seed,
+                "trials": trials,
+                "max_overhead": max_overhead,
+                "workload": "prsq-batch-cache-off",
+            },
+        )
+    assert overhead < max_overhead, (
+        f"disabled-path instrumentation bound {overhead:.2%} exceeds "
+        f"{max_overhead:.0%} ({n_spans} spans x {cost_per_call * 1e9:.0f} ns "
+        f"over a {disabled_s * 1e3:.1f} ms workload)"
+    )
+    return row
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--objects", type=int, default=1_000)
+    parser.add_argument("--dims", type=int, default=2)
+    parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--max-overhead", type=float, default=0.03)
+    parser.add_argument("--seed", type=int, default=29)
+    parser.add_argument(
+        "--json",
+        default="BENCH_obs_overhead.json",
+        help="machine-readable report path ('' disables)",
+    )
+    args = parser.parse_args(argv)
+    row = bench(
+        objects=args.objects,
+        dims=args.dims,
+        batch=args.batch,
+        trials=args.trials,
+        max_overhead=args.max_overhead,
+        seed=args.seed,
+        json_path=args.json,
+    )
+    print(
+        "bench_obs_overhead: "
+        f"n={row['objects']} d={row['dims']} batch={row['batch']} | "
+        f"disabled {row['disabled_s'] * 1e3:8.1f} ms | "
+        f"traced {row['traced_s'] * 1e3:8.1f} ms | "
+        f"{row['spans_per_run']} spans x {row['span_call_ns']:.0f} ns "
+        f"=> bound {row['overhead_bound']:.3%} "
+        "(bar: disabled-path < "
+        f"{args.max_overhead:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -21,8 +21,12 @@ Public API highlights
   :class:`~repro.api.QueryResult` envelopes; the
   :data:`~repro.api.REGISTRY` lets new query families plug in with one
   registration call and zero engine edits.
+* :mod:`repro.obs` — phase-level tracing (nestable spans, NDJSON export)
+  and the process-global metrics registry; enabled per session via
+  ``connect(..., trace=...)``, free when off.
 """
 
+from repro import obs
 from repro.api import (
     Client,
     QueryResult,
@@ -123,6 +127,7 @@ __all__ = [
     "compute_causality_rtopk",
     "naive_i",
     "naive_ii",
+    "obs",
     "probabilistic_reverse_skyline",
     "prsq_non_answers",
     "prsq_probabilities",

@@ -30,6 +30,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Hashable, Iterable, Iterator, List, Optional, Sequence, Union
 
+from repro import obs
 from repro.api.results import QueryResult
 from repro.engine.executor import Executor, ParallelExecutor, SerialExecutor
 from repro.engine.session import Session
@@ -54,6 +55,7 @@ from repro.uncertain.pdf import ContinuousUncertainObject
 def connect(
     dataset: Union[UncertainDataset, str, Path],
     dataset_kind: str = "uncertain",
+    trace: Any = None,
     **session_kwargs: Any,
 ) -> "Client":
     """Open a :class:`Client` over *dataset*.
@@ -63,6 +65,11 @@ def connect(
     Keyword arguments (``cache_size``, ``use_numpy``, ``cache``,
     ``build_index``) pass through to the underlying
     :class:`~repro.engine.session.Session`.
+
+    ``trace`` turns on phase-level tracing: pass ``True`` for an in-memory
+    :class:`repro.obs.Tracer`, a path or writable stream for an NDJSON
+    span sink, or an existing tracer to share one across clients.  Traced
+    queries carry a ``run.phases`` breakdown in every envelope.
     """
     if isinstance(dataset, (str, Path)):
         from repro.io.csvio import load_certain_csv, load_uncertain_csv
@@ -75,6 +82,8 @@ def connect(
             raise ValueError(
                 f"dataset_kind must be uncertain|certain, got {dataset_kind!r}"
             )
+    if trace is not None:
+        session_kwargs["tracer"] = obs.as_tracer(trace)
     return Client(Session(dataset, **session_kwargs))
 
 
@@ -82,9 +91,15 @@ def connect_pdf(
     objects: Sequence[ContinuousUncertainObject],
     samples_per_object: int = 64,
     seed: int = 0,
+    trace: Any = None,
     **session_kwargs: Any,
 ) -> "Client":
-    """A client over continuous pdf objects (Section 3.2 model)."""
+    """A client over continuous pdf objects (Section 3.2 model).
+
+    ``trace`` behaves exactly as in :func:`connect`.
+    """
+    if trace is not None:
+        session_kwargs["tracer"] = obs.as_tracer(trace)
     return Client(
         Session.from_pdf_objects(
             objects,
@@ -108,8 +123,22 @@ class Client:
     def fingerprint(self) -> str:
         return self.session.fingerprint
 
+    @property
+    def tracer(self) -> Optional[obs.Tracer]:
+        """The session's tracer (``None`` unless opened with ``trace=``)."""
+        return self.session.tracer
+
     def cache_stats(self) -> dict:
         return self.session.cache_stats()
+
+    def metrics(self) -> dict:
+        """Snapshot of the process-global metrics registry (plain dict)."""
+        return obs.registry().snapshot()
+
+    def close(self) -> None:
+        """Close the tracer's owned sink, if any (idempotent)."""
+        if self.session.tracer is not None:
+            self.session.tracer.close()
 
     def query(self, spec: QuerySpec) -> QueryResult:
         """Execute any spec — including runtime-registered families."""
@@ -358,3 +387,14 @@ class BatchBuilder:
         ):
             return None
         return self._last_executor.last_cache_stats.as_dict()
+
+    def metrics(self) -> Optional[dict]:
+        """Metrics delta for the last run, in registry-snapshot shape.
+
+        For a parallel run this is the merged worker hand-back (also
+        folded into the process-global registry); ``None`` before the
+        first ``run()``/``stream()``.
+        """
+        if self._last_executor is None:
+            return None
+        return self._last_executor.last_metrics

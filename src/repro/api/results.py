@@ -366,17 +366,27 @@ class ErrorInfo:
 
 @dataclass(frozen=True)
 class RunInfo:
-    """Execution metadata for one envelope."""
+    """Execution metadata for one envelope.
+
+    ``elapsed_s`` covers the full engine path — plan compilation, cache
+    lookup, and (on a miss) execution — so a cache hit reports its real
+    lookup cost.  ``phases`` is the per-phase wall-time breakdown
+    (``filter``/``refine``/``probability``/``cache-lookup``/...) from the
+    query's span tree; it is present only when the session was built with
+    a :class:`repro.obs.Tracer`.
+    """
 
     cached: bool = False
     elapsed_s: float = 0.0
     node_accesses: Optional[int] = None
+    phases: Optional[Dict[str, float]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "cached": self.cached,
             "elapsed_s": self.elapsed_s,
             "node_accesses": self.node_accesses,
+            "phases": None if self.phases is None else dict(self.phases),
         }
 
     @classmethod
@@ -470,7 +480,11 @@ class QueryResult:
             return cls(
                 spec=outcome.spec,
                 value=None,
-                run=RunInfo(cached=outcome.cached, elapsed_s=outcome.elapsed_s),
+                run=RunInfo(
+                    cached=outcome.cached,
+                    elapsed_s=outcome.elapsed_s,
+                    phases=getattr(outcome, "phases", None),
+                ),
                 fingerprint=fingerprint,
                 error=error,
             )
@@ -486,6 +500,7 @@ class QueryResult:
                 cached=outcome.cached,
                 elapsed_s=outcome.elapsed_s,
                 node_accesses=node_accesses,
+                phases=getattr(outcome, "phases", None),
             ),
             fingerprint=fingerprint,
         )

@@ -14,8 +14,51 @@ a log.
 from __future__ import annotations
 
 import json
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def provenance() -> Dict:
+    """Where and when a benchmark number came from.
+
+    Embedded in every JSON report so a recorded figure can be traced back
+    to the exact commit and environment that produced it.  Git metadata
+    degrades to ``None`` outside a repository (e.g. a source tarball).
+    """
+    def _git(*args: str) -> Optional[str]:
+        try:
+            out = subprocess.run(
+                ["git", *args],
+                cwd=Path(__file__).parent,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        return out.stdout.strip() or None if out.returncode == 0 else None
+
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+
+    sha = _git("rev-parse", "HEAD")
+    return {
+        "git_sha": sha,
+        "git_dirty": (
+            None if sha is None else _git("status", "--porcelain") is not None
+        ),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": numpy_version,
+    }
 
 
 def format_table(rows: Sequence[Dict], columns: Sequence[str] | None = None) -> str:
@@ -70,11 +113,14 @@ def json_report(
     ``rows`` are the same dict rows :func:`format_table` renders; ``meta``
     carries the workload parameters (cardinality, dims, seed, ...) so a
     recorded number is reproducible without reading the emitting script.
+    ``provenance`` records where the number came from (commit, time,
+    platform, interpreter and numpy versions).
     """
     return {
         "schema": "repro-bench-report/v1",
         "benchmark": str(name),
         "meta": dict(meta or {}),
+        "provenance": provenance(),
         "rows": [dict(row) for row in rows],
     }
 

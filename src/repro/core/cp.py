@@ -29,6 +29,7 @@ from repro.core.fmcs import find_minimal_contingency_set
 from repro.core.lemmas import lemma6_propagate
 from repro.core.model import Cause, CauseKind, CausalityResult, RunStats
 from repro.geometry.point import PointLike, as_point
+from repro.obs import span as _span
 from repro.geometry.rectangle import Rect
 from repro.prsq.oracle import MembershipOracle
 from repro.uncertain.dataset import UncertainDataset
@@ -102,20 +103,27 @@ def compute_causality(
         dataset.access_stats.measure() if config.use_index else nullcontext()
     )
     with access_ctx as snapshot:
-        candidate_ids = find_candidate_causes(
-            dataset,
-            an_oid,
-            qq,
-            use_index=config.use_index,
-            windows=windows,
-            use_numpy=use_numpy,
-        )
-        oracle = MembershipOracle(
-            dataset, an_oid, qq, alpha, relevant_ids=candidate_ids,
-            use_numpy=use_numpy,
-        )
-        oracle.validate_non_answer()
-        result = _refine(oracle, config)
+        with _span("filter", use_index=config.use_index) as filter_span:
+            candidate_ids = find_candidate_causes(
+                dataset,
+                an_oid,
+                qq,
+                use_index=config.use_index,
+                windows=windows,
+                use_numpy=use_numpy,
+            )
+            filter_span.set(candidates=len(candidate_ids))
+        with _span("refine", alpha=alpha) as refine_span:
+            oracle = MembershipOracle(
+                dataset, an_oid, qq, alpha, relevant_ids=candidate_ids,
+                use_numpy=use_numpy,
+            )
+            oracle.validate_non_answer()
+            result = _refine(oracle, config)
+            refine_span.set(
+                causes=len(result.causes),
+                oracle_evaluations=oracle.evaluations,
+            )
 
     result.stats.node_accesses = snapshot.node_accesses if snapshot else 0
     result.stats.cpu_time_s = time.perf_counter() - started

@@ -20,6 +20,7 @@ from repro.core.model import Cause, CauseKind, CausalityResult
 from repro.exceptions import NotANonAnswerError
 from repro.geometry.dominance import dominance_rectangle
 from repro.geometry.point import PointLike, as_point
+from repro.obs import span as _span
 from repro.uncertain.dataset import CertainDataset
 
 
@@ -82,13 +83,15 @@ def compute_causality_certain(
 
     access_ctx = dataset.access_stats.measure() if use_index else nullcontext()
     with access_ctx as snapshot:
-        if use_index:
-            hits = dataset.spatial_index(use_numpy).range_search(window)
-        else:
-            hits = dataset.ids()
-        candidates = confirm_dominators(
-            dataset, list(hits), an_oid, qq, an_point, use_numpy
-        )
+        with _span("filter", use_index=use_index) as filter_span:
+            if use_index:
+                hits = dataset.spatial_index(use_numpy).range_search(window)
+            else:
+                hits = dataset.ids()
+            candidates = confirm_dominators(
+                dataset, list(hits), an_oid, qq, an_point, use_numpy
+            )
+            filter_span.set(hits=len(hits), candidates=len(candidates))
 
     if not candidates:
         raise NotANonAnswerError(
@@ -98,16 +101,21 @@ def compute_causality_certain(
 
     result = CausalityResult(an_oid=an_oid, alpha=None)
     total = len(candidates)
-    for oid in candidates:  # Lemma 7 / Equation (4)
-        gamma = frozenset(c for c in candidates if c != oid)
-        result.add(
-            Cause(
-                oid=oid,
-                responsibility=1.0 / total,
-                contingency_set=gamma,
-                kind=CauseKind.COUNTERFACTUAL if total == 1 else CauseKind.ACTUAL,
+    with _span("refine", candidates=total):
+        for oid in candidates:  # Lemma 7 / Equation (4)
+            gamma = frozenset(c for c in candidates if c != oid)
+            result.add(
+                Cause(
+                    oid=oid,
+                    responsibility=1.0 / total,
+                    contingency_set=gamma,
+                    kind=(
+                        CauseKind.COUNTERFACTUAL
+                        if total == 1
+                        else CauseKind.ACTUAL
+                    ),
+                )
             )
-        )
 
     result.stats.node_accesses = snapshot.node_accesses if snapshot else 0
     result.stats.cpu_time_s = time.perf_counter() - started

@@ -24,6 +24,7 @@ from repro.core.model import Cause, CauseKind, CausalityResult
 from repro.exceptions import NotANonAnswerError
 from repro.geometry.dominance import dominance_rectangle
 from repro.geometry.point import PointLike, as_point
+from repro.obs import span as _span
 from repro.prsq.probability import reverse_skyline_probability
 from repro.uncertain.dataset import CertainDataset, UncertainDataset
 
@@ -63,14 +64,16 @@ def naive_ii(
 
     access_ctx = dataset.access_stats.measure() if use_index else nullcontext()
     with access_ctx as snapshot:
-        hits = (
-            dataset.spatial_index(use_numpy).range_search(window)
-            if use_index
-            else dataset.ids()
-        )
-        candidates = confirm_dominators(
-            dataset, list(hits), an_oid, qq, an_point, use_numpy
-        )
+        with _span("filter", use_index=use_index) as filter_span:
+            hits = (
+                dataset.spatial_index(use_numpy).range_search(window)
+                if use_index
+                else dataset.ids()
+            )
+            candidates = confirm_dominators(
+                dataset, list(hits), an_oid, qq, an_point, use_numpy
+            )
+            filter_span.set(candidates=len(candidates))
 
     if not candidates:
         raise NotANonAnswerError(
@@ -91,31 +94,35 @@ def naive_ii(
 
     result = CausalityResult(an_oid=an_oid, alpha=None)
     subsets = 0
-    for cc in candidates:
-        others = [oid for oid in candidates if oid != cc]
-        found = None
-        for size in range(len(others) + 1):
-            for combo in itertools.combinations(others, size):
-                subsets += 1
-                gamma = frozenset(combo)
-                if not an_in_rsq_without(gamma) and an_in_rsq_without(
-                    gamma | {cc}
-                ):
-                    found = gamma
+    with _span("refine", candidates=len(candidates)) as refine_span:
+        for cc in candidates:
+            others = [oid for oid in candidates if oid != cc]
+            found = None
+            for size in range(len(others) + 1):
+                for combo in itertools.combinations(others, size):
+                    subsets += 1
+                    gamma = frozenset(combo)
+                    if not an_in_rsq_without(gamma) and an_in_rsq_without(
+                        gamma | {cc}
+                    ):
+                        found = gamma
+                        break
+                if found is not None:
                     break
             if found is not None:
-                break
-        if found is not None:
-            result.add(
-                Cause(
-                    oid=cc,
-                    responsibility=1.0 / (1.0 + len(found)),
-                    contingency_set=found,
-                    kind=(
-                        CauseKind.COUNTERFACTUAL if not found else CauseKind.ACTUAL
-                    ),
+                result.add(
+                    Cause(
+                        oid=cc,
+                        responsibility=1.0 / (1.0 + len(found)),
+                        contingency_set=found,
+                        kind=(
+                            CauseKind.COUNTERFACTUAL
+                            if not found
+                            else CauseKind.ACTUAL
+                        ),
+                    )
                 )
-            )
+        refine_span.set(subsets_examined=subsets)
 
     result.stats.node_accesses = snapshot.node_accesses if snapshot else 0
     result.stats.cpu_time_s = time.perf_counter() - started

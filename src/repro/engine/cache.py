@@ -13,6 +13,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Tuple
 
+from repro.obs import span as _span
+
 
 @dataclass
 class CacheStats:
@@ -61,12 +63,20 @@ class LRUCache:
     def get_or_compute(
         self, key: Hashable, compute: Callable[[], Any]
     ) -> Tuple[Any, bool]:
-        """``(value, was_hit)`` — computes and stores on miss."""
-        if key in self._entries:
-            self.stats.hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key], True
-        self.stats.misses += 1
+        """``(value, was_hit)`` — computes and stores on miss.
+
+        The ``cache-lookup`` span covers only the probe (and, on a hit,
+        the retrieval) — a miss's compute runs *outside* the span, so
+        trace phase totals keep lookup cost separate from execution cost.
+        """
+        with _span("cache-lookup") as sp:
+            if key in self._entries:
+                self.stats.hits += 1
+                self._entries.move_to_end(key)
+                sp.set(outcome="hit")
+                return self._entries[key], True
+            self.stats.misses += 1
+            sp.set(outcome="miss")
         value = compute()
         self.put(key, value)
         return value, False

@@ -31,6 +31,7 @@ from typing import (
     Tuple,
 )
 
+from repro import obs
 from repro.engine.cache import CacheStats
 from repro.engine.spec import QuerySpec
 from repro.exceptions import ReproError, error_code
@@ -124,10 +125,17 @@ def _worker_init(
     payload: Dict[str, Any],
     pdf_objects: Optional[list],
     session_kwargs: Dict[str, Any],
+    trace_enabled: bool = False,
 ) -> None:
     from repro.engine.session import Session
 
     global _WORKER_SESSION
+    # A Tracer holds thread-local state and maybe a file handle, so the
+    # parent ships a flag instead of its tracer: a traced parent gives
+    # every worker a private in-memory collector whose finished span
+    # trees are drained per chunk and pickled back as plain dicts.
+    if trace_enabled:
+        session_kwargs = dict(session_kwargs, tracer=obs.Tracer())
     session = Session(_restore_dataset(payload), **session_kwargs)
     if pdf_objects:
         session._pdf_objects = {obj.oid: obj for obj in pdf_objects}
@@ -136,17 +144,24 @@ def _worker_init(
 
 def _worker_run(
     chunk: List[Tuple[int, QuerySpec]]
-) -> Tuple[List[Tuple[int, "QueryOutcome"]], CacheStats]:
-    """Run one chunk; returns the outcomes plus this chunk's cache delta.
+) -> Tuple[
+    List[Tuple[int, "QueryOutcome"]],
+    CacheStats,
+    Dict[str, Any],
+    List[Dict[str, Any]],
+]:
+    """Run one chunk; returns outcomes plus this chunk's observability deltas.
 
-    Worker cache stats accumulate across chunks within one process, so the
-    parent can't just sum end-of-batch snapshots — each chunk reports the
-    *delta* it contributed and the parent merges those into the batch-wide
-    :class:`CacheStats` surfaced as ``executor.last_cache_stats``.
+    Worker cache stats and metrics accumulate across chunks within one
+    process, so the parent can't just sum end-of-batch snapshots — each
+    chunk reports the *delta* it contributed (cache counters, a metrics
+    delta snapshot, and any finished span trees as picklable dicts) and
+    the parent merges those into the batch-wide totals.
     """
     assert _WORKER_SESSION is not None, "worker initialized without a session"
     stats = _WORKER_SESSION.cache.stats
     before = (stats.hits, stats.misses, stats.evictions)
+    metrics_before = obs.registry().snapshot()
     outcomes = [
         (index, _execute_captured(_WORKER_SESSION, spec))
         for index, spec in chunk
@@ -156,7 +171,15 @@ def _worker_run(
         misses=stats.misses - before[1],
         evictions=stats.evictions - before[2],
     )
-    return outcomes, delta
+    metrics_delta = obs.MetricsRegistry.diff(
+        metrics_before, obs.registry().snapshot()
+    )
+    spans = (
+        [root.to_dict() for root in _WORKER_SESSION.tracer.drain()]
+        if _WORKER_SESSION.tracer is not None
+        else []
+    )
+    return outcomes, delta, metrics_delta, spans
 
 
 # ---------------------------------------------------------------------------
@@ -171,6 +194,13 @@ class Executor:
     #: even though workers hold private caches.  ``None`` until a batch
     #: has run; updated incrementally while a stream is being consumed.
     last_cache_stats: Optional[CacheStats] = None
+
+    #: Metrics delta attributable to the most recent batch, in
+    #: :meth:`~repro.obs.MetricsRegistry.snapshot` shape.  For the
+    #: parallel executor this is the merged worker hand-back (which is
+    #: also folded into the parent's process-global registry); for the
+    #: serial executor it is a diff of that registry around the batch.
+    last_metrics: Optional[Dict[str, Any]] = None
 
     def map(
         self, session: "Session", specs: Sequence[QuerySpec]
@@ -211,7 +241,9 @@ class SerialExecutor(Executor):
         self._precheck(session, specs)
         stats = session.cache.stats
         base = (stats.hits, stats.misses, stats.evictions)
+        metrics_base = obs.registry().snapshot()
         self.last_cache_stats = CacheStats()
+        self.last_metrics = obs.MetricsRegistry.diff(metrics_base, metrics_base)
         for spec in specs:
             outcome = _execute_captured(session, spec)
             # record before yielding: an abandoned stream must still
@@ -219,6 +251,9 @@ class SerialExecutor(Executor):
             self.last_cache_stats.hits = stats.hits - base[0]
             self.last_cache_stats.misses = stats.misses - base[1]
             self.last_cache_stats.evictions = stats.evictions - base[2]
+            self.last_metrics = obs.MetricsRegistry.diff(
+                metrics_base, obs.registry().snapshot()
+            )
             yield outcome
 
 
@@ -263,7 +298,7 @@ class ParallelExecutor(Executor):
 
     def _initargs(
         self, session: "Session"
-    ) -> Tuple[Dict[str, Any], Optional[list], Dict[str, Any]]:
+    ) -> Tuple[Dict[str, Any], Optional[list], Dict[str, Any], bool]:
         if session.build_index and session.use_numpy:
             session.dataset.packed  # noqa: B018 - freeze once, ship to all
         payload = _dataset_payload(
@@ -286,7 +321,9 @@ class ParallelExecutor(Executor):
             session_kwargs["cache"] = None
         else:
             session_kwargs["cache_size"] = self.cache_size
-        return payload, pdf_objects, session_kwargs
+        # The tracer itself stays out of session_kwargs (it is not
+        # picklable); workers rebuild their own from this flag.
+        return payload, pdf_objects, session_kwargs, session.tracer is not None
 
     @staticmethod
     def _context():
@@ -327,20 +364,27 @@ class ParallelExecutor(Executor):
                 return serial.map(session, specs)
             finally:
                 self.last_cache_stats = serial.last_cache_stats
+                self.last_metrics = serial.last_metrics
 
         chunks = self._chunks(list(enumerate(specs)))
         self.last_cache_stats = CacheStats()
+        batch_metrics = obs.MetricsRegistry()
+        depth = obs.registry().gauge("batch.queue_depth")
+        depth.set(len(chunks))
         with self._context().Pool(
             processes=min(self.workers, len(chunks)),
             initializer=_worker_init,
             initargs=self._initargs(session),
         ) as pool:
             parts = pool.map(_worker_run, chunks)
+        depth.set(0)
 
         outcomes: List[Tuple[int, "QueryOutcome"]] = []
-        for part, delta in parts:
+        for part, delta, metrics_delta, spans in parts:
             outcomes.extend(part)
             self._merge_stats(delta)
+            self._merge_obs(session, batch_metrics, metrics_delta, spans)
+        self.last_metrics = batch_metrics.snapshot()
         outcomes.sort(key=lambda pair: pair[0])
         return [outcome for _index, outcome in outcomes]
 
@@ -349,6 +393,26 @@ class ParallelExecutor(Executor):
         merged.hits += delta.hits
         merged.misses += delta.misses
         merged.evictions += delta.evictions
+
+    @staticmethod
+    def _merge_obs(
+        session: "Session",
+        batch_metrics: "obs.MetricsRegistry",
+        metrics_delta: Dict[str, Any],
+        spans: List[Dict[str, Any]],
+    ) -> None:
+        """Fold one chunk's worker-side observability back into the parent.
+
+        Metrics deltas land both in the process-global registry (so a
+        parallel batch reads like a serial one there) and in the
+        per-batch scratch registry behind ``last_metrics``; worker span
+        trees are re-hydrated into the parent session's tracer, which
+        re-exports them through whatever sink it was built with.
+        """
+        obs.registry().merge(metrics_delta)
+        batch_metrics.merge(metrics_delta)
+        if spans and session.tracer is not None:
+            session.tracer.ingest(spans)
 
     def stream(
         self, session: "Session", specs: Sequence[QuerySpec]
@@ -371,16 +435,28 @@ class ParallelExecutor(Executor):
                 yield from serial.stream(session, specs)
             finally:
                 self.last_cache_stats = serial.last_cache_stats
+                self.last_metrics = serial.last_metrics
             return
 
         chunks = self._chunks(list(enumerate(specs)))
         self.last_cache_stats = CacheStats()
+        batch_metrics = obs.MetricsRegistry()
+        self.last_metrics = batch_metrics.snapshot()
+        depth = obs.registry().gauge("batch.queue_depth")
+        depth.set(len(chunks))
         with self._context().Pool(
             processes=min(self.workers, len(chunks)),
             initializer=_worker_init,
             initargs=self._initargs(session),
         ) as pool:
-            for part, delta in pool.imap(_worker_run, chunks):
+            remaining = len(chunks)
+            for part, delta, metrics_delta, spans in pool.imap(
+                _worker_run, chunks
+            ):
+                remaining -= 1
+                depth.set(remaining)
                 self._merge_stats(delta)
+                self._merge_obs(session, batch_metrics, metrics_delta, spans)
+                self.last_metrics = batch_metrics.snapshot()
                 for _index, outcome in part:
                     yield outcome

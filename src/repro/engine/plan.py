@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any, Callable, Tuple
 from repro.core.cp import compute_causality
 from repro.core.cr import compute_causality_certain
 from repro.engine import kernels
+from repro.obs import span as _span
 from repro.engine.spec import (
     CausalityCertainSpec,
     CausalitySpec,
@@ -65,11 +66,15 @@ class QueryPlan:
 def plan_prsq(spec: PRSQSpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         probabilities = session.prsq_probabilities(spec.q)
-        if spec.want == "probabilities":
-            return dict(probabilities)
-        if spec.want == "answers":
-            return [oid for oid, pr in probabilities.items() if pr >= spec.alpha]
-        return [oid for oid, pr in probabilities.items() if pr < spec.alpha]
+        with _span("refine", alpha=spec.alpha, want=spec.want):
+            if spec.want == "probabilities":
+                return dict(probabilities)
+            if spec.want == "answers":
+                return [
+                    oid for oid, pr in probabilities.items()
+                    if pr >= spec.alpha
+                ]
+            return [oid for oid, pr in probabilities.items() if pr < spec.alpha]
 
     return QueryPlan(
         spec=spec,
@@ -97,7 +102,9 @@ def plan_causality(spec: CausalitySpec) -> QueryPlan:
 def plan_pdf_causality(spec: PdfCausalitySpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         pdf_object = session.pdf_object(spec.an)
-        windows = pdf_object.filter_rectangles(spec.q)
+        with _span("pdf-windows") as sp:
+            windows = pdf_object.filter_rectangles(spec.q)
+            sp.set(windows=len(windows))
         return compute_causality(
             session.dataset,
             spec.an,
@@ -147,14 +154,20 @@ def plan_k_skyband_causality(spec: KSkybandCausalitySpec) -> QueryPlan:
 def plan_reverse_skyline(spec: ReverseSkylineSpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         if _vectorize(session):
-            mask = kernels.reverse_skyline_mask(
-                session.dataset.points, spec.q, use_numpy=True
+            with _span("filter", kernel="broadcast"):
+                mask = kernels.reverse_skyline_mask(
+                    session.dataset.points, spec.q, use_numpy=True
+                )
+            with _span("refine") as sp:
+                ids = session.dataset.ids()
+                result = [ids[i] for i in range(len(ids)) if mask[i]]
+                sp.set(answers=len(result))
+            return result
+        kernel = "packed-windows" if session.use_numpy else "rtree-windows"
+        with _span("filter", kernel=kernel):
+            return reverse_skyline(
+                session.dataset, spec.q, use_numpy=session.use_numpy
             )
-            ids = session.dataset.ids()
-            return [ids[i] for i in range(len(ids)) if mask[i]]
-        return reverse_skyline(
-            session.dataset, spec.q, use_numpy=session.use_numpy
-        )
 
     return QueryPlan(
         spec=spec,
@@ -167,14 +180,20 @@ def plan_reverse_skyline(spec: ReverseSkylineSpec) -> QueryPlan:
 def plan_reverse_k_skyband(spec: ReverseKSkybandSpec) -> QueryPlan:
     def run(session: "Session") -> Any:
         if _vectorize(session):
-            mask = kernels.k_skyband_mask(
-                session.dataset.points, spec.q, spec.k, use_numpy=True
+            with _span("filter", kernel="broadcast", k=spec.k):
+                mask = kernels.k_skyband_mask(
+                    session.dataset.points, spec.q, spec.k, use_numpy=True
+                )
+            with _span("refine") as sp:
+                ids = session.dataset.ids()
+                result = [ids[i] for i in range(len(ids)) if mask[i]]
+                sp.set(answers=len(result))
+            return result
+        kernel = "packed-windows" if session.use_numpy else "rtree-windows"
+        with _span("filter", kernel=kernel, k=spec.k):
+            return reverse_k_skyband(
+                session.dataset, spec.q, spec.k, use_numpy=session.use_numpy
             )
-            ids = session.dataset.ids()
-            return [ids[i] for i in range(len(ids)) if mask[i]]
-        return reverse_k_skyband(
-            session.dataset, spec.q, spec.k, use_numpy=session.use_numpy
-        )
 
     return QueryPlan(
         spec=spec,
@@ -190,7 +209,8 @@ def plan_reverse_top_k(spec: ReverseTopKSpec) -> QueryPlan:
             [list(w) for w in spec.weights],
             ids=list(spec.user_ids) if spec.user_ids is not None else None,
         )
-        return reverse_top_k(session.dataset, users, spec.q, spec.k)
+        with _span("refine", users=len(spec.weights), k=spec.k):
+            return reverse_top_k(session.dataset, users, spec.q, spec.k)
 
     return QueryPlan(
         spec=spec,
@@ -201,7 +221,13 @@ def plan_reverse_top_k(spec: ReverseTopKSpec) -> QueryPlan:
 
 def plan_update(spec: UpdateSpec) -> QueryPlan:
     def run(session: "Session") -> Any:
-        return session.apply(spec.to_delta())
+        with _span(
+            "apply-delta",
+            deletes=len(spec.deletes),
+            updates=len(spec.updates),
+            inserts=len(spec.inserts),
+        ):
+            return session.apply(spec.to_delta())
 
     return QueryPlan(
         spec=spec,

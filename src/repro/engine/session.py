@@ -41,6 +41,7 @@ from typing import (
 
 import numpy as np
 
+from repro import obs
 from repro.core.model import CausalityResult
 from repro.engine.cache import LRUCache, NullCache
 from repro.engine.plan import QueryPlan, compile_plan
@@ -115,6 +116,11 @@ class QueryOutcome:
     error_type: Optional[str] = None
     error_code: Optional[str] = None
     error_message: Optional[str] = None
+    #: Per-phase wall-time totals (``filter``/``refine``/``probability``/
+    #: ``cache-lookup``/...) aggregated from the query's span tree; only
+    #: filled when the session has a tracer.  Plain picklable floats, so
+    #: worker outcomes carry their breakdowns back to the parent.
+    phases: Optional[Dict[str, float]] = None
 
     @property
     def ok(self) -> bool:
@@ -152,6 +158,13 @@ class Session:
     build_index:
         Bulk-load the R-tree eagerly at construction (default) instead of
         on first use.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  When set, every query runs
+        under a root ``query`` span, instrumented phases (filter, refine,
+        probability, cache-lookup, index-search, ...) nest beneath it,
+        and each outcome carries a ``phases`` wall-time breakdown.  With
+        ``None`` (the default) the instrumentation sites resolve to a
+        shared no-op span.
     """
 
     def __init__(
@@ -161,10 +174,12 @@ class Session:
         cache_size: int = 4096,
         use_numpy: bool = True,
         build_index: bool = True,
+        tracer: Optional[obs.Tracer] = None,
     ):
         self.dataset = dataset
         self.use_numpy = use_numpy
         self.build_index = build_index
+        self.tracer = tracer
         #: Monotonic dataset version: 0 at construction, bumped by every
         #: :meth:`apply` / :meth:`replace_dataset`.  Purely informational —
         #: cache soundness rides on the fingerprint, not the version.
@@ -311,27 +326,69 @@ class Session:
         """Execute *spec* bypassing the result cache (sub-caches still apply)."""
         return self.plan(spec).execute(self)
 
-    def _execute_outcome(self, spec: QuerySpec) -> QueryOutcome:
-        """Execute *spec* with result caching; returns the outcome record.
+    def _run_cached(self, plan: QueryPlan, spec: QuerySpec) -> Tuple[Any, bool]:
+        """``(value, was_hit)`` through the result cache.
 
         Specs flagged ``cacheable = False`` (dataset updates) bypass the
         result cache entirely: caching a mutation would let a repeated
         identical update hit the cache and silently not apply.
         """
-        plan = self.plan(spec)
-        started = time.perf_counter()
         if not getattr(spec, "cacheable", True):
-            value, was_hit = plan.execute(self), False
+            return plan.execute(self), False
+        key = self._key(*spec.cache_key())
+        return self.cache.get_or_compute(key, lambda: plan.execute(self))
+
+    def _execute_outcome(self, spec: QuerySpec) -> QueryOutcome:
+        """Execute *spec* with result caching; returns the outcome record.
+
+        ``elapsed_s`` spans plan compilation through cache lookup and
+        execution, so a cache *hit* reports its actual lookup cost rather
+        than a near-zero residue.  Per-family latency histograms, result
+        cache hit/miss counters and the node-access counter always record
+        into the global :func:`repro.obs.registry`; the span tree (and the
+        per-outcome ``phases`` breakdown) is built only when this session
+        has a tracer.
+        """
+        started = time.perf_counter()
+        plan = self.plan(spec)
+        access_before = self.dataset.access_stats.snapshot()
+        tracer = self.tracer
+        if tracer is None:
+            value, was_hit = self._run_cached(plan, spec)
+            phases: Optional[Dict[str, float]] = None
         else:
-            key = self._key(*spec.cache_key())
-            value, was_hit = self.cache.get_or_compute(
-                key, lambda: plan.execute(self)
+            with tracer.activate():
+                with tracer.span("query", kind=spec.kind) as root:
+                    value, was_hit = self._run_cached(plan, spec)
+                    root.set(
+                        cached=was_hit,
+                        node_accesses=(
+                            self.dataset.access_stats.snapshot()
+                            - access_before
+                        ).node_accesses,
+                        use_numpy=self.use_numpy,
+                    )
+            phases = root.phase_totals()
+        elapsed = time.perf_counter() - started
+
+        metrics = obs.registry()
+        metrics.counter(f"query.{spec.kind}.count").inc()
+        metrics.counter(
+            "cache.result.hits" if was_hit else "cache.result.misses"
+        ).inc()
+        access_delta = self.dataset.access_stats.snapshot() - access_before
+        if access_delta.node_accesses:
+            metrics.counter("index.node_accesses").inc(
+                access_delta.node_accesses
             )
+        metrics.histogram(f"query.{spec.kind}.latency_s").observe(elapsed)
+
         return QueryOutcome(
             spec=spec,
             value=_copy_out(value),
             cached=was_hit,
-            elapsed_s=time.perf_counter() - started,
+            elapsed_s=elapsed,
+            phases=phases,
         )
 
     def query(self, spec: QuerySpec) -> "QueryResult":

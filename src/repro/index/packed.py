@@ -41,6 +41,7 @@ import numpy as np
 from repro.geometry.rectangle import Rect
 from repro.index.rtree import RTree
 from repro.index.stats import AccessStats
+from repro.obs import span as _span
 
 #: Windows per grouped-traversal block: groups are processed in blocks so
 #: the (frontier, windows) intersection scratch stays a few MB even when
@@ -257,7 +258,10 @@ class PackedRTree:
         Same hit set and access accounting as ``RTree.range_search``;
         payloads come back in (deterministic) packed entry order.
         """
-        return [self.payloads[i] for i in self.range_hits(window)]
+        with _span("index-search", kernel="packed", windows=1) as sp:
+            hits = [self.payloads[i] for i in self.range_hits(window)]
+            sp.set(hits=len(hits))
+            return hits
 
     def range_search_any(self, windows: Sequence[Rect]) -> List[Any]:
         """Unique payloads intersecting *any* window, canonically ordered.
@@ -267,7 +271,9 @@ class PackedRTree:
         matter how many rectangles it crosses), returning unique payloads
         sorted by ``repr`` so no traversal order can leak downstream.
         """
-        return self.range_search_any_grouped([windows])[0]
+        windows = list(windows)
+        with _span("index-search", kernel="packed-any", windows=len(windows)):
+            return self.range_search_any_grouped([windows])[0]
 
     def range_search_many(
         self, windows: Sequence[Rect]
@@ -278,11 +284,13 @@ class PackedRTree:
         calling ``range_search`` once per window; each list comes back in
         packed entry order.
         """
-        results: List[List[Any]] = []
-        for wlo, whi, gstarts in self._window_blocks(windows):
-            for eidx in self._grouped_hits(wlo, whi, gstarts):
-                results.append([self.payloads[i] for i in eidx])
-        return results
+        windows = list(windows)
+        with _span("index-search", kernel="packed-many", windows=len(windows)):
+            results: List[List[Any]] = []
+            for wlo, whi, gstarts in self._window_blocks(windows):
+                for eidx in self._grouped_hits(wlo, whi, gstarts):
+                    results.append([self.payloads[i] for i in eidx])
+            return results
 
     def range_search_any_grouped(
         self, groups: Sequence[Sequence[Rect]]
@@ -293,12 +301,16 @@ class PackedRTree:
         identical to calling ``range_search_any`` once per group — this is
         the many-window filter kernel the batched PRSQ evaluation uses.
         """
-        results: List[List[Any]] = []
-        for wlo, whi, gstarts in self._group_blocks(groups):
-            for eidx in self._grouped_hits(wlo, whi, gstarts):
-                unique = dict.fromkeys(self.payloads[i] for i in eidx)
-                results.append(sorted(unique, key=repr))
-        return results
+        groups = [list(group) for group in groups]
+        with _span(
+            "index-search", kernel="packed-grouped", groups=len(groups)
+        ):
+            results: List[List[Any]] = []
+            for wlo, whi, gstarts in self._group_blocks(groups):
+                for eidx in self._grouped_hits(wlo, whi, gstarts):
+                    unique = dict.fromkeys(self.payloads[i] for i in eidx)
+                    results.append(sorted(unique, key=repr))
+            return results
 
     # ------------------------------------------------------------------
     # grouped traversal core

@@ -2,14 +2,16 @@
 
 The paper's primary efficiency metric is the number of R-tree *node
 accesses* (its "I/O" axis).  Every node visited during a tree traversal is
-counted once through the tree's :class:`AccessStats` instance; benchmark
-harnesses snapshot and difference these counters around each measured call.
+counted once through the tree's :class:`AccessStats` instance; callers
+difference :meth:`AccessStats.snapshot` values (or use the
+:meth:`AccessStats.measure` context manager) around each measured call
+instead of hand-subtracting individual counters.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 
@@ -20,7 +22,6 @@ class AccessStats:
     node_accesses: int = 0
     leaf_accesses: int = 0
     queries: int = 0
-    _marks: list = field(default_factory=list, repr=False)
 
     def record_node(self, is_leaf: bool) -> None:
         self.node_accesses += 1
@@ -35,6 +36,23 @@ class AccessStats:
         self.leaf_accesses = 0
         self.queries = 0
 
+    def snapshot(self) -> "AccessSnapshot":
+        """An immutable copy of the current totals.
+
+        Two snapshots subtract into a delta snapshot, so callers measure
+        a region as ``after - before`` instead of differencing each
+        counter by hand::
+
+            before = stats.snapshot()
+            ...traversal...
+            delta = stats.snapshot() - before
+        """
+        return AccessSnapshot(
+            node_accesses=self.node_accesses,
+            leaf_accesses=self.leaf_accesses,
+            queries=self.queries,
+        )
+
     @contextmanager
     def measure(self) -> Iterator["AccessSnapshot"]:
         """Context manager yielding a snapshot that fills in deltas on exit.
@@ -45,22 +63,39 @@ class AccessStats:
         >>> snap.node_accesses
         1
         """
-        start_nodes = self.node_accesses
-        start_leaves = self.leaf_accesses
-        start_queries = self.queries
+        before = self.snapshot()
         snapshot = AccessSnapshot()
         try:
             yield snapshot
         finally:
-            snapshot.node_accesses = self.node_accesses - start_nodes
-            snapshot.leaf_accesses = self.leaf_accesses - start_leaves
-            snapshot.queries = self.queries - start_queries
+            delta = self.snapshot() - before
+            snapshot.node_accesses = delta.node_accesses
+            snapshot.leaf_accesses = delta.leaf_accesses
+            snapshot.queries = delta.queries
 
 
 @dataclass
 class AccessSnapshot:
-    """Deltas observed inside one :meth:`AccessStats.measure` block."""
+    """Totals at one instant, or deltas between two instants.
+
+    :meth:`AccessStats.measure` yields one filled with deltas; subtracting
+    two :meth:`AccessStats.snapshot` values produces the same shape.
+    """
 
     node_accesses: int = 0
     leaf_accesses: int = 0
     queries: int = 0
+
+    def __sub__(self, earlier: "AccessSnapshot") -> "AccessSnapshot":
+        return AccessSnapshot(
+            node_accesses=self.node_accesses - earlier.node_accesses,
+            leaf_accesses=self.leaf_accesses - earlier.leaf_accesses,
+            queries=self.queries - earlier.queries,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "node_accesses": self.node_accesses,
+            "leaf_accesses": self.leaf_accesses,
+            "queries": self.queries,
+        }

@@ -8,6 +8,8 @@ Usage (after ``pip install -e .``)::
     python -m repro explain-certain --data cars.csv --q 11580 49000 --an an-7510-10180
     python -m repro batch    --data data.csv --queries queries.json --workers 4
     python -m repro batch    --data data.csv --queries queries.json --stream
+    python -m repro batch    --data data.csv --queries queries.json --trace t.ndjson
+    python -m repro stats    --data data.csv --queries queries.json
     python -m repro update   --data data.csv --ops ops.ndjsonl --out new.csv
 
 ``generate`` writes a synthetic dataset; ``prsq`` lists answers and
@@ -38,6 +40,7 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
+from repro import obs
 from repro.core.cp import compute_causality
 from repro.core.cr import compute_causality_certain
 from repro.core.model import CausalityResult
@@ -136,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=4096,
         help="LRU result-cache capacity (default 4096; 0 disables caching)",
     )
+    batch.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write one NDJSON span tree per query to FILE and add a "
+        "run.phases breakdown to every envelope",
+    )
     out_fmt = batch.add_mutually_exclusive_group()
     out_fmt.add_argument(
         "--json",
@@ -146,6 +156,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--stream",
         action="store_true",
         help="emit NDJSON: one envelope per line, flushed incrementally",
+    )
+
+    stats = sub.add_parser(
+        "stats",
+        help="run a batch and print the metrics-registry snapshot",
+        description=(
+            "Execute the same JSON query-spec batch the batch subcommand "
+            "takes, then print the process-global repro.obs metrics "
+            "snapshot (per-family query counts and latency histograms, "
+            "result-cache hit/miss counters, R-tree node accesses) as one "
+            "JSON object instead of the per-query envelopes."
+        ),
+    )
+    stats.add_argument("--data", required=True, help="dataset CSV")
+    stats.add_argument(
+        "--dataset-kind",
+        choices=["uncertain", "certain"],
+        default="uncertain",
+        help="CSV flavour of --data (default: uncertain, long format)",
+    )
+    stats.add_argument(
+        "--queries", required=True, help="JSON file: array of query specs"
+    )
+    stats.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, default)",
+    )
+    stats.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="LRU result-cache capacity (default 4096; 0 disables caching)",
     )
 
     update = sub.add_parser(
@@ -319,6 +363,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if args.workers > 1
         else None
     )
+    tracer = (
+        obs.Tracer.to_path(args.trace) if args.trace is not None else None
+    )
     # With a parallel executor the workers build their own sessions (and
     # indexes); the parent session only validates specs, so skip its eager
     # bulk load — the R-tree is still built lazily if a serial fallback runs.
@@ -327,30 +374,37 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             dataset,
             cache_size=0 if no_cache else args.cache_size,
             build_index=executor is None,
+            tracer=tracer,
         )
     )
     batch = client.batch().extend(specs)
 
     started = time.perf_counter()
     total = hits = failures = 0
-    if args.stream:
-        # NDJSON: one envelope per line, flushed as each result lands;
-        # only counters are retained, so memory stays flat on long batches.
-        for envelope in batch.stream(workers=args.workers, executor=executor):
-            print(json.dumps(envelope.to_dict()), flush=True)
-            total += 1
-            hits += envelope.run.cached
-            failures += not envelope.ok
-    else:
-        envelopes = batch.run(workers=args.workers, executor=executor)
-        total = len(envelopes)
-        hits = sum(e.run.cached for e in envelopes)
-        failures = sum(not e.ok for e in envelopes)
-        if args.json:
-            print(json.dumps([e.to_dict() for e in envelopes], indent=2))
+    try:
+        if args.stream:
+            # NDJSON: one envelope per line, flushed as each result lands;
+            # only counters are retained, so memory stays flat on long
+            # batches.
+            for envelope in batch.stream(
+                workers=args.workers, executor=executor
+            ):
+                print(json.dumps(envelope.to_dict()), flush=True)
+                total += 1
+                hits += envelope.run.cached
+                failures += not envelope.ok
         else:
-            for envelope in envelopes:
-                _print_envelope_text(envelope)
+            envelopes = batch.run(workers=args.workers, executor=executor)
+            total = len(envelopes)
+            hits = sum(e.run.cached for e in envelopes)
+            failures = sum(not e.ok for e in envelopes)
+            if args.json:
+                print(json.dumps([e.to_dict() for e in envelopes], indent=2))
+            else:
+                for envelope in envelopes:
+                    _print_envelope_text(envelope)
+    finally:
+        client.close()
     elapsed = max(time.perf_counter() - started, 1e-9)
 
     if executor is None:
@@ -368,10 +422,61 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             else f"worker-local caches, {hits} cached outcome(s)"
         )
     failure_note = f", {failures} failed" if failures else ""
+    trace_note = f", trace -> {args.trace}" if args.trace is not None else ""
     print(
         f"# {total} queries in {elapsed:.3f}s "
         f"({total / elapsed:.1f} q/s), workers={args.workers}, "
-        f"{cache_note}{failure_note}",
+        f"{cache_note}{failure_note}{trace_note}",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.api import Client
+    from repro.engine import ParallelExecutor, Session, spec_from_dict
+
+    if args.dataset_kind == "certain":
+        dataset = load_certain_csv(args.data)
+    else:
+        dataset = load_uncertain_csv(args.data)
+
+    payload = json.loads(Path(args.queries).read_text())
+    if not isinstance(payload, list):
+        raise ValueError(
+            f"{args.queries}: expected a JSON array of query specs"
+        )
+    specs = [spec_from_dict(item) for item in payload]
+
+    executor = (
+        ParallelExecutor(workers=args.workers, cache_size=args.cache_size)
+        if args.workers > 1
+        else None
+    )
+    client = Client(
+        Session(
+            dataset,
+            cache_size=max(args.cache_size, 0),
+            build_index=executor is None,
+        )
+    )
+    # Reset first so the snapshot reflects exactly this batch (parallel
+    # worker deltas merge back into the same registry).
+    obs.registry().reset()
+    started = time.perf_counter()
+    envelopes = (
+        client.batch()
+        .extend(specs)
+        .run(workers=args.workers, executor=executor)
+    )
+    elapsed = max(time.perf_counter() - started, 1e-9)
+    failures = sum(not e.ok for e in envelopes)
+
+    print(json.dumps(obs.registry().snapshot(), indent=2, sort_keys=True))
+    print(
+        f"# {len(envelopes)} queries in {elapsed:.3f}s, "
+        f"workers={args.workers}"
+        f"{f', {failures} failed' if failures else ''}",
         file=sys.stderr,
     )
     return 1 if failures else 0
@@ -487,6 +592,7 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "explain-certain": _cmd_explain_certain,
     "batch": _cmd_batch,
+    "stats": _cmd_stats,
     "update": _cmd_update,
 }
 

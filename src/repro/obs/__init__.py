@@ -1,0 +1,59 @@
+"""repro.obs — zero-dependency observability: tracing, metrics, profiling.
+
+The paper's evaluation is two-dimensional (wall time and R-tree node
+accesses); this package makes both observable *per phase* instead of per
+query:
+
+* :mod:`~repro.obs.trace` — nestable ``span("filter")`` / ``span("refine")``
+  context managers building structured span trees (name, wall time,
+  attributes such as candidate counts, node-access deltas, kernel choice,
+  cache outcome) on a thread-local stack, exported as NDJSON; the
+  disabled path is a shared no-op span, bounded at <3% overhead by
+  ``benchmarks/bench_obs_overhead.py``;
+* :mod:`~repro.obs.metrics` — a process-global registry of counters,
+  gauges and fixed-bucket histograms, snapshotable as a plain dict and
+  mergeable across worker processes via the same delta protocol as
+  :class:`~repro.engine.cache.CacheStats`.
+
+This package imports nothing from the rest of ``repro`` (every layer —
+engine, kernels, index, cache, executors, CLI — imports *it*), so it can
+be instrumented into any hot path without cycles.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_LATENCY_BUCKETS_S,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    active_tracer,
+    annotate,
+    as_tracer,
+    export_ndjson,
+    phase_totals,
+    span,
+    span_to_line,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "annotate",
+    "as_tracer",
+    "export_ndjson",
+    "phase_totals",
+    "registry",
+    "span",
+    "span_to_line",
+]

@@ -1,0 +1,242 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+The registry is the always-on half of ``repro.obs`` (spans are opt-in):
+cache hits/misses, R-tree node accesses, per-family query latency and
+batch queue depth accumulate in one process-global
+:class:`MetricsRegistry`, snapshotable as a plain JSON-safe dict.
+
+Worker processes cannot share the parent's registry, so the executors use
+the same delta-merge protocol as :class:`~repro.engine.cache.CacheStats`:
+snapshot before a chunk, :meth:`MetricsRegistry.diff` after it, pickle the
+delta back, and :meth:`MetricsRegistry.merge` it into the parent — so a
+parallel batch reads exactly like a serial one in the parent snapshot.
+
+Everything here is stdlib-only and cheap: one counter increment is a dict
+lookup plus an integer add, histograms use a linear scan over a handful of
+fixed buckets.  Mutation is effectively atomic under the GIL for our
+increment granularity; structural changes (metric creation) take a lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+]
+
+#: Query latencies in this repo span ~0.1 ms cache hits to multi-second
+#: cold CP refinements; log-spaced seconds-denominated buckets cover both.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.value}>"
+
+
+class Gauge:
+    """A last-write-wins float (queue depths, fleet sizes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.value}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/count (Prometheus-style).
+
+    ``buckets`` are inclusive upper bounds; one implicit overflow bucket
+    catches everything beyond the last bound.  Buckets are fixed at
+    creation so worker deltas merge by plain element-wise addition.
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b <= a for a, b in zip(bounds, bounds[1:])
+        ):
+            raise ValueError(
+                f"histogram buckets must be non-empty and strictly "
+                f"increasing, got {buckets!r}"
+            )
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def __repr__(self) -> str:
+        return f"<Histogram count={self.count} sum={self.sum:.6f}>"
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with snapshot, diff and merge."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create accessors ----------------------------------------
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge())
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            with self._lock:
+                return self._histograms.setdefault(
+                    name, Histogram(buckets or DEFAULT_LATENCY_BUCKETS_S)
+                )
+
+    # -- snapshot / diff / merge ----------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The registry contents as one plain, JSON-safe dict."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    @staticmethod
+    def diff(
+        before: Dict[str, Any], after: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """The delta snapshot ``after - before`` (the worker hand-back).
+
+        Counters and histograms subtract element-wise (entries absent from
+        *before* count from zero); unchanged entries are dropped so chunk
+        deltas stay small.  Gauges are last-write-wins and pass through
+        from *after*.
+        """
+        counters = {
+            name: value - before.get("counters", {}).get(name, 0)
+            for name, value in after.get("counters", {}).items()
+        }
+        histograms = {}
+        before_h = before.get("histograms", {})
+        for name, h in after.get("histograms", {}).items():
+            base = before_h.get(
+                name,
+                {"counts": [0] * len(h["counts"]), "sum": 0.0, "count": 0},
+            )
+            delta_count = h["count"] - base["count"]
+            if delta_count == 0:
+                continue
+            histograms[name] = {
+                "buckets": list(h["buckets"]),
+                "counts": [
+                    a - b for a, b in zip(h["counts"], base["counts"])
+                ],
+                "sum": h["sum"] - base["sum"],
+                "count": delta_count,
+            }
+        return {
+            "counters": {k: v for k, v in counters.items() if v},
+            "gauges": dict(after.get("gauges", {})),
+            "histograms": histograms,
+        }
+
+    def merge(self, delta: Dict[str, Any]) -> None:
+        """Fold a delta snapshot into this registry (the parent-side half
+        of the worker protocol; mirrors the ``CacheStats`` merge)."""
+        for name, value in delta.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in delta.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, h in delta.get("histograms", {}).items():
+            target = self.histogram(name, buckets=h["buckets"])
+            if list(target.buckets) != list(h["buckets"]):
+                raise ValueError(
+                    f"histogram {name!r}: cannot merge buckets "
+                    f"{h['buckets']!r} into {list(target.buckets)!r}"
+                )
+            for i, count in enumerate(h["counts"]):
+                target.counts[i] += count
+            target.sum += h["sum"]
+            target.count += h["count"]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} "
+            f"histograms={len(self._histograms)}>"
+        )
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global registry all instrumentation records into."""
+    return _REGISTRY

@@ -1,0 +1,378 @@
+"""Phase-level tracing: nestable spans, an ambient tracer, NDJSON export.
+
+The paper evaluates every algorithm on wall time and R-tree node accesses;
+this module records *where* inside one query those budgets are spent.  A
+:class:`Span` is one timed phase (``filter``, ``refine``, ``probability``,
+``cache-lookup``, ...) with free-form attributes (candidate counts,
+node-access deltas, kernel choice, cache outcome); spans nest into a tree
+via a per-thread stack owned by the :class:`Tracer`.
+
+Instrumented code never references a tracer directly — it calls the
+module-level :func:`span`, which resolves the *ambient* tracer installed
+by :meth:`Tracer.activate` (thread-local).  When no tracer is active the
+call returns a shared no-op span, so the disabled path costs one function
+call and an empty context manager — bounded by
+``benchmarks/bench_obs_overhead.py`` at <3% of the PRSQ batch workload.
+
+Determinism: the clock is injectable (``Tracer(clock=...)``), mirroring
+the seeded-RNG pattern — with a fake clock the NDJSON export is
+byte-stable run over run (sorted keys, compact separators).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    IO,
+    Iterable,
+    List,
+    Optional,
+    Union,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "annotate",
+    "as_tracer",
+    "export_ndjson",
+    "phase_totals",
+    "span",
+    "span_to_line",
+]
+
+
+class Span:
+    """One timed, attributed phase; also its own context manager.
+
+    Entering records the start tick, pushes the span onto the owning
+    tracer's thread-local stack (appending it to the current parent's
+    children — child order is start order, hence deterministic); exiting
+    records the end tick and, for a root span, hands the finished tree to
+    the tracer (NDJSON sink and/or the in-memory ``finished`` list).
+    """
+
+    __slots__ = ("name", "attributes", "start", "end", "children", "_tracer")
+
+    def __init__(
+        self,
+        name: str,
+        attributes: Optional[Dict[str, Any]] = None,
+        tracer: Optional["Tracer"] = None,
+    ):
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+        self._tracer = tracer
+
+    # -- context-manager protocol ---------------------------------------
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        assert tracer is not None, "span not bound to a tracer"
+        stack = tracer._stack()
+        if stack:
+            stack[-1].children.append(self)
+        stack.append(self)
+        self.start = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        self.end = tracer._clock()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        stack = tracer._stack()
+        assert stack and stack[-1] is self, "span stack out of order"
+        stack.pop()
+        if not stack:
+            tracer._finish_root(self)
+        return False
+
+    # -- data accessors --------------------------------------------------
+    @property
+    def duration_s(self) -> float:
+        if self.start is None or self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to this span; chainable, no-op-safe."""
+        self.attributes.update(attrs)
+        return self
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Aggregate descendant durations by span name (see
+        :func:`phase_totals`)."""
+        return phase_totals(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration_s,
+            "attrs": self.attributes,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Span":
+        """Rebuild a span tree from :meth:`to_dict` output (the worker
+        hand-back path)."""
+        out = cls(payload["name"], attributes=dict(payload.get("attrs", {})))
+        out.start = payload.get("start")
+        out.end = payload.get("end")
+        out.children = [
+            cls.from_dict(child) for child in payload.get("children", ())
+        ]
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name} {self.duration_s * 1e3:.3f} ms "
+            f"children={len(self.children)} attrs={self.attributes!r}>"
+        )
+
+
+class _NullSpan:
+    """The disabled-path span: every operation is a no-op.
+
+    A single shared instance is returned by :func:`span` when no tracer is
+    ambient, so tracing-off costs one attribute lookup plus an empty
+    ``with`` block per instrumented site.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<NullSpan>"
+
+
+_NULL_SPAN = _NullSpan()
+
+# The ambient tracer is thread-local: a Session activates its tracer for
+# the duration of one query, worker processes activate their own, and
+# concurrent sessions in different threads never interleave span stacks.
+_AMBIENT = threading.local()
+
+
+class Tracer:
+    """Collects span trees for one execution context.
+
+    Parameters
+    ----------
+    sink:
+        Optional writable text stream; every finished *root* span is
+        serialized as one NDJSON line and flushed immediately, so a
+        consumer can tail the trace while a long batch is running.
+    clock:
+        Monotonic float clock; inject a fake for byte-stable traces
+        (mirrors the seeded-RNG determinism pattern).
+    keep:
+        Retain finished roots in :attr:`finished` for programmatic access
+        (:meth:`drain`).  Defaults to ``True`` when there is no sink.
+    """
+
+    def __init__(
+        self,
+        sink: Optional[IO[str]] = None,
+        clock: Callable[[], float] = time.perf_counter,
+        keep: Optional[bool] = None,
+    ):
+        self.sink = sink
+        self.finished: List[Span] = []
+        self.keep = (sink is None) if keep is None else keep
+        self._clock = clock
+        self._local = threading.local()
+        self._owns_sink = False
+
+    @classmethod
+    def to_path(
+        cls, path: Union[str, "object"], **kwargs: Any
+    ) -> "Tracer":
+        """A tracer streaming NDJSON spans to *path* (closed by
+        :meth:`close`)."""
+        tracer = cls(sink=open(path, "w"), **kwargs)
+        tracer._owns_sink = True
+        return tracer
+
+    # -- span lifecycle --------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        """A new span bound to this tracer; use as a context manager."""
+        return Span(name, attributes=attrs, tracer=self)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _finish_root(self, root: Span) -> None:
+        if self.sink is not None:
+            self.sink.write(span_to_line(root) + "\n")
+            self.sink.flush()
+        if self.keep:
+            self.finished.append(root)
+
+    def ingest(self, payloads: Iterable[Dict[str, Any]]) -> None:
+        """Merge finished span trees handed back from worker processes.
+
+        Accepts :meth:`Span.to_dict` payloads (the picklable wire form the
+        executors ship) and routes them through the same sink/retention
+        path as locally finished roots.
+        """
+        for payload in payloads:
+            self._finish_root(Span.from_dict(payload))
+
+    def drain(self) -> List[Span]:
+        """Return and clear the retained root spans."""
+        spans, self.finished = self.finished, []
+        return spans
+
+    # -- ambient installation -------------------------------------------
+    def activate(self) -> "_Activation":
+        """Install this tracer as the thread's ambient tracer for a block."""
+        return _Activation(self)
+
+    def close(self) -> None:
+        """Close an owned sink (no-op for caller-provided streams)."""
+        if self._owns_sink and self.sink is not None:
+            self.sink.close()
+            self.sink = None
+            self._owns_sink = False
+
+    def __repr__(self) -> str:
+        return (
+            f"<Tracer finished={len(self.finished)} "
+            f"sink={'yes' if self.sink is not None else 'no'}>"
+        )
+
+
+class _Activation:
+    """Context manager swapping the ambient tracer in and out."""
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: Tracer):
+        self._tracer = tracer
+        self._previous: Optional[Tracer] = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = getattr(_AMBIENT, "tracer", None)
+        _AMBIENT.tracer = self._tracer
+        return self._tracer
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _AMBIENT.tracer = self._previous
+        return False
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The tracer installed on this thread, or ``None``."""
+    return getattr(_AMBIENT, "tracer", None)
+
+
+def span(name: str, **attrs: Any) -> Union[Span, _NullSpan]:
+    """Open a phase span on the ambient tracer (no-op when none).
+
+    This is *the* instrumentation entry point — engine, kernels, index,
+    cache and executors all call it; only :class:`~repro.engine.session.
+    Session` ever installs a tracer.
+    """
+    tracer = getattr(_AMBIENT, "tracer", None)
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def annotate(**attrs: Any) -> None:
+    """Attach attributes to the innermost open span, if tracing is on."""
+    tracer = getattr(_AMBIENT, "tracer", None)
+    if tracer is None:
+        return
+    current = tracer.current()
+    if current is not None:
+        current.set(**attrs)
+
+
+def phase_totals(root: Span) -> Dict[str, float]:
+    """Total duration per phase name across *root*'s descendants.
+
+    The root itself is excluded (it is the whole query).  Same-named
+    descendants of a span are not double-counted: a ``probability`` span
+    nested under another ``probability`` span contributes only through its
+    ancestor.  Keys are sorted for deterministic output.
+    """
+    totals: Dict[str, float] = {}
+
+    def walk(node: Span, names_on_path: frozenset) -> None:
+        for child in node.children:
+            if child.name not in names_on_path:
+                totals[child.name] = (
+                    totals.get(child.name, 0.0) + child.duration_s
+                )
+            walk(child, names_on_path | {child.name})
+
+    walk(root, frozenset())
+    return dict(sorted(totals.items()))
+
+
+def span_to_line(root: Span) -> str:
+    """One canonical NDJSON line for a finished root span.
+
+    Sorted keys and compact separators make the encoding a pure function
+    of the span tree — with an injected fake clock, byte-stable run over
+    run (asserted by the determinism tests).
+    """
+    return json.dumps(
+        root.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+
+
+def export_ndjson(spans: Iterable[Span], fh: IO[str]) -> int:
+    """Write finished spans as NDJSON; returns the number of lines."""
+    count = 0
+    for root in spans:
+        fh.write(span_to_line(root) + "\n")
+        count += 1
+    return count
+
+
+def as_tracer(trace: Any) -> Optional[Tracer]:
+    """Coerce a user-facing ``trace=`` argument into a tracer.
+
+    ``None`` stays off; an existing :class:`Tracer` passes through;
+    ``True`` builds an in-memory tracer; a path opens an NDJSON file
+    sink; a file-like object streams to it.
+    """
+    if trace is None:
+        return None
+    if isinstance(trace, Tracer):
+        return trace
+    if trace is True:
+        return Tracer()
+    if hasattr(trace, "write"):
+        return Tracer(sink=trace)
+    return Tracer.to_path(trace)

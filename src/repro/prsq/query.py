@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.geometry.dominance import dominance_rectangle
 from repro.geometry.point import PointLike, as_point
+from repro.obs import span as _span
 from repro.prsq.probability import (
     probability_at_indices,
     reverse_skyline_probability,
@@ -39,32 +40,35 @@ def prsq_probabilities(
     qq = as_point(q, dims=dataset.dims)
     if use_index and resolve_use_numpy(use_numpy):
         return _prsq_probabilities_batched(dataset, qq)
-    return {
-        obj.oid: reverse_skyline_probability(
-            dataset, obj.oid, qq, use_index=use_index, use_numpy=use_numpy
-        )
-        for obj in dataset
-    }
+    with _span("probability", mode="per-object", objects=len(dataset)):
+        return {
+            obj.oid: reverse_skyline_probability(
+                dataset, obj.oid, qq, use_index=use_index, use_numpy=use_numpy
+            )
+            for obj in dataset
+        }
 
 
 def _prsq_probabilities_batched(
     dataset: UncertainDataset, qq: np.ndarray
 ) -> Dict[Hashable, float]:
     """One grouped filter pass, then per-object Eq. (2) on the tensor path."""
-    groups = [
-        [
-            dominance_rectangle(obj.samples[i], qq)
-            for i in range(obj.num_samples)
+    with _span("filter", mode="grouped-windows", objects=len(dataset)):
+        groups = [
+            [
+                dominance_rectangle(obj.samples[i], qq)
+                for i in range(obj.num_samples)
+            ]
+            for obj in dataset
         ]
-        for obj in dataset
-    ]
-    hits_per = dataset.spatial_index(True).range_search_any_grouped(groups)
-    out: Dict[Hashable, float] = {}
-    for obj, hits in zip(dataset, hits_per):
-        indices = dataset.positions_of(hits, exclude=(obj.oid,))
-        out[obj.oid] = probability_at_indices(
-            dataset, obj, indices, qq, use_numpy=True
-        )
+        hits_per = dataset.spatial_index(True).range_search_any_grouped(groups)
+    with _span("probability", mode="batched-eq2", objects=len(dataset)):
+        out: Dict[Hashable, float] = {}
+        for obj, hits in zip(dataset, hits_per):
+            indices = dataset.positions_of(hits, exclude=(obj.oid,))
+            out[obj.oid] = probability_at_indices(
+                dataset, obj, indices, qq, use_numpy=True
+            )
     return out
 
 

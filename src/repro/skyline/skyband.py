@@ -24,6 +24,7 @@ from repro.core.model import Cause, CauseKind, CausalityResult
 from repro.exceptions import NotANonAnswerError
 from repro.geometry.dominance import dominance_rectangle, dynamically_dominates
 from repro.geometry.point import PointLike, as_point
+from repro.obs import span as _span
 from repro.uncertain.dataset import CertainDataset
 
 
@@ -121,15 +122,19 @@ def compute_causality_k_skyband(
         raise ValueError(f"k must be >= 1, got {k}")
     started = time.perf_counter()
 
-    if use_index:
-        with dataset.access_stats.measure() as snapshot:
+    with _span("filter", use_index=use_index, k=k) as filter_span:
+        if use_index:
+            with dataset.access_stats.measure() as snapshot:
+                dominators = dominators_of_query(
+                    dataset, an_oid, q, use_index=True, use_numpy=use_numpy
+                )
+            accesses = snapshot.node_accesses
+        else:
             dominators = dominators_of_query(
-                dataset, an_oid, q, use_index=True, use_numpy=use_numpy
+                dataset, an_oid, q, use_index=False
             )
-        accesses = snapshot.node_accesses
-    else:
-        dominators = dominators_of_query(dataset, an_oid, q, use_index=False)
-        accesses = 0
+            accesses = 0
+        filter_span.set(dominators=len(dominators))
 
     m = len(dominators)
     if m < k:
@@ -145,21 +150,26 @@ def compute_causality_k_skyband(
     # inside it swap themselves for the next dominator.
     head = dominators[: need + 1]
     shared_witness = frozenset(head[:need])
-    for oid in dominators:
-        if need == 0:
-            witness = frozenset()
-        elif oid in shared_witness:
-            witness = frozenset(d for d in head if d != oid)
-        else:
-            witness = shared_witness
-        result.add(
-            Cause(
-                oid=oid,
-                responsibility=1.0 / (need + 1),
-                contingency_set=witness,
-                kind=CauseKind.COUNTERFACTUAL if need == 0 else CauseKind.ACTUAL,
+    with _span("refine", candidates=m):
+        for oid in dominators:
+            if need == 0:
+                witness = frozenset()
+            elif oid in shared_witness:
+                witness = frozenset(d for d in head if d != oid)
+            else:
+                witness = shared_witness
+            result.add(
+                Cause(
+                    oid=oid,
+                    responsibility=1.0 / (need + 1),
+                    contingency_set=witness,
+                    kind=(
+                        CauseKind.COUNTERFACTUAL
+                        if need == 0
+                        else CauseKind.ACTUAL
+                    ),
+                )
             )
-        )
 
     result.stats.node_accesses = accesses
     result.stats.cpu_time_s = time.perf_counter() - started

@@ -1,0 +1,512 @@
+"""The ``repro.obs`` subsystem: spans, metrics, and their wiring.
+
+Covers the tentpole guarantees: deterministic span trees under a fake
+clock (byte-stable NDJSON), the shared no-op span on the disabled path,
+the metrics snapshot/diff/merge protocol (including the ParallelExecutor
+worker hand-back), a ``run.phases`` breakdown for every registered query
+family, and the CLI ``--trace`` / ``stats`` surfaces.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.api import connect, connect_pdf
+from repro.datasets.synthetic_certain import generate_certain_dataset
+from repro.datasets.synthetic_uncertain import generate_uncertain_dataset
+from repro.engine.spec import PRSQSpec
+from repro.geometry.rectangle import Rect
+from repro.index.stats import AccessSnapshot, AccessStats
+from repro.obs.trace import _NULL_SPAN
+from repro.uncertain.object import UncertainObject
+from repro.uncertain.pdf import UniformBoxObject
+
+Q = (5000.0, 5000.0)
+
+
+class FakeClock:
+    """Deterministic monotonic clock: 0, 1, 2, ... seconds."""
+
+    def __init__(self, start: float = 0.0, step: float = 1.0):
+        self._tick = start
+        self._step = step
+
+    def __call__(self) -> float:
+        tick = self._tick
+        self._tick += self._step
+        return tick
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    obs.registry().reset()
+    yield
+    obs.registry().reset()
+
+
+@pytest.fixture(scope="module")
+def uncertain_ds():
+    return generate_uncertain_dataset(40, 2, seed=7)
+
+
+@pytest.fixture(scope="module")
+def certain_ds():
+    return generate_certain_dataset(60, 2, seed=7)
+
+
+def _nested_program(tracer):
+    """One fixed span program used by the determinism tests."""
+    with tracer.activate():
+        with obs.span("query", kind="prsq") as root:
+            with obs.span("filter", kernel="packed") as f:
+                with obs.span("index-search", windows=3):
+                    pass
+                f.set(candidates=5)
+            with obs.span("refine", alpha=0.5):
+                obs.annotate(causes=2)
+    return root
+
+
+class TestSpanTree:
+    def test_nesting_and_order(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        root = _nested_program(tracer)
+        assert [c.name for c in root.children] == ["filter", "refine"]
+        assert [c.name for c in root.children[0].children] == ["index-search"]
+        assert tracer.drain() == [root]
+        assert tracer.drain() == []  # drain clears
+
+    def test_fake_clock_durations(self):
+        root = _nested_program(obs.Tracer(clock=FakeClock()))
+        # Ticks: query@0, filter@1, index@2..3, filter ends@4, refine@5..6,
+        # query ends@7.
+        assert root.start == 0.0 and root.end == 7.0
+        assert root.duration_s == 7.0
+        assert root.children[0].duration_s == 3.0
+        assert root.children[0].children[0].duration_s == 1.0
+        assert root.children[1].duration_s == 1.0
+
+    def test_attributes_and_annotate(self):
+        root = _nested_program(obs.Tracer(clock=FakeClock()))
+        assert root.attributes == {"kind": "prsq"}
+        assert root.children[0].attributes == {
+            "kernel": "packed",
+            "candidates": 5,
+        }
+        assert root.children[1].attributes == {"alpha": 0.5, "causes": 2}
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with tracer.activate():
+                with obs.span("query"):
+                    raise RuntimeError("boom")
+        [root] = tracer.drain()
+        assert root.attributes["error"] == "RuntimeError"
+        assert root.end is not None
+
+    def test_phase_totals_excludes_root_and_same_name_nesting(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        with tracer.activate():
+            with obs.span("query") as root:
+                with obs.span("probability"):
+                    with obs.span("probability"):  # nested same name
+                        pass
+                with obs.span("filter"):
+                    pass
+        totals = root.phase_totals()
+        assert "query" not in totals
+        assert list(totals) == sorted(totals)
+        # Outer probability spans ticks 1..4 (inner 2..3 not double counted).
+        assert totals["probability"] == 3.0
+        assert totals["filter"] == 1.0
+
+    def test_to_dict_from_dict_roundtrip(self):
+        root = _nested_program(obs.Tracer(clock=FakeClock()))
+        clone = obs.Span.from_dict(root.to_dict())
+        assert obs.span_to_line(clone) == obs.span_to_line(root)
+
+
+class TestDisabledPath:
+    def test_null_span_is_shared_singleton(self):
+        assert obs.active_tracer() is None
+        assert obs.span("filter") is _NULL_SPAN
+        assert obs.span("refine", anything=1) is _NULL_SPAN
+
+    def test_null_span_noops(self):
+        with obs.span("filter") as sp:
+            assert sp.set(candidates=3) is sp
+        obs.annotate(ignored=True)  # no ambient tracer: silently dropped
+
+    def test_activation_restores_previous(self):
+        tracer = obs.Tracer()
+        with tracer.activate():
+            assert obs.active_tracer() is tracer
+            assert isinstance(obs.span("x"), obs.Span)
+        assert obs.active_tracer() is None
+
+
+class TestNDJSON:
+    def test_byte_stable_across_runs(self):
+        lines = [
+            obs.span_to_line(_nested_program(obs.Tracer(clock=FakeClock())))
+            for _ in range(2)
+        ]
+        assert lines[0] == lines[1]
+        payload = json.loads(lines[0])
+        assert payload["name"] == "query"
+        assert payload["duration"] == 7.0
+
+    def test_sink_streams_one_line_per_root(self):
+        sink = io.StringIO()
+        tracer = obs.Tracer(sink=sink, clock=FakeClock())
+        _nested_program(tracer)
+        assert tracer.finished == []  # keep defaults off with a sink
+        [line] = sink.getvalue().splitlines()
+        assert json.loads(line)["name"] == "query"
+
+    def test_export_ndjson(self):
+        tracer = obs.Tracer(clock=FakeClock())
+        _nested_program(tracer)
+        out = io.StringIO()
+        assert obs.export_ndjson(tracer.drain(), out) == 1
+
+    def test_session_trace_is_byte_stable(self):
+        def one_run():
+            dataset = generate_uncertain_dataset(25, 2, seed=11)
+            tracer = obs.Tracer(clock=FakeClock())
+            client = connect(dataset, cache_size=0, trace=tracer)
+            assert client.prsq(Q, alpha=0.5).ok
+            [root] = tracer.drain()
+            return obs.span_to_line(root)
+
+        assert one_run() == one_run()
+
+    def test_as_tracer_coercions(self, tmp_path):
+        assert obs.as_tracer(None) is None
+        tracer = obs.Tracer()
+        assert obs.as_tracer(tracer) is tracer
+        assert obs.as_tracer(True).sink is None
+        sink = io.StringIO()
+        assert obs.as_tracer(sink).sink is sink
+        path = tmp_path / "trace.ndjson"
+        owned = obs.as_tracer(str(path))
+        assert owned.sink is not None
+        owned.close()
+        owned.close()  # idempotent
+        assert owned.sink is None
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(4.5)
+        hist = reg.histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 4.5}
+        assert snap["histograms"]["h"]["counts"] == [1, 1, 1]
+        assert snap["histograms"]["h"]["count"] == 3
+        assert snap["histograms"]["h"]["sum"] == pytest.approx(55.5)
+
+    def test_get_or_create_is_stable(self):
+        reg = obs.MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_diff_drops_unchanged(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("a").inc()
+        before = reg.snapshot()
+        reg.counter("b").inc(5)
+        delta = obs.MetricsRegistry.diff(before, reg.snapshot())
+        assert delta["counters"] == {"b": 5}
+
+    def test_merge_accumulates(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("a").inc()
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        delta = obs.MetricsRegistry.diff(
+            obs.MetricsRegistry().snapshot(), reg.snapshot()
+        )
+        target = obs.MetricsRegistry()
+        target.merge(delta)
+        target.merge(delta)
+        snap = target.snapshot()
+        assert snap["counters"] == {"a": 2}
+        assert snap["histograms"]["h"]["counts"] == [2, 0]
+
+    def test_merge_bucket_mismatch_raises(self):
+        reg = obs.MetricsRegistry()
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        delta = obs.MetricsRegistry.diff(
+            obs.MetricsRegistry().snapshot(), reg.snapshot()
+        )
+        target = obs.MetricsRegistry()
+        target.histogram("h", buckets=(2.0,))
+        with pytest.raises(ValueError, match="bucket"):
+            target.merge(delta)
+
+    def test_histogram_buckets_must_increase(self):
+        with pytest.raises(ValueError):
+            obs.MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+
+    def test_reset(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("a").inc()
+        reg.reset()
+        assert reg.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestQueryPhases:
+    """Every registered family exposes a phase breakdown when traced."""
+
+    def _phases(self, result):
+        assert result.ok
+        assert result.run.phases, f"no phases for {result.kind}"
+        return result.run.phases
+
+    def test_uncertain_families(self, uncertain_ds):
+        client = connect(uncertain_ds, trace=True)
+        non_answers = client.prsq(Q, alpha=0.5, want="non_answers")
+        assert {"filter", "probability"} <= set(self._phases(non_answers))
+        blame = client.causality(an=non_answers.value.ids[0], q=Q, alpha=0.5)
+        assert {"filter", "refine"} <= set(self._phases(blame))
+        inserted = client.insert(
+            UncertainObject("obs-new", [[9500.0, 9500.0]])
+        )
+        assert "apply-delta" in self._phases(inserted)
+
+    def test_pdf_family(self):
+        objects = [
+            UniformBoxObject("a", Rect([4.0, 4.0], [4.6, 4.6])),
+            UniformBoxObject("b", Rect([4.2, 4.2], [4.9, 4.9])),
+        ]
+        client = connect_pdf(objects, samples_per_object=16, seed=0, trace=True)
+        env = client.pdf_causality(an="a", q=(5.0, 5.0), alpha=0.5)
+        assert "pdf-windows" in self._phases(env)
+
+    def test_certain_families(self, certain_ds):
+        client = connect(certain_ds, trace=True)
+        sky = client.reverse_skyline(Q)
+        assert "filter" in self._phases(sky)
+        band = client.reverse_k_skyband(Q, k=2)
+        assert "filter" in self._phases(band)
+        topk = client.reverse_top_k(
+            (800.0, 900.0), k=5, weights=((1.0, 0.3), (0.2, 1.0))
+        )
+        assert "refine" in self._phases(topk)
+        an = next(
+            oid for oid in certain_ds.ids() if oid not in set(sky.value.ids)
+        )
+        assert {"filter", "refine"} <= set(
+            self._phases(client.causality_certain(an=an, q=Q))
+        )
+        assert {"filter", "refine"} <= set(
+            self._phases(client.k_skyband_causality(an=an, q=Q, k=1))
+        )
+
+    def test_untraced_run_has_no_phases(self, uncertain_ds):
+        client = connect(uncertain_ds)
+        env = client.prsq(Q, alpha=0.5)
+        assert env.ok and env.run.phases is None
+
+    def test_cache_hit_records_lookup_time(self, uncertain_ds):
+        client = connect(uncertain_ds, trace=True)
+        first = client.prsq(Q, alpha=0.45)
+        second = client.prsq(Q, alpha=0.45)
+        assert not first.run.cached and second.run.cached
+        assert second.run.elapsed_s > 0.0
+        assert "cache-lookup" in second.run.phases
+        assert "probability" not in second.run.phases  # probe only
+
+    def test_phases_roundtrip_through_envelope_dict(self, uncertain_ds):
+        from repro.api import QueryResult
+
+        client = connect(uncertain_ds, trace=True)
+        env = client.prsq(Q, alpha=0.5)
+        back = QueryResult.from_dict(json.loads(json.dumps(env.to_dict())))
+        assert back.run.phases == env.run.phases
+
+    def test_query_metrics_recorded(self, uncertain_ds):
+        client = connect(uncertain_ds)
+        client.prsq(Q, alpha=0.5)
+        client.prsq(Q, alpha=0.5)
+        snap = client.metrics()
+        assert snap["counters"]["query.prsq.count"] == 2
+        assert snap["counters"]["cache.result.hits"] == 1
+        assert snap["counters"]["cache.result.misses"] == 1
+        hist = snap["histograms"]["query.prsq.latency_s"]
+        assert hist["count"] == 2
+
+
+class TestExecutorMerge:
+    def test_parallel_workers_merge_metrics_and_spans(self, uncertain_ds):
+        tracer = obs.Tracer()
+        client = connect(uncertain_ds, cache_size=0, trace=tracer)
+        batch = client.batch().extend(
+            PRSQSpec(q=(4800.0 + 40.0 * i, 5100.0), alpha=0.5)
+            for i in range(4)
+        )
+        envelopes = batch.run(workers=2)
+        assert all(e.ok for e in envelopes)
+        # Worker-side phases ride back inside each outcome...
+        assert all(e.run.phases for e in envelopes)
+        # ...and the full span trees are ingested into the parent tracer.
+        roots = tracer.drain()
+        assert len(roots) == 4
+        assert {root.name for root in roots} == {"query"}
+        # The batch delta aggregates both workers' registries.
+        merged = batch.metrics()
+        assert merged["counters"]["query.prsq.count"] == 4
+        assert merged["histograms"]["query.prsq.latency_s"]["count"] == 4
+        # And the same delta landed in the process-global registry.
+        assert (
+            obs.registry().snapshot()["counters"]["query.prsq.count"] == 4
+        )
+
+    def test_serial_batch_reports_metrics_delta(self, uncertain_ds):
+        client = connect(uncertain_ds, cache_size=0)
+        batch = client.batch().prsq(Q, alpha=0.3).prsq(Q, alpha=0.7)
+        assert batch.metrics() is None  # nothing ran yet
+        assert all(e.ok for e in batch.run())
+        assert batch.metrics()["counters"]["query.prsq.count"] == 2
+
+    def test_untraced_parallel_run_stays_untraced(self, uncertain_ds):
+        client = connect(uncertain_ds, cache_size=0)
+        envelopes = (
+            client.batch()
+            .extend(
+                PRSQSpec(q=(4800.0 + 40.0 * i, 5100.0), alpha=0.5)
+                for i in range(4)
+            )
+            .run(workers=2)
+        )
+        assert all(e.ok and e.run.phases is None for e in envelopes)
+
+
+class TestAccessStats:
+    def test_marks_attribute_gone(self):
+        stats = AccessStats()
+        assert not hasattr(stats, "_marks")
+
+    def test_snapshot_and_subtract(self):
+        stats = AccessStats()
+        stats.record_node(is_leaf=False)
+        stats.record_node(is_leaf=True)
+        before = stats.snapshot()
+        assert isinstance(before, AccessSnapshot)
+        stats.record_node(is_leaf=False)
+        stats.record_query()
+        delta = stats.snapshot() - before
+        assert delta.node_accesses == 1
+        assert delta.leaf_accesses == 0
+        assert delta.queries == 1
+        assert delta.as_dict()["node_accesses"] == 1
+
+    def test_measure_still_scopes_deltas(self):
+        stats = AccessStats()
+        stats.record_node(is_leaf=False)
+        with stats.measure() as window:
+            stats.record_node(is_leaf=True)
+            stats.record_node(is_leaf=True)
+        assert window.node_accesses == 2
+        assert window.leaf_accesses == 2
+
+
+class TestCLISurfaces:
+    @pytest.fixture
+    def uncertain_csv(self, tmp_path):
+        from repro.io.cli import main
+
+        data = tmp_path / "data.csv"
+        rc = main(
+            ["generate", "--kind", "uncertain", "--n", "30", "--dims", "2",
+             "--seed", "5", "--out", str(data)]
+        )
+        assert rc == 0
+        return data
+
+    @pytest.fixture
+    def queries_json(self, tmp_path):
+        path = tmp_path / "queries.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"kind": "prsq", "q": [5000, 5000], "alpha": 0.5},
+                    {"kind": "prsq", "q": [4500, 5500], "alpha": 0.6},
+                ]
+            )
+        )
+        return path
+
+    def test_batch_trace_writes_ndjson(
+        self, tmp_path, uncertain_csv, queries_json, capsys
+    ):
+        from repro.io.cli import main
+
+        trace = tmp_path / "trace.ndjson"
+        rc = main(
+            ["batch", "--data", str(uncertain_csv), "--queries",
+             str(queries_json), "--stream", "--trace", str(trace)]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        lines = trace.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            root = json.loads(line)
+            assert root["name"] == "query"
+            assert root["attrs"]["kind"] == "prsq"
+            assert root["children"]
+        assert f"trace -> {trace}" in captured.err
+        # The streamed envelopes carry the same breakdown.
+        for out_line in captured.out.splitlines():
+            assert json.loads(out_line)["run"]["phases"]
+
+    def test_stats_subcommand_prints_registry(
+        self, uncertain_csv, queries_json, capsys
+    ):
+        from repro.io.cli import main
+
+        rc = main(
+            ["stats", "--data", str(uncertain_csv), "--queries",
+             str(queries_json)]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        snap = json.loads(captured.out)
+        assert snap["counters"]["query.prsq.count"] == 2
+        assert "query.prsq.latency_s" in snap["histograms"]
+        assert "2 queries" in captured.err
+
+
+class TestReportingProvenance:
+    def test_provenance_keys(self):
+        from repro.bench.reporting import provenance
+
+        info = provenance()
+        for key in (
+            "git_sha", "git_dirty", "timestamp", "platform", "python", "numpy"
+        ):
+            assert key in info
+        assert info["numpy"]  # numpy is installed in the test env
+
+    def test_json_report_embeds_provenance(self, tmp_path):
+        from repro.bench.reporting import write_json_report
+
+        path = tmp_path / "BENCH_x.json"
+        payload = write_json_report(path, "x", rows=[{"a": 1}])
+        assert payload["provenance"]["python"]
+        on_disk = json.loads(path.read_text())
+        assert on_disk["provenance"]["timestamp"]

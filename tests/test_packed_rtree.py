@@ -236,19 +236,26 @@ class TestWorkerHandoff:
         dataset = make_uncertain_dataset(rng, n=15)
         lazy = Session(dataset, build_index=False)
         assert dataset._rtree is None and dataset._packed is None
-        payload, _pdf, kwargs = ParallelExecutor(workers=2)._initargs(lazy)
+        payload, _pdf, kwargs, traced = ParallelExecutor(
+            workers=2
+        )._initargs(lazy)
         assert kwargs["build_index"] is False
+        assert traced is False
         assert payload["packed"] is None  # laziness inherited end to end
         assert dataset._rtree is None  # _initargs itself stayed lazy
 
         eager = Session(make_uncertain_dataset(rng, n=15), use_numpy=True)
-        payload, _pdf, kwargs = ParallelExecutor(workers=2)._initargs(eager)
+        payload, _pdf, kwargs, _traced = ParallelExecutor(
+            workers=2
+        )._initargs(eager)
         assert kwargs["build_index"] is True
         assert payload["packed"] is not None
 
         scalar = Session(make_uncertain_dataset(rng, n=15), use_numpy=False)
         scalar.dataset.packed  # frozen by someone else (e.g. shared dataset)
-        payload, _pdf, kwargs = ParallelExecutor(workers=2)._initargs(scalar)
+        payload, _pdf, kwargs, _traced = ParallelExecutor(
+            workers=2
+        )._initargs(scalar)
         assert payload["packed"] is None  # scalar workers never query it
 
     def test_numpy_session_on_adopted_snapshot_never_builds_pointer(self, rng):
