@@ -1,0 +1,462 @@
+"""Serve-layer load benchmark: mixed query/update traffic, SLO + soundness.
+
+Drives a :mod:`repro.serve` server with C concurrent clients (several
+concurrency levels per run) issuing a mixed workload — PRSQ reads with
+varied query points/alphas plus a writer client cycling inserts, updates
+and deletes through the single-writer queue — and reports, per level:
+
+* client-observed **p50/p99 latency** and **throughput** (requests/s);
+* **error envelopes** (must be zero: the workload is constructed so
+  every request is valid — any failure is a server bug);
+* **replay soundness**: every read response echoes its
+  ``session_version``; after the run, each unique ``(version, spec)``
+  observation is re-executed on a fresh local session built from the
+  initial objects plus exactly the deltas acknowledged at or before that
+  version, and the payloads must match bit-for-bit (probabilities
+  compared via ``float.hex``).
+
+A final **overload injection** phase (always in-process) shrinks the
+server to one admission slot and zero queue, fires a volley of
+concurrent reads, and asserts every shed request came back as a
+structured ``overloaded`` envelope with a retry hint — never a dropped
+connection — while the connection stays usable.
+
+Runs standalone (the CI smoke job), self-hosting an in-process server by
+default; ``--connect HOST:PORT`` targets an externally started server
+instead (pass the same ``--data`` CSV the server was started with so the
+replay check has the initial contents):
+
+    PYTHONPATH=src python benchmarks/bench_serve_load.py
+    PYTHONPATH=src python benchmarks/bench_serve_load.py \\
+        --clients 4,16,32 --requests 12 --report BENCH_serve_load.json
+    PYTHONPATH=src python benchmarks/bench_serve_load.py \\
+        --connect 127.0.0.1:7733 --data objects.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.remote import RemoteClient
+from repro.api.results import QueryResult
+from repro.bench.reporting import print_figure, write_json_report
+from repro.engine import Session
+from repro.engine.executor import _execute_captured
+from repro.engine.spec import PRSQSpec
+from repro.exceptions import OverloadedError
+from repro.serve import ReproServer, ServeConfig
+from repro.uncertain import UncertainDataset, UncertainObject
+from repro.uncertain.delta import DatasetDelta
+
+WANTS = ("answers", "non_answers", "probabilities")
+
+
+def _initial_objects(n: int, dims: int, seed: int) -> List[UncertainObject]:
+    rng = np.random.default_rng(seed)
+    return [
+        UncertainObject(
+            f"o{i}",
+            rng.uniform(0.0, 10.0, size=(int(rng.integers(1, 4)), dims)),
+        )
+        for i in range(n)
+    ]
+
+
+def _fresh_dataset(objects: List[UncertainObject]) -> UncertainDataset:
+    return UncertainDataset(
+        [
+            UncertainObject(
+                o.oid,
+                np.asarray(o.samples).copy(),
+                np.asarray(o.probabilities).copy(),
+                name=o.name,
+            )
+            for o in objects
+        ]
+    )
+
+
+def _read_spec(rng, dims: int) -> PRSQSpec:
+    q = tuple(float(v) for v in rng.uniform(2.0, 8.0, size=dims))
+    return PRSQSpec(
+        q=q,
+        alpha=float(rng.uniform(0.1, 0.9)),
+        want=WANTS[int(rng.integers(len(WANTS)))],
+    )
+
+
+def _semantic(envelope: QueryResult):
+    if not envelope.ok:
+        return ("error", envelope.error.code)
+    value = envelope.value
+    if value.probabilities is not None:
+        return tuple(sorted(
+            (repr(oid), p.hex()) for oid, p in value.probabilities.items()
+        ))
+    return tuple(sorted(repr(oid) for oid in value.ids))
+
+
+async def _writer_client(
+    port: int, tag: str, requests: int, dims: int, seed: int,
+    deltas_by_version: Dict[int, DatasetDelta],
+    latencies: List[float], errors: List[str],
+) -> None:
+    """Cycle insert -> update -> delete over a private id namespace."""
+    rng = np.random.default_rng(seed)
+    mine: List[str] = []
+    serial = 0
+    async with await RemoteClient.connect(port=port) as client:
+        for i in range(requests):
+            kind = ("insert", "update", "delete")[i % 3]
+            if kind != "insert" and not mine:
+                kind = "insert"
+            if kind == "insert":
+                obj = UncertainObject(
+                    f"{tag}-{serial}",
+                    rng.uniform(0.0, 10.0, size=(2, dims)),
+                )
+                serial += 1
+                delta = DatasetDelta.insertion(obj)
+                mine.append(obj.oid)
+            elif kind == "update":
+                oid = mine[int(rng.integers(len(mine)))]
+                delta = DatasetDelta.replacement(UncertainObject(
+                    oid, rng.uniform(0.0, 10.0, size=(2, dims))
+                ))
+            else:
+                oid = mine.pop(int(rng.integers(len(mine))))
+                delta = DatasetDelta.deletion(oid)
+            started = time.perf_counter()
+            envelope = await client.apply(delta)
+            latencies.append(time.perf_counter() - started)
+            if not envelope.ok:
+                errors.append(f"write {kind}: {envelope.error.code}")
+            else:
+                deltas_by_version[client.session_version] = delta
+
+
+async def _reader_client(
+    port: int, requests: int, dims: int, seed: int,
+    observations: List[Tuple[PRSQSpec, int]],
+    semantics: Dict[Tuple[int, PRSQSpec], object],
+    latencies: List[float], errors: List[str],
+) -> None:
+    rng = np.random.default_rng(seed)
+    async with await RemoteClient.connect(port=port) as client:
+        for _ in range(requests):
+            spec = _read_spec(rng, dims)
+            started = time.perf_counter()
+            envelope, version = await client.query_envelope(spec)
+            latencies.append(time.perf_counter() - started)
+            if not envelope.ok:
+                errors.append(f"read: {envelope.error.code}")
+                continue
+            observations.append((spec, version))
+            semantics[(version, spec)] = _semantic(envelope)
+
+
+def _quantile_ms(latencies: List[float], q: float) -> float:
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index] * 1e3
+
+
+def _verify_replay(
+    initial: List[UncertainObject],
+    deltas_by_version: Dict[int, DatasetDelta],
+    semantics: Dict[Tuple[int, PRSQSpec], object],
+) -> Tuple[int, int]:
+    """Walk versions in order, applying deltas incrementally, re-running
+    each observed spec on the local session; returns (checked, mismatches).
+    """
+    session = Session(_fresh_dataset(initial))
+    by_version: Dict[int, List[PRSQSpec]] = {}
+    for (version, spec) in semantics:
+        by_version.setdefault(version, []).append(spec)
+    checked = mismatches = 0
+    current = 0
+    for version in sorted(by_version):
+        while current < version:
+            current += 1
+            delta = deltas_by_version.get(current)
+            if delta is None:
+                raise AssertionError(
+                    f"observed version {version} but no delta was "
+                    f"acknowledged at version {current}"
+                )
+            session.apply(delta)
+        for spec in by_version[version]:
+            outcome = _execute_captured(session, spec)
+            envelope = QueryResult.from_outcome(
+                outcome, fingerprint=session.fingerprint
+            )
+            checked += 1
+            if _semantic(envelope) != semantics[(version, spec)]:
+                mismatches += 1
+    return checked, mismatches
+
+
+async def _run_level(
+    port: int, clients: int, requests: int, dims: int, seed: int,
+    deltas_by_version: Dict[int, DatasetDelta],
+    semantics: Dict[Tuple[int, PRSQSpec], object],
+) -> Dict:
+    latencies: List[float] = []
+    errors: List[str] = []
+    observations: List[Tuple[PRSQSpec, int]] = []
+    readers = max(1, clients - 1)
+    started = time.perf_counter()
+    await asyncio.gather(
+        _writer_client(
+            port, f"c{clients}", requests, dims, seed + 1,
+            deltas_by_version, latencies, errors,
+        ),
+        *[
+            _reader_client(
+                port, requests, dims, seed + 100 + i,
+                observations, semantics, latencies, errors,
+            )
+            for i in range(readers)
+        ],
+    )
+    wall = max(time.perf_counter() - started, 1e-9)
+    total = len(latencies)
+    return {
+        "clients": clients,
+        "requests": total,
+        "wall_s": round(wall, 4),
+        "throughput_rps": round(total / wall, 1),
+        "p50_ms": round(_quantile_ms(latencies, 0.50), 3),
+        "p99_ms": round(_quantile_ms(latencies, 0.99), 3),
+        "error_envelopes": len(errors),
+        "errors": errors[:5],
+    }
+
+
+async def _overload_phase(objects: List[UncertainObject], volleys: int) -> Dict:
+    """One admission slot, no queue: shedding must be structured."""
+    config = ServeConfig(
+        port=0, threads=2, max_inflight=1, max_queue=0, cache_size=0
+    )
+    shed = served = dropped = 0
+    min_hint = None
+    async with ReproServer({"default": _fresh_dataset(objects)}, config) as srv:
+        async with await RemoteClient.connect(port=srv.port) as client:
+            spec = PRSQSpec(q=(5.0, 5.0), alpha=0.4, want="probabilities")
+
+            async def one():
+                nonlocal shed, served, dropped, min_hint
+                try:
+                    envelope, _v = await client.query_envelope(spec)
+                    served += not (not envelope.ok)
+                except OverloadedError as exc:
+                    shed += 1
+                    hint = exc.retry_after_s
+                    min_hint = hint if min_hint is None else min(min_hint, hint)
+                except Exception:
+                    dropped += 1
+
+            await asyncio.gather(*[one() for _ in range(volleys)])
+            # the connection must remain fully usable after the storm
+            envelope, _v = await client.query_envelope(spec)
+            usable = envelope.ok
+    return {
+        "clients": volleys,
+        "served": served,
+        "shed": shed,
+        "dropped_connections": dropped,
+        "min_retry_after_s": min_hint,
+        "usable_after": usable,
+    }
+
+
+async def _main_async(args: argparse.Namespace) -> int:
+    if args.data:
+        from repro.io.csvio import load_uncertain_csv
+
+        initial = list(load_uncertain_csv(args.data).objects())
+    else:
+        initial = _initial_objects(args.objects, args.dims, args.seed)
+    dims = (
+        np.asarray(initial[0].samples).shape[1] if args.data else args.dims
+    )
+
+    deltas_by_version: Dict[int, DatasetDelta] = {}
+    semantics: Dict[Tuple[int, PRSQSpec], object] = {}
+    levels = [int(c) for c in args.clients.split(",")]
+
+    server: Optional[ReproServer] = None
+    if args.connect:
+        host, _, port_text = args.connect.rpartition(":")
+        port = int(port_text)
+        assert host in ("", "127.0.0.1", "localhost"), (
+            "replay verification needs the local dataset; only local "
+            "servers are supported"
+        )
+    else:
+        server = ReproServer(
+            {"default": _fresh_dataset(initial)},
+            ServeConfig(port=0, threads=args.threads),
+        )
+        await server.start()
+        port = server.port
+
+    rows = []
+    per_family = {}
+    try:
+        for clients in levels:
+            rows.append(await _run_level(
+                port, clients, args.requests, dims, args.seed,
+                deltas_by_version, semantics,
+            ))
+        # server-side per-query-family latency quantiles over the whole run
+        async with await RemoteClient.connect(port=port) as client:
+            per_family = (await client.stats()).get("slo", {})
+    finally:
+        if server is not None:
+            await server.stop()
+
+    checked, mismatches = _verify_replay(
+        initial, deltas_by_version, semantics
+    )
+    overload = await _overload_phase(initial, volleys=16)
+
+    for row in rows:
+        if not row["error_envelopes"]:
+            row.pop("errors", None)
+    print_figure(
+        "serve load: mixed query/update traffic",
+        rows,
+        columns=[
+            "clients", "requests", "wall_s", "throughput_rps",
+            "p50_ms", "p99_ms", "error_envelopes",
+        ],
+    )
+    print_figure(
+        "serve overload injection (1 slot, 0 queue)",
+        [overload],
+        columns=[
+            "clients", "served", "shed", "dropped_connections",
+            "min_retry_after_s", "usable_after",
+        ],
+    )
+    family_rows = [
+        {
+            "metric": metric,
+            "p50_ms": quantiles["p50_ms"],
+            "p99_ms": quantiles["p99_ms"],
+        }
+        for metric, quantiles in sorted(per_family.items())
+    ]
+    if family_rows:
+        print_figure(
+            "server-side latency per query family",
+            family_rows,
+            columns=["metric", "p50_ms", "p99_ms"],
+        )
+    print(
+        f"\nreplay verification: {checked} unique (version, spec) "
+        f"observations re-executed, {mismatches} mismatch(es); "
+        f"{len(deltas_by_version)} acknowledged write(s)"
+    )
+
+    report_rows = (
+        rows
+        + [dict(row, phase="per_family") for row in family_rows]
+        + [dict(overload, phase="overload")]
+    )
+    write_json_report(
+        args.report,
+        "serve_load",
+        report_rows,
+        meta={
+            "objects": len(initial),
+            "dims": dims,
+            "seed": args.seed,
+            "levels": levels,
+            "requests_per_client": args.requests,
+            "threads": args.threads,
+            "replay_checked": checked,
+            "replay_mismatches": mismatches,
+            "connect": args.connect or "in-process",
+        },
+    )
+    print(f"wrote {args.report}")
+
+    failures = []
+    total_errors = sum(row["error_envelopes"] for row in rows)
+    if total_errors:
+        failures.append(f"{total_errors} error envelope(s) under load")
+    if mismatches:
+        failures.append(f"{mismatches} replay mismatch(es)")
+    if checked == 0:
+        failures.append("replay verified nothing")
+    if overload["dropped_connections"]:
+        failures.append("overload dropped connections")
+    if overload["shed"] == 0:
+        failures.append("overload phase shed nothing (injection broken)")
+    if not overload["usable_after"]:
+        failures.append("connection unusable after overload")
+    if args.p99_budget_ms is not None:
+        worst = max(row["p99_ms"] for row in rows)
+        if worst > args.p99_budget_ms:
+            failures.append(
+                f"p99 {worst:.1f} ms over budget {args.p99_budget_ms} ms"
+            )
+    if failures:
+        print("FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print("OK: zero error envelopes, replay bit-identical, "
+          "overload structurally shed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--objects", type=int, default=300)
+    parser.add_argument("--dims", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--clients", default="4,16,32",
+        help="comma-separated concurrency levels (default 4,16,32)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=12,
+        help="requests per client per level (default 12)",
+    )
+    parser.add_argument("--threads", type=int, default=4,
+                        help="server threads (in-process mode)")
+    parser.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="target an externally started local server instead of "
+        "self-hosting (pass the server's --data CSV too)",
+    )
+    parser.add_argument(
+        "--data", default=None,
+        help="uncertain CSV of the initial contents (required with "
+        "--connect; optional otherwise)",
+    )
+    parser.add_argument(
+        "--report", default="BENCH_serve_load.json",
+        help="JSON report path (default BENCH_serve_load.json)",
+    )
+    parser.add_argument(
+        "--p99-budget-ms", type=float, default=None,
+        help="fail if any level's client-observed p99 exceeds this",
+    )
+    args = parser.parse_args(argv)
+    if args.connect and not args.data:
+        parser.error("--connect requires --data (for replay verification)")
+    return asyncio.run(_main_async(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

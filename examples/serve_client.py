@@ -1,0 +1,127 @@
+"""Serving tour: in-process server, concurrent clients, one live update.
+
+Starts a :class:`repro.serve.ReproServer` inside this process (real
+sockets on a free loopback port — exactly what ``python -m repro serve``
+runs), then drives it the way a small fleet of services would:
+
+* six :class:`~repro.api.remote.RemoteClient` coroutines firing PRSQ and
+  causality queries concurrently, all multiplexed over the shared
+  session, LRU cache and thread pool;
+* one writer inserting a new uncertain object mid-flight through the
+  single-writer queue — readers before the publish keep the old
+  snapshot, readers after it see the new object, and every response
+  echoes the ``session_version`` it was served at;
+* a batch streamed over a single connection;
+* the ``stats`` op, from which we print an SLO summary (server-side
+  latency quantiles + admission counters).
+
+Run:  python examples/serve_client.py
+"""
+
+import asyncio
+import time
+
+from repro.api.remote import RemoteClient
+from repro.datasets.synthetic_uncertain import generate_uncertain_dataset
+from repro.serve import ReproServer, ServeConfig
+from repro.uncertain import UncertainObject
+
+Q = (5000.0, 5000.0)
+ALPHA = 0.5
+
+
+async def reader(port: int, name: str, latencies: list) -> dict:
+    """A client mixing cheap and expensive reads; returns its last result."""
+    async with await RemoteClient.connect(port=port) as client:
+        seen = {}
+        for i in range(4):
+            started = time.perf_counter()
+            envelope = await client.prsq(
+                (Q[0] + 120 * i, Q[1] - 80 * i), alpha=ALPHA,
+                want="probabilities",
+            )
+            latencies.append(time.perf_counter() - started)
+            assert envelope.ok, envelope.error
+            seen = {
+                "client": name,
+                "version": client.session_version,
+                "objects_scored": len(envelope.value.probabilities),
+            }
+        return seen
+
+
+async def writer(port: int) -> int:
+    """Insert one object mid-flight; return the version it landed at."""
+    async with await RemoteClient.connect(port=port) as client:
+        await asyncio.sleep(0.02)  # let some reads go first
+        envelope = await client.insert(
+            UncertainObject(
+                "hot-new-object",
+                [[4980.0, 5020.0], [5010.0, 4990.0]],
+            )
+        )
+        assert envelope.ok, envelope.error
+        return client.session_version
+
+
+async def main() -> None:
+    dataset = generate_uncertain_dataset(400, 2, seed=3)
+    config = ServeConfig(port=0, threads=3, max_inflight=6)
+
+    async with ReproServer({"default": dataset}, config) as server:
+        print(f"== server up on 127.0.0.1:{server.port} (in-process)")
+
+        latencies: list = []
+        results = await asyncio.gather(
+            *[reader(server.port, f"r{i}", latencies) for i in range(6)],
+            writer(server.port),
+        )
+        *reads, write_version = results
+        versions = sorted({r["version"] for r in reads})
+        print(
+            f"6 concurrent readers finished; observed versions {versions} "
+            f"(insert published at version {write_version})"
+        )
+
+        # one connection, one batch frame, streamed responses
+        async with await RemoteClient.connect(port=server.port) as client:
+            count = 0
+            async for envelope in client.batch().prsq(
+                Q, alpha=ALPHA
+            ).prsq(Q, alpha=0.3, want="non_answers").causality(
+                an=next(iter(dataset.ids())), q=Q, alpha=ALPHA
+            ).stream():
+                count += 1
+                status = "ok" if envelope.ok else envelope.error.code
+                print(f"  batch item {count}: {envelope.kind} -> {status}")
+
+            stats = await client.stats()
+
+        ordered = sorted(latencies)
+        p50 = ordered[len(ordered) // 2] * 1e3
+        p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))] * 1e3
+        admission = stats["service"]["admission"]
+        slo = stats.get("slo", {})
+        print("\n== SLO summary ==")
+        print(f"client-observed reads: p50 {p50:.1f} ms, p99 {p99:.1f} ms")
+        for metric, quantiles in sorted(slo.items()):
+            print(
+                f"server {metric}: p50 {quantiles['p50_ms']:.1f} ms, "
+                f"p99 {quantiles['p99_ms']:.1f} ms"
+            )
+        print(
+            f"admission: {admission['admitted']} admitted, "
+            f"{admission['rejected']} rejected "
+            f"(max_inflight={admission['max_inflight']})"
+        )
+        dataset_info = stats["datasets"]["default"]
+        print(
+            f"dataset: version {dataset_info['version']}, "
+            f"{dataset_info['objects']} objects"
+        )
+
+    print("== server drained and stopped")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

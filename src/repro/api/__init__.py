@@ -20,6 +20,7 @@ deprecation shims; new code should go through this package.
 
 from repro.api import families as _families  # noqa: F401 - registers builtins
 from repro.api.client import BatchBuilder, Client, connect, connect_pdf
+from repro.api.remote import RemoteBatchBuilder, RemoteClient
 from repro.api.registry import (
     DEFAULT_SEQUENCE_FIELDS,
     QueryFamily,
@@ -54,6 +55,8 @@ __all__ = [
     "QueryRegistry",
     "QueryResult",
     "REGISTRY",
+    "RemoteBatchBuilder",
+    "RemoteClient",
     "ReverseKSkybandResult",
     "ReverseSkylineResult",
     "ReverseTopKResult",

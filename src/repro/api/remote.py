@@ -1,0 +1,457 @@
+"""Async remote client: the :class:`~repro.api.client.Client` facade over
+a socket.
+
+One TCP connection speaks the NDJSON protocol and multiplexes: every
+request carries a fresh ``id``, a background reader task demultiplexes
+response frames by it, so **many requests can be in flight on one
+connection at once** — ``asyncio.gather`` over twenty ``prsq`` calls is
+the intended usage, not a protocol violation.
+
+The method surface mirrors the local client one-for-one (``prsq``,
+``causality``, ``insert``, ``batch()...``), and the payloads *are* the
+local payloads: responses carry v2 envelopes verbatim, decoded back into
+typed :class:`~repro.api.results.QueryResult` objects whose values round
+-trip bit-identically.  Single-query methods raise on failure — an
+``overloaded`` rejection raises :class:`~repro.exceptions.
+OverloadedError` with the server's ``retry_after_s`` hint, an envelope
+error raises :class:`~repro.exceptions.RemoteQueryError` carrying the
+server-side taxonomy code.  ``query_envelope`` returns failed envelopes
+instead, for batch-style consumers.
+
+Every response's ``session_version`` is remembered on
+:attr:`RemoteClient.session_version`, so a writer can fence subsequent
+reads (\"was this answer computed at or after my update?\").
+
+    async with await RemoteClient.connect(port=port) as client:
+        answer = await client.prsq((5.0, 5.0), alpha=0.5)
+        await client.insert("new", samples=[[1, 1]], probabilities=[1.0])
+        results = await client.batch().prsq(q, alpha=0.3).run()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import (
+    Any,
+    AsyncIterator,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.api.client import Client
+from repro.api.registry import REGISTRY
+from repro.api.results import QueryResult
+from repro.engine.spec import (
+    CausalityCertainSpec,
+    CausalitySpec,
+    KSkybandCausalitySpec,
+    PdfCausalitySpec,
+    PRSQSpec,
+    QuerySpec,
+    ReverseKSkybandSpec,
+    ReverseSkylineSpec,
+    ReverseTopKSpec,
+    UpdateSpec,
+)
+from repro.exceptions import (
+    InvalidRequestError,
+    OverloadedError,
+    RemoteProtocolError,
+    RemoteQueryError,
+    UnknownDatasetError,
+)
+from repro.serve.wire import DEFAULT_DATASET, DEFAULT_PORT, encode_frame
+from repro.uncertain.delta import DatasetDelta
+from repro.uncertain.object import UncertainObject
+
+
+class RemoteClient:
+    """One multiplexed NDJSON connection to a ``repro serve`` server."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        dataset: str = DEFAULT_DATASET,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self.dataset = dataset
+        self.session_version: Optional[int] = None
+        self._ids = itertools.count(1)
+        self._pending: Dict[int, "asyncio.Queue"] = {}
+        self._write_lock = asyncio.Lock()
+        self._fatal: Optional[BaseException] = None
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        dataset: str = DEFAULT_DATASET,
+        limit: int = 1 << 20,
+    ) -> "RemoteClient":
+        reader, writer = await asyncio.open_connection(host, port, limit=limit)
+        return cls(reader, writer, dataset=dataset)
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    self._fatal = RemoteProtocolError(
+                        f"server sent undecodable frame: {exc}"
+                    )
+                    break
+                queue = self._pending.get(payload.get("id"))
+                if queue is not None:
+                    queue.put_nowait(payload)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fatal = RemoteProtocolError(f"connection lost: {exc}")
+        finally:
+            if self._fatal is None:
+                self._fatal = RemoteProtocolError(
+                    "connection closed by server"
+                )
+            for queue in self._pending.values():
+                queue.put_nowait(None)  # wake every waiter
+
+    async def _send(self, payload: Dict[str, Any]) -> None:
+        if self._fatal is not None:
+            raise self._fatal
+        frame = encode_frame(payload)
+        try:
+            async with self._write_lock:
+                self._writer.write(frame)
+                await self._writer.drain()
+        except ConnectionError as exc:
+            raise RemoteProtocolError(f"send failed: {exc}") from exc
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def __aenter__(self) -> "RemoteClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # request/response
+    # ------------------------------------------------------------------
+    def _note_version(self, response: Dict[str, Any]) -> None:
+        version = response.get("session_version")
+        if version is not None:
+            self.session_version = version
+
+    def _raise_request_error(self, response: Dict[str, Any]) -> None:
+        """Map a request-level error frame onto a typed exception."""
+        error = response.get("error") or {}
+        code = error.get("code", "internal_error")
+        message = error.get("message", "")
+        if code == "overloaded":
+            raise OverloadedError(
+                message or "server overloaded",
+                retry_after_s=response.get("retry_after_s", 0.1),
+            )
+        if code == "unknown_dataset":
+            raise UnknownDatasetError(message)
+        if code == "invalid_request":
+            raise InvalidRequestError(message)
+        raise RemoteQueryError(code, error.get("type", "Exception"), message)
+
+    async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one single-response request; return the raw response frame.
+
+        Raises the mapped exception for request-level errors; envelope
+        failures (``result`` present, ``ok`` false) come back as-is.
+        """
+        request_id = next(self._ids)
+        queue: "asyncio.Queue" = asyncio.Queue()
+        self._pending[request_id] = queue
+        try:
+            await self._send({"id": request_id, **payload})
+            response = await queue.get()
+        finally:
+            self._pending.pop(request_id, None)
+        if response is None:
+            raise self._fatal or RemoteProtocolError("connection closed")
+        self._note_version(response)
+        if not response.get("ok", False) and "result" not in response:
+            self._raise_request_error(response)
+        return response
+
+    async def query_envelope(
+        self, spec: QuerySpec, *, dataset: Optional[str] = None
+    ) -> Tuple[QueryResult, Optional[int]]:
+        """``(envelope, session_version)`` — never raises for data errors."""
+        response = await self.request({
+            "op": "query",
+            "spec": REGISTRY.spec_to_dict(spec),
+            "dataset": dataset or self.dataset,
+        })
+        envelope = QueryResult.from_dict(response["result"])
+        return envelope, response.get("session_version")
+
+    async def query(
+        self, spec: QuerySpec, *, dataset: Optional[str] = None
+    ) -> QueryResult:
+        """Execute one spec remotely; raise on failure (like ``Client``)."""
+        envelope, _version = await self.query_envelope(spec, dataset=dataset)
+        if not envelope.ok:
+            error = envelope.error
+            raise RemoteQueryError(error.code, error.type, error.message)
+        return envelope
+
+    # ------------------------------------------------------------------
+    # service ops
+    # ------------------------------------------------------------------
+    async def ping(self) -> Dict[str, Any]:
+        return await self.request({"op": "ping"})
+
+    async def datasets(self) -> List[str]:
+        return (await self.ping())["datasets"]
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server's stats payload (SLO quantiles, cache, admission)."""
+        return await self.request({"op": "stats"})
+
+    # ------------------------------------------------------------------
+    # the Client facade, one awaitable per family
+    # ------------------------------------------------------------------
+    async def prsq(
+        self, q: Sequence[float], alpha: float = 0.5, want: str = "answers"
+    ) -> QueryResult:
+        return await self.query(PRSQSpec(q=tuple(q), alpha=alpha, want=want))
+
+    async def causality(
+        self,
+        an: Hashable,
+        q: Sequence[float],
+        alpha: float = 0.5,
+        config: Any = None,
+    ) -> QueryResult:
+        spec = (
+            CausalitySpec(an=an, q=tuple(q), alpha=alpha)
+            if config is None
+            else CausalitySpec(an=an, q=tuple(q), alpha=alpha, config=config)
+        )
+        return await self.query(spec)
+
+    async def pdf_causality(
+        self,
+        an: Hashable,
+        q: Sequence[float],
+        alpha: float = 0.5,
+        config: Any = None,
+    ) -> QueryResult:
+        spec = (
+            PdfCausalitySpec(an=an, q=tuple(q), alpha=alpha)
+            if config is None
+            else PdfCausalitySpec(an=an, q=tuple(q), alpha=alpha, config=config)
+        )
+        return await self.query(spec)
+
+    async def causality_certain(
+        self, an: Hashable, q: Sequence[float]
+    ) -> QueryResult:
+        return await self.query(CausalityCertainSpec(an=an, q=tuple(q)))
+
+    async def k_skyband_causality(
+        self, an: Hashable, q: Sequence[float], k: int = 1
+    ) -> QueryResult:
+        return await self.query(KSkybandCausalitySpec(an=an, q=tuple(q), k=k))
+
+    async def reverse_skyline(self, q: Sequence[float]) -> QueryResult:
+        return await self.query(ReverseSkylineSpec(q=tuple(q)))
+
+    async def reverse_k_skyband(
+        self, q: Sequence[float], k: int = 1
+    ) -> QueryResult:
+        return await self.query(ReverseKSkybandSpec(q=tuple(q), k=k))
+
+    async def reverse_top_k(
+        self,
+        q: Sequence[float],
+        k: int,
+        weights: Sequence[Sequence[float]],
+        user_ids: Optional[Sequence[Hashable]] = None,
+    ) -> QueryResult:
+        return await self.query(
+            ReverseTopKSpec(
+                q=tuple(q),
+                k=k,
+                weights=tuple(tuple(w) for w in weights),
+                user_ids=None if user_ids is None else tuple(user_ids),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # live updates (serialized server-side through the single writer)
+    # ------------------------------------------------------------------
+    async def insert(
+        self,
+        obj: Union[UncertainObject, Hashable],
+        samples: Optional[Sequence[Sequence[float]]] = None,
+        probabilities: Optional[Sequence[float]] = None,
+        name: Optional[str] = None,
+    ) -> QueryResult:
+        target = Client._as_object(obj, samples, probabilities, name)
+        return await self.query(UpdateSpec(inserts=(target,)))
+
+    async def delete(self, oid: Hashable) -> QueryResult:
+        return await self.query(UpdateSpec(deletes=(oid,)))
+
+    async def update(
+        self,
+        obj: Union[UncertainObject, Hashable],
+        samples: Optional[Sequence[Sequence[float]]] = None,
+        probabilities: Optional[Sequence[float]] = None,
+        name: Optional[str] = None,
+    ) -> QueryResult:
+        target = Client._as_object(obj, samples, probabilities, name)
+        return await self.query(UpdateSpec(updates=(target,)))
+
+    async def apply(self, delta: DatasetDelta) -> QueryResult:
+        return await self.query(UpdateSpec.from_delta(delta))
+
+    # ------------------------------------------------------------------
+    def batch(self) -> "RemoteBatchBuilder":
+        """Start a fluent batch; finish with ``.run()`` or ``.stream()``."""
+        return RemoteBatchBuilder(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RemoteClient dataset={self.dataset!r} "
+            f"session_version={self.session_version}>"
+        )
+
+
+class RemoteBatchBuilder:
+    """The fluent batch builder, streamed over one ``batch`` frame.
+
+    ``stream()`` yields one :class:`QueryResult` per spec in input order
+    as the server produces them; per-spec *data* errors arrive as failed
+    envelopes (exactly the local ``BatchBuilder`` contract).  A per-spec
+    admission rejection — possible only under overload — raises
+    :class:`OverloadedError` mid-stream; retry the batch (or its tail)
+    after the hint.
+    """
+
+    def __init__(self, client: RemoteClient):
+        self._client = client
+        self._specs: List[QuerySpec] = []
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    @property
+    def specs(self) -> List[QuerySpec]:
+        return list(self._specs)
+
+    # -- fluent accumulation (mirrors BatchBuilder) ---------------------
+    def add(self, spec: QuerySpec) -> "RemoteBatchBuilder":
+        self._specs.append(spec)
+        return self
+
+    def extend(self, specs: Iterable[QuerySpec]) -> "RemoteBatchBuilder":
+        self._specs.extend(specs)
+        return self
+
+    def prsq(
+        self, q: Sequence[float], alpha: float = 0.5, want: str = "answers"
+    ) -> "RemoteBatchBuilder":
+        return self.add(PRSQSpec(q=tuple(q), alpha=alpha, want=want))
+
+    def causality(
+        self, an: Hashable, q: Sequence[float], alpha: float = 0.5
+    ) -> "RemoteBatchBuilder":
+        return self.add(CausalitySpec(an=an, q=tuple(q), alpha=alpha))
+
+    def causality_certain(
+        self, an: Hashable, q: Sequence[float]
+    ) -> "RemoteBatchBuilder":
+        return self.add(CausalityCertainSpec(an=an, q=tuple(q)))
+
+    def reverse_skyline(self, q: Sequence[float]) -> "RemoteBatchBuilder":
+        return self.add(ReverseSkylineSpec(q=tuple(q)))
+
+    def reverse_k_skyband(
+        self, q: Sequence[float], k: int = 1
+    ) -> "RemoteBatchBuilder":
+        return self.add(ReverseKSkybandSpec(q=tuple(q), k=k))
+
+    def insert(self, obj: UncertainObject) -> "RemoteBatchBuilder":
+        return self.add(UpdateSpec(inserts=(obj,)))
+
+    def delete(self, oid: Hashable) -> "RemoteBatchBuilder":
+        return self.add(UpdateSpec(deletes=(oid,)))
+
+    def update(self, obj: UncertainObject) -> "RemoteBatchBuilder":
+        return self.add(UpdateSpec(updates=(obj,)))
+
+    def apply(self, delta: DatasetDelta) -> "RemoteBatchBuilder":
+        return self.add(UpdateSpec.from_delta(delta))
+
+    # -- execution ------------------------------------------------------
+    async def stream(self) -> AsyncIterator[QueryResult]:
+        client = self._client
+        request_id = next(client._ids)
+        queue: "asyncio.Queue" = asyncio.Queue()
+        client._pending[request_id] = queue
+        try:
+            await client._send({
+                "id": request_id,
+                "op": "batch",
+                "specs": [REGISTRY.spec_to_dict(s) for s in self._specs],
+                "dataset": client.dataset,
+            })
+            while True:
+                response = await queue.get()
+                if response is None:
+                    raise client._fatal or RemoteProtocolError(
+                        "connection closed mid-batch"
+                    )
+                client._note_version(response)
+                if response.get("done"):
+                    return
+                if "result" in response:
+                    yield QueryResult.from_dict(response["result"])
+                else:
+                    client._raise_request_error(response)
+        finally:
+            client._pending.pop(request_id, None)
+
+    async def run(self) -> List[QueryResult]:
+        return [envelope async for envelope in self.stream()]

@@ -9,6 +9,7 @@ differs and the old entries simply age out of the LRU order.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, Tuple
@@ -45,7 +46,18 @@ class CacheStats:
 
 
 class LRUCache:
-    """A bounded least-recently-used cache with hit/miss accounting."""
+    """A bounded least-recently-used cache with hit/miss accounting.
+
+    Safe under concurrent access: one lock serializes every lookup,
+    insert and eviction *and* the :class:`CacheStats` increments, so the
+    serve layer can share one result cache across all reader threads.
+    The probe-only ``cache-lookup`` span wraps the locked region but the
+    span object itself is ambient thread-local state, so spans never race
+    the stats.  A miss's compute runs **outside** the lock — two threads
+    missing the same key may compute it twice (results are deterministic,
+    so last-put-wins is sound), but no thread ever blocks the cache for
+    the duration of a query.
+    """
 
     def __init__(self, maxsize: int = 4096):
         if maxsize < 1:
@@ -53,12 +65,15 @@ class LRUCache:
         self.maxsize = maxsize
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get_or_compute(
         self, key: Hashable, compute: Callable[[], Any]
@@ -70,26 +85,29 @@ class LRUCache:
         trace phase totals keep lookup cost separate from execution cost.
         """
         with _span("cache-lookup") as sp:
-            if key in self._entries:
-                self.stats.hits += 1
-                self._entries.move_to_end(key)
-                sp.set(outcome="hit")
-                return self._entries[key], True
-            self.stats.misses += 1
+            with self._lock:
+                if key in self._entries:
+                    self.stats.hits += 1
+                    self._entries.move_to_end(key)
+                    sp.set(outcome="hit")
+                    return self._entries[key], True
+                self.stats.misses += 1
             sp.set(outcome="miss")
         value = compute()
         self.put(key, value)
         return value, False
 
     def put(self, key: Hashable, value: Any) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __repr__(self) -> str:
         return (
@@ -104,6 +122,7 @@ class NullCache:
     def __init__(self):
         self.maxsize = 0
         self.stats = CacheStats()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return 0
@@ -114,7 +133,8 @@ class NullCache:
     def get_or_compute(
         self, key: Hashable, compute: Callable[[], Any]
     ) -> Tuple[Any, bool]:
-        self.stats.misses += 1
+        with self._lock:  # shared by concurrent readers in the serve layer
+            self.stats.misses += 1
         return compute(), False
 
     def put(self, key: Hashable, value: Any) -> None:

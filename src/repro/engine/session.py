@@ -449,6 +449,62 @@ class Session:
         return executor.map(self, list(specs))
 
     # ------------------------------------------------------------------
+    # snapshot isolation (the serve layer's read path)
+    # ------------------------------------------------------------------
+    def read_snapshot(self) -> "Session":
+        """A snapshot-isolated read view of this session, frozen now.
+
+        The returned session shares this session's result cache
+        (fingerprinted keys keep entries sound across versions) and every
+        immutable structure — objects, tensor, packed-index arrays — but
+        owns its id maps and access counters, so a later :meth:`apply` or
+        :meth:`replace_dataset` here can never be observed by queries
+        already running against the snapshot: they keep serving the old
+        frozen arrays.  Cost per call is O(n) pointer copies plus one
+        O(n) packed re-freeze (``use_numpy`` sessions); see
+        :meth:`repro.uncertain.dataset.UncertainDataset.snapshot`.
+
+        This is the publish step of the serve layer's single-writer
+        scheme: the writer applies deltas to the live session, then
+        publishes ``read_snapshot()`` for new readers; in-flight readers
+        finish on the previous snapshot.
+        """
+        snapshot = Session(
+            self.dataset.snapshot(freeze_packed=self.use_numpy),
+            cache=self.cache,
+            use_numpy=self.use_numpy,
+            build_index=False,
+        )
+        if not self.use_numpy:
+            # Scalar readers traverse the pointer tree: bulk-load it once
+            # here so per-request views share it instead of each paying
+            # their own O(n log n) build.
+            snapshot.dataset.rtree  # noqa: B018 - eager build
+        snapshot.version = self.version
+        snapshot._pdf_objects = dict(self._pdf_objects)
+        return snapshot
+
+    def reader(self) -> "Session":
+        """An O(1) per-caller view for concurrent reads of one snapshot.
+
+        Shares the dataset's maps/arrays and this session's result cache,
+        but owns the node-access counters, so parallel readers of one
+        :meth:`read_snapshot` result each measure deterministic per-query
+        ``node_accesses`` (causality stats stay bit-identical to a serial
+        replay).  Only take readers of immutable snapshot sessions — a
+        reader of a *live* session shares maps its writer would patch.
+        """
+        view = Session(
+            self.dataset.view(),
+            cache=self.cache,
+            use_numpy=self.use_numpy,
+            build_index=False,
+        )
+        view.version = self.version
+        view._pdf_objects = self._pdf_objects
+        return view
+
+    # ------------------------------------------------------------------
     # dataset lifecycle
     # ------------------------------------------------------------------
     def apply(self, delta: DatasetDelta) -> Dict[str, Any]:

@@ -104,6 +104,72 @@ class UnknownObjectError(ReproError, KeyError):
         return self.args[0] if self.args else ""
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` layer."""
+
+    code = "serve_error"
+
+
+class OverloadedError(ServeError):
+    """The server refused admission: queue bound or write queue exceeded.
+
+    Carries a ``retry_after_s`` hint (the server's estimate of when a
+    retry is likely to be admitted); serialized into the 429-style
+    ``overloaded`` envelope / ``Retry-After`` HTTP header rather than
+    dropping the connection.
+    """
+
+    code = "overloaded"
+
+    def __init__(self, message: str = "server overloaded",
+                 retry_after_s: float = 0.1):
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(message)
+
+
+class UnknownDatasetError(ServeError, KeyError):
+    """A request names a dataset the service does not host."""
+
+    code = "unknown_dataset"
+
+    def __str__(self) -> str:  # KeyError repr-quotes its message
+        return self.args[0] if self.args else ""
+
+
+class RemoteProtocolError(ServeError):
+    """The remote peer sent bytes that do not parse as protocol frames,
+    or closed the connection mid-request."""
+
+    code = "remote_protocol"
+
+
+class InvalidRequestError(ServeError, ValueError):
+    """A protocol request frame is malformed (bad op, missing field)."""
+
+    code = "invalid_request"
+
+
+class RemoteQueryError(ServeError):
+    """A remote request or query failed server-side.
+
+    Carries the *server's* taxonomy code (the instance ``code`` shadows
+    the class attribute), so ``error_code`` on a re-raised remote failure
+    reports what actually went wrong over there, not a generic wrapper.
+    """
+
+    code = "remote_query"
+
+    def __init__(
+        self,
+        code: str = "remote_query",
+        remote_type: str = "Exception",
+        message: str = "",
+    ):
+        self.code = code
+        self.remote_type = remote_type
+        super().__init__(f"[{code}] {remote_type}: {message}")
+
+
 # Codes for non-repro exceptions that can escape query execution.
 _BUILTIN_CODES = (
     (KeyError, "unknown_key"),

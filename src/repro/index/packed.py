@@ -185,6 +185,23 @@ class PackedRTree:
         packed.payloads = payloads
         return packed
 
+    def with_stats(self, stats: Optional[AccessStats] = None) -> "PackedRTree":
+        """An O(1) view over the same frozen arrays with its own counter.
+
+        Every array (and the payload table) is shared by reference; only
+        the :class:`AccessStats` instance differs, so many concurrent
+        readers of one snapshot can each measure their own per-query
+        node-access deltas without interleaving — this is what keeps
+        causality ``stats.node_accesses`` deterministic when the serve
+        layer fans one published snapshot out to parallel requests.
+        """
+        view = PackedRTree.__new__(PackedRTree)
+        for slot in self.__slots__:
+            if slot != "stats":
+                setattr(view, slot, getattr(self, slot))
+        view.stats = stats if stats is not None else AccessStats()
+        return view
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------

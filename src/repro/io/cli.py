@@ -11,6 +11,7 @@ Usage (after ``pip install -e .``)::
     python -m repro batch    --data data.csv --queries queries.json --trace t.ndjson
     python -m repro stats    --data data.csv --queries queries.json
     python -m repro update   --data data.csv --ops ops.ndjsonl --out new.csv
+    python -m repro serve    --data data.csv --port 7733 --threads 4
 
 ``generate`` writes a synthetic dataset; ``prsq`` lists answers and
 non-answers with probabilities; ``explain`` runs algorithm CP on one
@@ -29,6 +30,13 @@ executed strictly in order against a single session whose dataset is
 patched incrementally — queries interleaved with updates see exactly the
 contents written before them.  One envelope per line is emitted as NDJSON,
 and ``--out`` saves the final dataset as CSV.
+
+``serve`` hosts one or more live datasets behind the :mod:`repro.serve`
+asyncio server (NDJSON protocol + HTTP POST on one port) until
+SIGINT/SIGTERM; ``batch`` and ``serve`` share the same shutdown
+discipline — flush what was already produced, close the tracer sink,
+exit with a distinct status — so Ctrl-C never truncates an NDJSON line
+or loses buffered spans.
 """
 
 from __future__ import annotations
@@ -226,6 +234,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="LRU result-cache capacity (default 4096; 0 disables caching)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="host live dataset(s) over the NDJSON/HTTP query server",
+        description=(
+            "Run the repro.serve asyncio server: named live sessions with "
+            "snapshot-isolated concurrent reads, a single-writer update "
+            "queue per dataset, a shared LRU result cache, and bounded "
+            "admission (overload answers a structured 'overloaded' "
+            "envelope with retry_after_s, never a dropped connection). "
+            "NDJSON protocol and HTTP/1.1 POST share one port. "
+            "Stops gracefully on SIGINT/SIGTERM."
+        ),
+    )
+    serve.add_argument(
+        "--data",
+        action="append",
+        required=True,
+        metavar="[NAME=]CSV",
+        help="dataset to host (repeatable); bare paths get name 'default'",
+    )
+    serve.add_argument(
+        "--dataset-kind",
+        choices=["uncertain", "certain"],
+        default="uncertain",
+        help="CSV flavour of every --data (default: uncertain, long format)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7733,
+                       help="TCP port (0 binds a free one; default 7733)")
+    serve.add_argument("--threads", type=int, default=4,
+                       help="query worker threads (default 4)")
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="shared LRU result-cache capacity (default 4096; 0 disables)",
+    )
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="concurrently executing queries (default 8)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="admission queue depth before shedding (default 64)")
+    serve.add_argument("--write-queue", type=int, default=128,
+                       help="pending mutations per dataset (default 128)")
+    serve.add_argument("--per-connection", type=int, default=32,
+                       help="in-flight requests per connection (default 32)")
+    serve.add_argument("--no-numpy", action="store_true",
+                       help="use the scalar engine instead of packed kernels")
+
     return parser
 
 
@@ -341,6 +397,23 @@ def _print_envelope_text(envelope) -> None:
         print(f"  {json.dumps(value.to_dict())}")
 
 
+def _mute_stdout() -> None:
+    """Point stdout at /dev/null after a broken pipe.
+
+    The consumer is gone; anything further written to the real fd would
+    raise again (including the interpreter's implicit flush at exit), so
+    swap the fd out once and let the remaining prints go nowhere.
+    """
+    import os
+
+    try:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        os.close(devnull)
+    except OSError:
+        pass
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.api import Client
     from repro.engine import ParallelExecutor, Session, spec_from_dict
@@ -381,6 +454,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
     started = time.perf_counter()
     total = hits = failures = 0
+    stopped: Optional[str] = None
     try:
         if args.stream:
             # NDJSON: one envelope per line, flushed as each result lands;
@@ -403,8 +477,22 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             else:
                 for envelope in envelopes:
                     _print_envelope_text(envelope)
+    except KeyboardInterrupt:
+        # Same discipline as the server's SIGINT path: every envelope
+        # already printed stays valid NDJSON (each line was flushed
+        # whole), nothing half-written is emitted after this point.
+        stopped = "interrupted (SIGINT)"
+    except BrokenPipeError:
+        stopped = "output pipe closed"
+        _mute_stdout()
     finally:
+        # The one shutdown path, normal or not: flush-and-close the
+        # tracer's owned NDJSON sink so buffered spans hit disk.
         client.close()
+        try:
+            sys.stdout.flush()
+        except (BrokenPipeError, ValueError, OSError):
+            _mute_stdout()
     elapsed = max(time.perf_counter() - started, 1e-9)
 
     if executor is None:
@@ -423,12 +511,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     failure_note = f", {failures} failed" if failures else ""
     trace_note = f", trace -> {args.trace}" if args.trace is not None else ""
+    stop_note = f", stopped early: {stopped}" if stopped else ""
     print(
         f"# {total} queries in {elapsed:.3f}s "
         f"({total / elapsed:.1f} q/s), workers={args.workers}, "
-        f"{cache_note}{failure_note}{trace_note}",
+        f"{cache_note}{failure_note}{trace_note}{stop_note}",
         file=sys.stderr,
     )
+    if stopped is not None:
+        return 130 if "SIGINT" in stopped else 1
     return 1 if failures else 0
 
 
@@ -586,6 +677,58 @@ def _cmd_update(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig
+    from repro.serve.server import run as serve_run
+
+    load = load_certain_csv if args.dataset_kind == "certain" else load_uncertain_csv
+    datasets = {}
+    for item in args.data:
+        name, sep, path = item.partition("=")
+        if not sep:
+            name, path = "default", item
+        if not name:
+            raise ValueError(f"--data {item!r}: empty dataset name")
+        if name in datasets:
+            raise ValueError(f"--data: duplicate dataset name {name!r}")
+        datasets[name] = load(path)
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        threads=args.threads,
+        cache_size=max(args.cache_size, 0),
+        use_numpy=not args.no_numpy,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        write_queue=args.write_queue,
+        per_connection=args.per_connection,
+    )
+
+    def announce(server) -> None:
+        names = ", ".join(
+            f"{name} (n={len(ds)})" for name, ds in datasets.items()
+        )
+        print(
+            f"# serving {names} on {config.host}:{server.port} "
+            f"[threads={config.threads} max_inflight={config.max_inflight} "
+            f"max_queue={config.max_queue}] — NDJSON + HTTP, Ctrl-C stops",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(serve_run(datasets, config, on_start=announce))
+    except KeyboardInterrupt:
+        # signal handlers normally absorb SIGINT for a graceful drain;
+        # this is the fallback (e.g. non-main-thread loops)
+        return 130
+    print("# server stopped", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "prsq": _cmd_prsq,
@@ -594,6 +737,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "stats": _cmd_stats,
     "update": _cmd_update,
+    "serve": _cmd_serve,
 }
 
 

@@ -26,6 +26,8 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    quantile_from_counts,
+    quantile_from_snapshot,
     registry,
 )
 from repro.obs.trace import (
@@ -53,6 +55,8 @@ __all__ = [
     "as_tracer",
     "export_ndjson",
     "phase_totals",
+    "quantile_from_counts",
+    "quantile_from_snapshot",
     "registry",
     "span",
     "span_to_line",

@@ -28,6 +28,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "quantile_from_counts",
+    "quantile_from_snapshot",
     "registry",
 ]
 
@@ -102,8 +104,60 @@ class Histogram:
                 return
         self.counts[-1] += 1
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated value at quantile *q* by bucket interpolation.
+
+        Prometheus-style: find the bucket holding the ``q``-th ranked
+        observation and interpolate linearly inside it; the overflow
+        bucket clamps to the last finite bound (the estimate cannot
+        exceed what the buckets can resolve).  ``None`` with no data.
+        """
+        return quantile_from_counts(self.buckets, self.counts, self.count, q)
+
     def __repr__(self) -> str:
         return f"<Histogram count={self.count} sum={self.sum:.6f}>"
+
+
+def quantile_from_counts(
+    buckets: Sequence[float],
+    counts: Sequence[int],
+    total: int,
+    q: float,
+) -> Optional[float]:
+    """Shared quantile estimator over ``(buckets, counts)`` pairs.
+
+    Works on a live :class:`Histogram` or on the plain dict a
+    :meth:`MetricsRegistry.snapshot` carries (the serve layer's ``stats``
+    op reports p50/p99 from snapshots without touching live objects).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+    if total <= 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    lower = 0.0
+    for bound, count in zip(buckets, counts):
+        cumulative += count
+        if cumulative >= rank:
+            if count == 0:  # rank == cumulative boundary of an empty bucket
+                return bound
+            fraction = (rank - (cumulative - count)) / count
+            return lower + (bound - lower) * max(0.0, min(1.0, fraction))
+        lower = bound
+    return float(buckets[-1])  # overflow bucket: clamp to the last bound
+
+
+def quantile_from_snapshot(
+    histogram_snapshot: Dict[str, Any], q: float
+) -> Optional[float]:
+    """Quantile estimate for one histogram entry of a registry snapshot."""
+    return quantile_from_counts(
+        histogram_snapshot["buckets"],
+        histogram_snapshot["counts"],
+        histogram_snapshot["count"],
+        q,
+    )
 
 
 class MetricsRegistry:

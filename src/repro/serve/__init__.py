@@ -1,0 +1,52 @@
+"""repro.serve — a stdlib-only asyncio query server for live datasets.
+
+The paper's engine answers one query at a time against one in-process
+session; this package turns that into a long-lived service without
+adding a single dependency:
+
+* :mod:`~repro.serve.service` — named live sessions, copy-on-write
+  published snapshots (readers are snapshot-isolated; every response
+  echoes the ``session_version`` it was served at), one shared
+  lock-protected LRU result cache and thread pool;
+* :mod:`~repro.serve.writer` — all mutations to a dataset serialized
+  through a single bounded writer queue;
+* :mod:`~repro.serve.admission` — bounded in-flight + wait queue,
+  overload answered with structured 429-style ``overloaded`` envelopes
+  carrying ``retry_after_s``, never dropped connections;
+* :mod:`~repro.serve.protocol` — NDJSON framing carrying the existing
+  v2 :class:`~repro.api.results.QueryResult` envelopes verbatim;
+* :mod:`~repro.serve.http` — a minimal HTTP/1.1 POST front end over the
+  same handler (``curl``-able), sharing the port via first-line sniffing.
+
+Start one with ``python -m repro serve --data objects.csv`` or
+in-process via :class:`ReproServer`; talk to it with
+:class:`repro.api.remote.RemoteClient`.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.protocol import (
+    DEFAULT_DATASET,
+    DEFAULT_PORT,
+    RequestHandler,
+    ServeConfig,
+    encode_frame,
+    error_response,
+)
+from repro.serve.server import ReproServer, run
+from repro.serve.service import DatasetService, DatasetState
+from repro.serve.writer import SingleWriter
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_DATASET",
+    "DEFAULT_PORT",
+    "DatasetService",
+    "DatasetState",
+    "ReproServer",
+    "RequestHandler",
+    "ServeConfig",
+    "SingleWriter",
+    "encode_frame",
+    "error_response",
+    "run",
+]

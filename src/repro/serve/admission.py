@@ -1,0 +1,162 @@
+"""Admission control: bounded concurrency with explicit load shedding.
+
+The server runs queries on a small thread pool; letting every arriving
+request dive straight into the pool queue would hide overload until
+latency already blew up.  The :class:`AdmissionController` makes the
+bound explicit and *observable*: at most ``max_inflight`` requests
+execute at once, at most ``max_queue`` wait behind them in FIFO order,
+and everything beyond that is rejected **immediately** with
+:class:`~repro.exceptions.OverloadedError` — a structured 429-style
+response with a ``retry_after_s`` hint, never a dropped connection.
+
+The hint is ``backlog * ema_latency / max_inflight``: an estimate of how
+long the current backlog needs to drain at the recent per-request service
+rate (an exponential moving average fed by :meth:`release`).
+
+Everything here runs on the event loop thread, so plain attributes are
+safe without locks; the only subtlety is waiter cancellation (a client
+disconnecting mid-queue), handled by skipping dead futures at hand-off
+and returning an already-granted slot in ``acquire``'s cancellation path.
+
+Gauges ``serve.inflight`` / ``serve.queue_depth`` and counters
+``serve.admitted`` / ``serve.rejected`` land in the process-global
+:func:`repro.obs.registry`, next to the engine's own query metrics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from contextlib import asynccontextmanager
+from typing import Any, Deque, Dict
+
+from repro import obs
+from repro.exceptions import OverloadedError
+
+
+class AdmissionController:
+    """Bounded in-flight slots plus a bounded FIFO wait queue."""
+
+    def __init__(
+        self,
+        max_inflight: int = 8,
+        max_queue: int = 64,
+        *,
+        seed_latency_s: float = 0.05,
+    ):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._inflight = 0
+        self._waiters: Deque[asyncio.Future] = deque()
+        self._latency_ema_s = seed_latency_s
+        # per-controller totals (the stats payload); the registry mirrors
+        # are process-global and may aggregate several controllers
+        self.admitted = 0
+        self.rejected = 0
+        metrics = obs.registry()
+        self._inflight_gauge = metrics.gauge("serve.inflight")
+        self._queue_gauge = metrics.gauge("serve.queue_depth")
+        self._admitted_counter = metrics.counter("serve.admitted")
+        self._rejected_counter = metrics.counter("serve.rejected")
+
+    # ------------------------------------------------------------------
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._waiters)
+
+    def retry_after(self) -> float:
+        """Seconds until a retry plausibly gets admitted (>= 50 ms)."""
+        backlog = self._inflight + len(self._waiters)
+        estimate = backlog * self._latency_ema_s / self.max_inflight
+        return round(max(0.05, estimate), 3)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "inflight": self._inflight,
+            "queue_depth": len(self._waiters),
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "latency_ema_s": round(self._latency_ema_s, 6),
+        }
+
+    # ------------------------------------------------------------------
+    def _publish_gauges(self) -> None:
+        self._inflight_gauge.set(self._inflight)
+        self._queue_gauge.set(len(self._waiters))
+
+    async def acquire(self) -> None:
+        """Take a slot, waiting in FIFO order; raise when the queue is full."""
+        if self._inflight < self.max_inflight and not self._waiters:
+            self._inflight += 1
+            self.admitted += 1
+            self._admitted_counter.inc()
+            self._publish_gauges()
+            return
+        if len(self._waiters) >= self.max_queue:
+            self.rejected += 1
+            self._rejected_counter.inc()
+            raise OverloadedError(
+                f"admission queue full "
+                f"({self._inflight} in flight, {len(self._waiters)} queued)",
+                retry_after_s=self.retry_after(),
+            )
+        future = asyncio.get_running_loop().create_future()
+        self._waiters.append(future)
+        self._publish_gauges()
+        try:
+            await future
+        except asyncio.CancelledError:
+            if future.done() and not future.cancelled():
+                # The slot was handed to us in the same tick we were
+                # cancelled: pass it on so it is not leaked.
+                self._release_slot()
+            else:
+                try:
+                    self._waiters.remove(future)
+                except ValueError:
+                    pass
+            self._publish_gauges()
+            raise
+        self.admitted += 1
+        self._admitted_counter.inc()
+        self._publish_gauges()
+
+    def release(self, elapsed_s: float = None) -> None:
+        """Return a slot; feed *elapsed_s* into the latency EMA."""
+        if elapsed_s is not None:
+            self._latency_ema_s = (
+                0.8 * self._latency_ema_s + 0.2 * float(elapsed_s)
+            )
+        self._release_slot()
+        self._publish_gauges()
+
+    def _release_slot(self) -> None:
+        # Hand the slot to the oldest still-waiting future (skipping any
+        # cancelled ones); only if none is alive does inflight drop.
+        while self._waiters:
+            future = self._waiters.popleft()
+            if not future.done():
+                future.set_result(None)
+                return  # slot transferred, inflight unchanged
+        self._inflight -= 1
+
+    @asynccontextmanager
+    async def slot(self):
+        """``async with controller.slot():`` — acquire/release + EMA feed."""
+        await self.acquire()
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.release(time.perf_counter() - started)

@@ -1,0 +1,257 @@
+"""Minimal HTTP/1.1 front end over the same :class:`RequestHandler`.
+
+``curl`` ergonomics without a web framework: a tiny hand-rolled HTTP/1.1
+parser (request line, headers, ``Content-Length`` body, keep-alive) that
+translates routes onto the exact protocol frames the NDJSON transport
+uses — both transports share one handler, so semantics cannot drift.
+
+Routes::
+
+    GET  /healthz   -> {"ok": true}
+    GET  /stats     -> the stats payload (SLO quantiles + metrics)
+    POST /query     -> body {"spec": {...}, "dataset": "..."} or a bare
+                       spec object (anything with a "kind"); response is
+                       the single NDJSON response frame as JSON
+    POST /batch     -> body {"specs": [...]} or a bare JSON array;
+                       response body is NDJSON (one frame per spec plus
+                       the done summary), Content-Type x-ndjson
+
+POST routes accept ``?dataset=NAME`` in the target as well; a
+``"dataset"`` key in the body wins when both are present.
+
+Status codes map off the response frame: envelope-carrying responses are
+``200`` even when the envelope reports a data error (the error lives in
+the envelope, exactly like the NDJSON transport and the local client);
+request-level failures map their taxonomy code — ``overloaded`` becomes
+``429`` with a ``Retry-After`` header, malformed requests ``400``,
+unknown datasets ``404``, everything else ``500``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import unquote
+
+from repro.exceptions import InvalidRequestError
+from repro.serve.protocol import (
+    DEFAULT_DATASET,
+    RequestHandler,
+    ServeConfig,
+    error_response,
+)
+
+_MAX_HEADERS = 100
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+#: Request-level taxonomy codes -> HTTP status (fallback 500).
+_CODE_STATUS = {
+    "overloaded": 429,
+    "invalid_request": 400,
+    "invalid_spec": 400,
+    "unknown_query_kind": 400,
+    "invalid_value": 400,
+    "type_error": 400,
+    "unknown_key": 400,
+    "unknown_dataset": 404,
+}
+
+
+def _status_for(frame: Dict[str, Any]) -> int:
+    if frame.get("ok") or "result" in frame:
+        return 200  # envelope errors are payload, not transport failures
+    code = (frame.get("error") or {}).get("code", "internal_error")
+    return _CODE_STATUS.get(code, 500)
+
+
+def _render(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Optional[List[Tuple[str, str]]] = None,
+) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers or ():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+def _frame_to_http(frame: Dict[str, Any], *, keep_alive: bool) -> bytes:
+    status = _status_for(frame)
+    extra = []
+    if status == 429:
+        retry = frame.get("retry_after_s", 0.1)
+        extra.append(("Retry-After", str(max(1, math.ceil(retry)))))
+    body = json.dumps(frame, separators=(",", ":")).encode() + b"\n"
+    return _render(status, body, keep_alive=keep_alive, extra_headers=extra)
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+    config: ServeConfig,
+    request_line: Optional[bytes],
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """Parse one request; ``None`` on clean EOF; raises on malformed."""
+    if request_line is None:
+        request_line = await reader.readline()
+    if not request_line or not request_line.strip():
+        return None
+    try:
+        method, target, _version = request_line.decode("latin-1").split()
+    except ValueError:
+        raise InvalidRequestError(
+            f"malformed HTTP request line: {request_line[:80]!r}"
+        ) from None
+    headers: Dict[str, str] = {}
+    for _ in range(_MAX_HEADERS):
+        line = await reader.readline()
+        if not line.strip():
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise InvalidRequestError(f"more than {_MAX_HEADERS} headers")
+    length = int(headers.get("content-length", "0") or "0")
+    if length > config.max_line_bytes:
+        raise InvalidRequestError(
+            f"body of {length} bytes exceeds max_line_bytes="
+            f"{config.max_line_bytes}"
+        )
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), target, headers, body
+
+
+def _parse_body(body: bytes) -> Any:
+    try:
+        return json.loads(body) if body else {}
+    except json.JSONDecodeError as exc:
+        raise InvalidRequestError(f"invalid JSON body: {exc}") from None
+
+
+def _query_params(target: str) -> Dict[str, str]:
+    _, _, query = target.partition("?")
+    params: Dict[str, str] = {}
+    for pair in query.split("&"):
+        if pair:
+            name, _, value = pair.partition("=")
+            params[unquote(name)] = unquote(value)
+    return params
+
+
+def _to_frame(method: str, target: str, body: bytes) -> Dict[str, Any]:
+    """Translate an HTTP request onto one protocol request frame."""
+    path = target.split("?", 1)[0]
+    if method == "GET" and path == "/healthz":
+        return {"op": "ping"}
+    if method == "GET" and path == "/stats":
+        return {"op": "stats"}
+    # body "dataset" wins over the ?dataset= query parameter
+    dataset = _query_params(target).get("dataset", DEFAULT_DATASET)
+    if method == "POST" and path == "/query":
+        payload = _parse_body(body)
+        if not isinstance(payload, dict):
+            raise InvalidRequestError("POST /query body must be an object")
+        if "spec" not in payload and "kind" in payload:
+            payload = {"spec": payload}  # bare-spec convenience
+        return {
+            "op": "query",
+            "spec": payload.get("spec"),
+            "dataset": payload.get("dataset", dataset),
+        }
+    if method == "POST" and path == "/batch":
+        payload = _parse_body(body)
+        if isinstance(payload, list):
+            payload = {"specs": payload}
+        if not isinstance(payload, dict):
+            raise InvalidRequestError(
+                "POST /batch body must be an object or a spec array"
+            )
+        return {
+            "op": "batch",
+            "specs": payload.get("specs"),
+            "dataset": payload.get("dataset", dataset),
+        }
+    if path in ("/healthz", "/stats", "/query", "/batch"):
+        raise InvalidRequestError(f"method {method} not allowed on {path}")
+    raise InvalidRequestError(
+        f"no route for {method} {path}; have GET /healthz, GET /stats, "
+        f"POST /query, POST /batch"
+    )
+
+
+async def serve_http(
+    handler: RequestHandler,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    config: ServeConfig,
+    request_line: Optional[bytes] = None,
+) -> None:
+    """Drive one HTTP/1.1 connection (keep-alive) until EOF or error."""
+    try:
+        while True:
+            try:
+                parsed = await _read_request(reader, config, request_line)
+            except (InvalidRequestError, ValueError, asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError) as exc:
+                frame = error_response(None, exc if isinstance(
+                    exc, InvalidRequestError
+                ) else InvalidRequestError(f"bad HTTP request: {exc}"))
+                writer.write(_frame_to_http(frame, keep_alive=False))
+                await writer.drain()
+                break
+            request_line = None
+            if parsed is None:
+                break
+            method, target, headers, body = parsed
+            keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+            try:
+                frame_in = _to_frame(method, target, body)
+            except InvalidRequestError as exc:
+                writer.write(_frame_to_http(
+                    error_response(None, exc), keep_alive=keep_alive
+                ))
+                await writer.drain()
+                if not keep_alive:
+                    break
+                continue
+            frames = [f async for f in handler.handle(frame_in)]
+            if frame_in["op"] == "batch" and len(frames) != 1:
+                # Streamed per-spec frames + summary, as an NDJSON body.
+                body_out = b"".join(
+                    json.dumps(f, separators=(",", ":")).encode() + b"\n"
+                    for f in frames
+                )
+                writer.write(_render(
+                    200, body_out,
+                    content_type="application/x-ndjson",
+                    keep_alive=keep_alive,
+                ))
+            else:
+                writer.write(_frame_to_http(frames[0], keep_alive=keep_alive))
+            await writer.drain()
+            if not keep_alive:
+                break
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

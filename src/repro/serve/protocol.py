@@ -1,0 +1,302 @@
+"""The wire protocol: NDJSON framing and the transport-agnostic handler.
+
+Framing is newline-delimited JSON over a byte stream: every request and
+every response is one UTF-8 JSON object terminated by ``\\n`` (the length
+of a frame is therefore delimited by its newline; a configurable
+``max_line_bytes`` bounds what the server will buffer for one frame).
+Responses to different requests may interleave on one connection — each
+response echoes the request's ``id``, and the client demultiplexes by it,
+which is what lets one connection keep many queries in flight.
+
+Requests::
+
+    {"id": 1, "op": "query", "spec": {"kind": "prsq", "q": [5, 5],
+     "alpha": 0.5}, "dataset": "default"}
+    {"id": 2, "op": "batch", "specs": [{...}, {...}]}
+    {"id": 3, "op": "stats"}
+    {"id": 4, "op": "ping"}
+
+Responses carry the existing v2 envelopes **verbatim** — ``result`` is
+exactly :meth:`repro.api.results.QueryResult.to_dict`, so everything the
+local client sees (typed payload, run stats, fingerprint, spec echo,
+error taxonomy) crosses the wire unchanged — plus the ``session_version``
+the query was served at, so clients can detect staleness across live
+updates::
+
+    {"id": 1, "ok": true, "session_version": 3, "result": {...}}
+
+Request-level failures (malformed frame, unknown op, unparseable spec,
+admission rejection) answer with the same :class:`~repro.api.results.
+ErrorInfo` taxonomy instead of dropping the connection; an ``overloaded``
+response additionally carries ``retry_after_s``::
+
+    {"id": 1, "ok": false,
+     "error": {"code": "overloaded", "type": "OverloadedError",
+               "message": "..."},
+     "retry_after_s": 0.25}
+
+``batch`` streams one response per spec (``seq`` gives the input index)
+followed by a ``done`` summary frame, mirroring the CLI's NDJSON
+``batch --stream``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, AsyncIterator, Dict, Optional
+
+from repro.api.results import ErrorInfo
+from repro.engine import spec_from_dict
+from repro.exceptions import (
+    InvalidRequestError,
+    OverloadedError,
+    ReproError,
+)
+from repro.serve.wire import DEFAULT_DATASET, DEFAULT_PORT, encode_frame
+
+#: Ops a request may name; ``query`` is the default when ``op`` is absent
+#: and a ``spec`` is present.
+OPS = ("query", "batch", "stats", "ping")
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one server instance (service + transports).
+
+    ``max_inflight`` bounds concurrently *executing* queries,
+    ``max_queue`` the admission queue behind them (beyond it requests get
+    an ``overloaded`` envelope instead of waiting), ``write_queue`` the
+    single-writer queue of pending mutations, and ``per_connection`` the
+    number of requests one connection may keep in flight before further
+    frames are answered ``overloaded`` immediately.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    threads: int = 4
+    cache_size: int = 4096
+    use_numpy: bool = True
+    max_inflight: int = 8
+    max_queue: int = 64
+    write_queue: int = 128
+    per_connection: int = 32
+    max_line_bytes: int = 1 << 20
+    drain_timeout_s: float = 5.0
+
+
+def error_response(
+    request_id: Any, exc: BaseException, **extra: Any
+) -> Dict[str, Any]:
+    """A request-level failure frame, coded through the error taxonomy."""
+    payload: Dict[str, Any] = {
+        "id": request_id,
+        "ok": False,
+        "error": ErrorInfo.from_exception(exc).to_dict(),
+    }
+    if isinstance(exc, OverloadedError):
+        payload["retry_after_s"] = exc.retry_after_s
+    payload.update(extra)
+    return payload
+
+
+class RequestHandler:
+    """Transport-agnostic dispatch: one request dict -> response dicts.
+
+    Both front ends — the NDJSON stream loop below and the HTTP POST
+    adapter in :mod:`repro.serve.http` — feed parsed frames through this
+    one ``handle`` generator, so protocol semantics (spec decoding, error
+    taxonomy, batch streaming, version echo) cannot drift between them.
+    """
+
+    def __init__(self, service: "DatasetService"):
+        self.service = service
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _decode_spec(payload: Any):
+        if not isinstance(payload, dict):
+            raise InvalidRequestError(
+                f"'spec' must be a JSON object with a 'kind', got "
+                f"{type(payload).__name__}"
+            )
+        return spec_from_dict(payload)
+
+    async def handle(
+        self, request: Any
+    ) -> AsyncIterator[Dict[str, Any]]:
+        """Yield the response frame(s) for one request frame.
+
+        Never raises for request content: every failure — including
+        admission rejection — becomes a coded response frame, so a
+        misbehaving request can never cost a connection its stream.
+        """
+        request_id = request.get("id") if isinstance(request, dict) else None
+        try:
+            if not isinstance(request, dict):
+                raise InvalidRequestError(
+                    f"each request must be a JSON object, got "
+                    f"{type(request).__name__}"
+                )
+            op = request.get("op") or (
+                "query" if "spec" in request else None
+            )
+            if op == "ping":
+                yield {
+                    "id": request_id,
+                    "ok": True,
+                    "pong": True,
+                    "datasets": self.service.dataset_names(),
+                }
+            elif op == "stats":
+                yield {"id": request_id, "ok": True, **self.service.stats_payload()}
+            elif op == "query":
+                if "spec" not in request:
+                    raise InvalidRequestError("op 'query' needs a 'spec'")
+                spec = self._decode_spec(request["spec"])
+                envelope, version = await self.service.execute(
+                    spec, dataset=request.get("dataset", DEFAULT_DATASET)
+                )
+                yield {
+                    "id": request_id,
+                    "ok": envelope.ok,
+                    "session_version": version,
+                    "result": envelope.to_dict(),
+                }
+            elif op == "batch":
+                async for frame in self._handle_batch(request_id, request):
+                    yield frame
+            else:
+                raise InvalidRequestError(
+                    f"unknown op {op!r}; expected one of {list(OPS)}"
+                )
+        except (ReproError, KeyError, ValueError, TypeError) as exc:
+            yield error_response(request_id, exc)
+
+    async def _handle_batch(
+        self, request_id: Any, request: Dict[str, Any]
+    ) -> AsyncIterator[Dict[str, Any]]:
+        specs = request.get("specs")
+        if not isinstance(specs, list):
+            raise InvalidRequestError("op 'batch' needs a 'specs' array")
+        dataset = request.get("dataset", DEFAULT_DATASET)
+        # Pre-validate every spec up front (the CLI batch contract): a
+        # malformed spec at index 50 fails the batch before spec 0 runs.
+        parsed = [self._decode_spec(item) for item in specs]
+        failures = 0
+        for seq, spec in enumerate(parsed):
+            try:
+                envelope, version = await self.service.execute(
+                    spec, dataset=dataset
+                )
+            except OverloadedError as exc:
+                # One rejected spec does not abort the batch: the client
+                # sees which seq was shed and can retry just that one.
+                failures += 1
+                yield error_response(request_id, exc, seq=seq)
+                continue
+            failures += not envelope.ok
+            yield {
+                "id": request_id,
+                "ok": envelope.ok,
+                "seq": seq,
+                "session_version": version,
+                "result": envelope.to_dict(),
+            }
+        yield {
+            "id": request_id,
+            "ok": failures == 0,
+            "done": True,
+            "count": len(parsed),
+            "failures": failures,
+        }
+
+
+async def serve_ndjson(
+    handler: RequestHandler,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    config: ServeConfig,
+    first_line: Optional[bytes] = None,
+) -> None:
+    """Drive one NDJSON connection until EOF.
+
+    Each request frame is handled in its own task (so one slow query
+    never head-of-line-blocks the connection), bounded by
+    ``config.per_connection``: frames beyond the cap are answered with an
+    immediate ``overloaded`` response instead of queueing unboundedly.
+    Outbound frames are serialized through one lock; ``drain()`` under
+    that lock gives natural per-connection backpressure against slow
+    consumers.
+    """
+    write_lock = asyncio.Lock()
+    tasks: set = set()
+
+    async def send(payload: Dict[str, Any]) -> None:
+        frame = encode_frame(payload)
+        async with write_lock:
+            writer.write(frame)
+            await writer.drain()
+
+    async def process(request: Any) -> None:
+        try:
+            async for response in handler.handle(request):
+                await send(response)
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception as exc:  # defensive: never kill the connection
+            await send(error_response(
+                request.get("id") if isinstance(request, dict) else None, exc
+            ))
+
+    try:
+        while True:
+            if first_line is not None:
+                line, first_line = first_line, None
+            else:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Oversized frame: framing is lost, close after a hint.
+                    await send(error_response(None, InvalidRequestError(
+                        f"frame exceeds max_line_bytes="
+                        f"{config.max_line_bytes}"
+                    )))
+                    break
+            if not line:
+                break
+            if not line.strip():
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                await send(error_response(None, InvalidRequestError(
+                    f"invalid JSON frame: {exc}"
+                )))
+                continue
+            if len(tasks) >= config.per_connection:
+                await send(error_response(
+                    request.get("id") if isinstance(request, dict) else None,
+                    OverloadedError(
+                        f"per-connection concurrency cap "
+                        f"({config.per_connection}) exceeded",
+                        retry_after_s=handler.service.retry_after(),
+                    ),
+                ))
+                continue
+            task = asyncio.ensure_future(process(request))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

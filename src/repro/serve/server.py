@@ -1,0 +1,162 @@
+"""The TCP server: one port, two protocols, graceful lifecycle.
+
+:class:`ReproServer` binds one listening socket and sniffs the first
+line of each connection: a line starting with ``{`` (or ``[``) is an
+NDJSON protocol stream, anything shaped like ``VERB /path HTTP/1.x`` is
+handed to the HTTP adapter — so ``curl`` and the
+:class:`~repro.api.remote.RemoteClient` share a port and, underneath,
+the exact same :class:`~repro.serve.protocol.RequestHandler`.
+
+Lifecycle: ``start()`` starts the per-dataset writer queues and the
+listener (``port=0`` picks a free port, reported back via ``.port`` —
+how the tests and the in-process examples run without port fights);
+``stop()`` closes the listener, gives in-flight connections
+``drain_timeout_s`` to finish, cancels stragglers, then drains the
+writer queues and shuts the pool down.  :func:`run` is the CLI/blocking
+entry point wiring SIGINT/SIGTERM to that same graceful stop — the same
+flush-then-exit discipline the CLI ``batch`` command applies on Ctrl-C.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+from typing import Callable, Mapping, Optional
+
+from repro.serve.http import serve_http
+from repro.serve.protocol import RequestHandler, ServeConfig, serve_ndjson
+from repro.serve.service import DatasetLike, DatasetService
+
+_HTTP_VERBS = (b"GET ", b"POST", b"PUT ", b"HEAD", b"DELE", b"OPTI", b"PATC")
+
+
+class ReproServer:
+    """Bind, sniff, dispatch; owns the service lifecycle."""
+
+    def __init__(
+        self,
+        datasets: Mapping[str, DatasetLike],
+        config: Optional[ServeConfig] = None,
+    ):
+        self.config = config or ServeConfig()
+        self.service = DatasetService(datasets, self.config)
+        self.handler = RequestHandler(self.service)
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self.config.max_line_bytes,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._connections:
+            _done, pending = await asyncio.wait(
+                set(self._connections), timeout=self.config.drain_timeout_s
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        await self.service.stop()
+
+    async def __aenter__(self) -> "ReproServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            first = await reader.readline()
+        except (ConnectionError, asyncio.LimitOverrunError, ValueError):
+            writer.close()
+            return
+        if not first:
+            writer.close()
+            return
+        stripped = first.lstrip()
+        if stripped[:1] in (b"{", b"["):
+            await serve_ndjson(
+                self.handler, reader, writer, self.config, first_line=first
+            )
+        elif stripped[:4] in _HTTP_VERBS:
+            await serve_http(
+                self.handler, reader, writer, self.config, request_line=first
+            )
+        else:
+            # Neither protocol: answer in NDJSON (the native framing) and
+            # hang up — never a silent drop.
+            from repro.exceptions import InvalidRequestError
+            from repro.serve.protocol import encode_frame, error_response
+
+            writer.write(encode_frame(error_response(
+                None,
+                InvalidRequestError(
+                    f"unrecognized protocol preamble {first[:40]!r}; "
+                    f"speak NDJSON or HTTP/1.1"
+                ),
+            )))
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.drain()
+            writer.close()
+
+
+async def run(
+    datasets: Mapping[str, DatasetLike],
+    config: Optional[ServeConfig] = None,
+    *,
+    ready: Optional[asyncio.Event] = None,
+    on_start: Optional[Callable[[ReproServer], None]] = None,
+    install_signal_handlers: bool = True,
+) -> ReproServer:
+    """Serve until SIGINT/SIGTERM (or external ``ready``-holder cancel).
+
+    Sets *ready* (if given) and calls *on_start(server)* once the socket
+    is bound — in-process harnesses use these to learn the actual port
+    (``port=0`` binds a free one).  Returns the (stopped) server, mostly
+    so callers can read ``.port`` afterwards.
+    """
+    server = ReproServer(datasets, config)
+    stop_event = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    installed = []
+    if install_signal_handlers:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_event.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread / platforms without signal support
+    await server.start()
+    if ready is not None:
+        ready.set()
+    if on_start is not None:
+        on_start(server)
+    try:
+        await stop_event.wait()
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+        await server.stop()
+    return server

@@ -1,0 +1,248 @@
+"""DatasetService: named live sessions behind snapshot-isolated reads.
+
+One :class:`DatasetState` per hosted dataset holds
+
+* the **writer session** — the only object mutations ever touch, and only
+  from the single-writer queue (:class:`~repro.serve.writer.SingleWriter`);
+* the **published snapshot** — an immutable
+  :meth:`~repro.engine.session.Session.read_snapshot` of the writer
+  session, swapped atomically (one attribute store under the GIL) after
+  each successful mutation.
+
+A read admits through the shared :class:`~repro.serve.admission.
+AdmissionController`, grabs whatever snapshot is published *at that
+moment*, wraps it in an O(1) :meth:`~repro.engine.session.Session.reader`
+view (private access counters — concurrent causality queries each see
+deterministic ``node_accesses``), and executes on the shared thread pool.
+Updates landing mid-query are invisible to it: the response's
+``session_version`` names exactly the version it saw.
+
+All states share one :class:`~repro.engine.cache.LRUCache`: keys are
+fingerprint-prefixed, so entries stay sound across datasets and versions,
+and the cache class is lock-protected (PR 7) so reader threads can share
+it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro import obs
+from repro.api.results import QueryResult
+from repro.engine.cache import LRUCache, NullCache
+from repro.engine.executor import _execute_captured
+from repro.engine.session import Session
+from repro.exceptions import UnknownDatasetError
+from repro.serve.admission import AdmissionController
+from repro.serve.protocol import ServeConfig
+from repro.serve.writer import SingleWriter
+from repro.uncertain.dataset import UncertainDataset
+
+DatasetLike = Union[Session, UncertainDataset]
+
+
+class DatasetState:
+    """One hosted dataset: writer session, published snapshot, writer queue."""
+
+    def __init__(
+        self,
+        name: str,
+        session: Session,
+        pool: ThreadPoolExecutor,
+        *,
+        write_queue: int = 128,
+    ):
+        self.name = name
+        self.session = session  # the writer's live session
+        self.published = session.read_snapshot()
+        self.writer = SingleWriter(
+            self._apply_write, pool, max_queue=write_queue, name=name
+        )
+
+    def _apply_write(self, spec: Any) -> Any:
+        """Blocking: run one mutating spec, publish on success.
+
+        Runs only on the writer queue's pool slot, so the live session is
+        never touched concurrently.  The publish is a plain attribute
+        store — atomic under the GIL — and failed outcomes leave the old
+        snapshot in place.  Returns ``(outcome, snapshot)`` where the
+        snapshot is the one *this* write published (or left in place), so
+        the response echoes this write's version even if a queued write
+        publishes again before the response is built.
+        """
+        outcome = _execute_captured(self.session, spec)
+        if outcome.error is None:
+            self.published = self.session.read_snapshot()
+        return outcome, self.published
+
+    def info(self) -> Dict[str, Any]:
+        published = self.published
+        return {
+            "version": published.version,
+            "objects": len(published.dataset),
+            "dims": published.dataset.dims,
+            "fingerprint": published.fingerprint,
+            "kind": type(published.dataset).__name__,
+            "write_queue_depth": self.writer.depth,
+        }
+
+
+class DatasetService:
+    """The server's core: route specs to named datasets, bounded + observed.
+
+    ``datasets`` maps names to either prepared :class:`Session` objects
+    (the caller controls cache/index choices) or raw datasets (a session
+    is built per the config).  Use as an async context manager, or call
+    :meth:`start` / :meth:`stop` explicitly.
+    """
+
+    def __init__(
+        self,
+        datasets: Mapping[str, DatasetLike],
+        config: Optional[ServeConfig] = None,
+    ):
+        if not datasets:
+            raise ValueError("DatasetService needs at least one dataset")
+        self.config = config or ServeConfig()
+        self.cache = (
+            LRUCache(self.config.cache_size)
+            if self.config.cache_size > 0
+            else NullCache()
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.threads,
+            thread_name_prefix="repro-serve",
+        )
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue,
+        )
+        self._states: Dict[str, DatasetState] = {}
+        for name, item in datasets.items():
+            session = (
+                item
+                if isinstance(item, Session)
+                else Session(
+                    item,
+                    cache=self.cache,
+                    use_numpy=self.config.use_numpy,
+                )
+            )
+            self._states[name] = DatasetState(
+                name, session, self._pool,
+                write_queue=self.config.write_queue,
+            )
+        self._started = time.time()
+        metrics = obs.registry()
+        self._requests = metrics.counter("serve.requests")
+        self._failures = metrics.counter("serve.request_failures")
+        self._latency = metrics.histogram("serve.request_latency_s")
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        for state in self._states.values():
+            state.writer.start()
+
+    async def stop(self) -> None:
+        for state in self._states.values():
+            await state.writer.stop()
+        self._pool.shutdown(wait=True)
+
+    async def __aenter__(self) -> "DatasetService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    def dataset_names(self) -> List[str]:
+        return sorted(self._states)
+
+    def state(self, name: str) -> DatasetState:
+        try:
+            return self._states[name]
+        except KeyError:
+            raise UnknownDatasetError(
+                f"unknown dataset {name!r}; hosting {self.dataset_names()}"
+            ) from None
+
+    def retry_after(self) -> float:
+        return self.admission.retry_after()
+
+    # ------------------------------------------------------------------
+    async def execute(
+        self, spec: Any, dataset: str = "default"
+    ) -> Tuple[QueryResult, int]:
+        """Run one spec; return ``(envelope, session_version)``.
+
+        Mutating specs go through the dataset's single-writer queue
+        (never the admission path — a full read queue must not be able to
+        starve writes, and vice versa); reads admit, snapshot, and run on
+        the pool.  Raises :class:`~repro.exceptions.OverloadedError` on
+        rejection; data errors come back *inside* the envelope.
+        """
+        state = self.state(dataset)
+        started = time.perf_counter()
+        self._requests.inc()
+        try:
+            if getattr(spec, "mutates", False):
+                outcome, published = await state.writer.submit(spec)
+                envelope = QueryResult.from_outcome(
+                    outcome, fingerprint=published.fingerprint
+                )
+                version = published.version
+            else:
+                async with self.admission.slot():
+                    published = state.published
+                    reader = published.reader()
+                    outcome = await asyncio.get_running_loop().run_in_executor(
+                        self._pool, _execute_captured, reader, spec
+                    )
+                    envelope = QueryResult.from_outcome(
+                        outcome, fingerprint=published.fingerprint
+                    )
+                    version = published.version
+        except Exception:
+            self._failures.inc()
+            raise
+        finally:
+            self._latency.observe(time.perf_counter() - started)
+        if not envelope.ok:
+            self._failures.inc()
+        return envelope, version
+
+    # ------------------------------------------------------------------
+    def stats_payload(self) -> Dict[str, Any]:
+        """The ``stats`` op body: service info, SLO quantiles, metrics."""
+        snapshot = obs.registry().snapshot()
+        slo: Dict[str, Dict[str, Any]] = {}
+        for name, hist in snapshot.get("histograms", {}).items():
+            if not (
+                name == "serve.request_latency_s"
+                or (name.startswith("query.") and name.endswith(".latency_s"))
+            ):
+                continue
+            p50 = obs.quantile_from_snapshot(hist, 0.50)
+            p99 = obs.quantile_from_snapshot(hist, 0.99)
+            slo[name] = {
+                "count": hist["count"],
+                "p50_ms": None if p50 is None else round(p50 * 1e3, 3),
+                "p99_ms": None if p99 is None else round(p99 * 1e3, 3),
+            }
+        return {
+            "service": {
+                "uptime_s": round(time.time() - self._started, 3),
+                "threads": self.config.threads,
+                "cache": self.cache.stats.as_dict(),
+                "admission": self.admission.snapshot(),
+            },
+            "datasets": {
+                name: state.info() for name, state in self._states.items()
+            },
+            "slo": slo,
+            "metrics": snapshot,
+        }

@@ -1,0 +1,21 @@
+"""Wire-level constants and framing shared by server and client.
+
+Deliberately imports nothing from the rest of :mod:`repro`: both
+:mod:`repro.serve.protocol` (server side) and :mod:`repro.api.remote`
+(client side) need these, and each of those sits on the opposite bank of
+the ``repro.api`` <-> ``repro.serve`` import graph — a shared leaf is
+what keeps that graph acyclic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+DEFAULT_PORT = 7733
+DEFAULT_DATASET = "default"
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """One request/response dict as a compact NDJSON frame."""
+    return json.dumps(payload, separators=(",", ":")).encode() + b"\n"

@@ -1,0 +1,126 @@
+"""The single-writer queue: all mutations to one dataset, serialized.
+
+Readers never lock anything — they run against the immutable published
+snapshot (:meth:`repro.engine.session.Session.read_snapshot`).  That only
+works because writes are funneled through exactly one consumer per
+dataset: the :class:`SingleWriter` drains an ``asyncio.Queue`` of
+``(spec, future)`` pairs, applies each mutation to the live writer
+session on the shared thread pool, and — only when the mutation succeeds
+— publishes a fresh frozen snapshot for subsequent readers.  In-flight
+queries keep whatever snapshot they started with, which is the whole
+snapshot-isolation story: a reader's arrays cannot change under it.
+
+The queue is bounded: a full write queue raises
+:class:`~repro.exceptions.OverloadedError` at submit time (carrying a
+drain-rate ``retry_after_s`` hint) instead of buffering unboundedly.
+Failed mutations (unknown id, spec mismatch, ...) resolve the submitter's
+future with the *failed outcome* — they are data errors that belong in
+the response envelope, not exceptions that should kill the drain task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Executor
+from typing import Any, Callable, Optional, Tuple
+
+from repro import obs
+from repro.exceptions import OverloadedError
+
+_STOP = object()
+
+
+class SingleWriter:
+    """One drain task applying mutations in submission order.
+
+    ``apply`` is the blocking callable (run on *pool*) that executes one
+    mutating spec against the live session and publishes a new snapshot
+    on success; the service layer supplies it per dataset.
+    """
+
+    def __init__(
+        self,
+        apply: Callable[[Any], Any],
+        pool: Executor,
+        *,
+        max_queue: int = 128,
+        name: str = "default",
+    ):
+        self._apply = apply
+        self._pool = pool
+        self.name = name
+        self._queue: "asyncio.Queue" = asyncio.Queue(maxsize=max_queue)
+        self._task: Optional[asyncio.Task] = None
+        self._write_latency_ema_s = 0.01
+        metrics = obs.registry()
+        self._depth_gauge = metrics.gauge("serve.write_queue_depth")
+        self._applied = metrics.counter("serve.writes_applied")
+        self._rejected = metrics.counter("serve.writes_rejected")
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.ensure_future(self._drain())
+
+    async def stop(self) -> None:
+        """Drain queued writes, then stop the consumer task."""
+        if self._task is None:
+            return
+        await self._queue.put(_STOP)
+        await self._task
+        self._task = None
+
+    @property
+    def depth(self) -> int:
+        return self._queue.qsize()
+
+    def retry_after(self) -> float:
+        backlog = self._queue.qsize() + 1
+        return round(max(0.05, backlog * self._write_latency_ema_s), 3)
+
+    # ------------------------------------------------------------------
+    async def submit(self, spec: Any) -> Any:
+        """Enqueue one mutating spec; await its (possibly failed) outcome.
+
+        Raises :class:`OverloadedError` immediately when the write queue
+        is at capacity — the caller turns that into a structured
+        ``overloaded`` response, it never blocks the event loop.
+        """
+        future: "asyncio.Future" = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait((spec, future))
+        except asyncio.QueueFull:
+            self._rejected.inc()
+            raise OverloadedError(
+                f"write queue for dataset {self.name!r} is full "
+                f"({self._queue.maxsize} pending)",
+                retry_after_s=self.retry_after(),
+            ) from None
+        self._depth_gauge.set(self._queue.qsize())
+        return await future
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            self._depth_gauge.set(self._queue.qsize())
+            if item is _STOP:
+                return
+            spec, future = item  # type: Tuple[Any, asyncio.Future]
+            started = time.perf_counter()
+            try:
+                outcome = await loop.run_in_executor(
+                    self._pool, self._apply, spec
+                )
+            except Exception as exc:  # apply() already captures data errors
+                if not future.cancelled():
+                    future.set_exception(exc)
+                continue
+            self._write_latency_ema_s = (
+                0.8 * self._write_latency_ema_s
+                + 0.2 * (time.perf_counter() - started)
+            )
+            self._applied.inc()
+            if not future.cancelled():
+                future.set_result(outcome)

@@ -398,6 +398,80 @@ class UncertainDataset:
             ]
             reduced._tensor = self._tensor.with_deleted_rows(positions)
 
+    # ------------------------------------------------------------------
+    # snapshot isolation (the serve layer's read path)
+    # ------------------------------------------------------------------
+    def _clone_shell(
+        self,
+        objects: List[UncertainObject],
+        by_id: Dict[Hashable, UncertainObject],
+        index_of: Dict[Hashable, int],
+    ) -> "UncertainDataset":
+        """A dataset shell around pre-validated contents (no re-checking)."""
+        clone = type(self).__new__(type(self))
+        clone._objects = objects
+        clone._by_id = by_id
+        clone._index_of = index_of
+        clone.dims = self.dims
+        clone.page_size = self.page_size
+        clone._rtree = None
+        clone._packed = None
+        clone._access_stats = AccessStats()
+        clone._tensor = None
+        clone._content_digest = None
+        return clone
+
+    def snapshot(self, freeze_packed: bool = True) -> "UncertainDataset":
+        """An immutable read snapshot, decoupled from future mutations.
+
+        The snapshot shares everything immutable — the objects (with their
+        cached MBRs and digests), the sample tensor, the packed-index
+        arrays, the combined content digest — but owns fresh id maps and
+        access counters, so :meth:`apply_delta` on *this* dataset can
+        never be observed by a query already running against the snapshot.
+        Cost is O(n) pointer copies plus (``freeze_packed``) one O(n)
+        re-freeze of the packed index from the incrementally patched
+        pointer tree; no O(n log n) rebuild and no sample bytes move.
+
+        ``freeze_packed=False`` skips the packed freeze for scalar-kernel
+        sessions, whose queries traverse the pointer tree instead (the
+        snapshot bulk-loads its own lazily on first use).
+        """
+        clone = self._clone_shell(
+            list(self._objects), dict(self._by_id), dict(self._index_of)
+        )
+        clone._tensor = self._tensor
+        clone._content_digest = self.content_digest()
+        if freeze_packed:
+            clone._packed = self.packed.with_stats(clone._access_stats)
+        return clone
+
+    def view(self) -> "UncertainDataset":
+        """An O(1) per-reader view over this (already immutable) snapshot.
+
+        Shares the id maps, object list, tensor, digest and packed arrays
+        by reference; only the :class:`AccessStats` counter (and the
+        packed view recording into it) is private, so concurrent readers
+        of one published snapshot measure their own node accesses.  Only
+        meaningful on a dataset that is no longer mutated — views share
+        the maps that :meth:`apply_delta` would patch; take views of
+        :meth:`snapshot` results, not of the live dataset.
+
+        A view of a scalar-mode snapshot (no packed index) shares the
+        pointer tree *and its counter* lazily through :attr:`rtree`, so
+        per-query node-access deltas may interleave there; the packed
+        path — the serve default — is fully isolated.
+        """
+        clone = self._clone_shell(self._objects, self._by_id, self._index_of)
+        clone._tensor = self._tensor
+        clone._content_digest = self._content_digest
+        if self._packed is not None:
+            clone._packed = self._packed.with_stats(clone._access_stats)
+        elif self._rtree is not None:
+            clone._rtree = self._rtree
+            clone._access_stats = self._access_stats
+        return clone
+
     def max_samples(self) -> int:
         return max(obj.num_samples for obj in self._objects)
 
@@ -470,6 +544,18 @@ class CertainDataset(UncertainDataset):
         reduced = CertainDataset.from_objects(kept, page_size=self.page_size)
         self._seed_reduced_tensor(reduced, removed_set)
         return reduced
+
+    def _clone_shell(
+        self,
+        objects: List[UncertainObject],
+        by_id: Dict[Hashable, UncertainObject],
+        index_of: Dict[Hashable, int],
+    ) -> "CertainDataset":
+        # Every mutation path replaces ``points`` wholesale (concatenate/
+        # delete/copy), never in place, so sharing the matrix is safe.
+        clone = super()._clone_shell(objects, by_id, index_of)
+        clone.points = self.points
+        return clone
 
     # ------------------------------------------------------------------
     # live updates: keep the dense ``points`` matrix in sync

@@ -1,0 +1,249 @@
+"""Snapshot-isolation soundness: concurrent serving == serial replay.
+
+Hypothesis drives a random schedule of live mutations against a running
+:class:`~repro.serve.server.ReproServer` while several
+:class:`~repro.api.remote.RemoteClient` readers fire queries *during*
+the churn.  Every response echoes the ``session_version`` it was served
+at; the test then rebuilds, for each observed version, a **fresh**
+session over the initial objects plus exactly the deltas acknowledged at
+or before that version, re-runs the same spec, and demands the semantic
+payload be **bit-identical** (probabilities compared by ``float.hex``,
+ids and cause rankings exactly) — including failed envelopes, which must
+fail with the same taxonomy code.
+
+That one property subsumes the scary races: a reader observing a
+half-applied delta, a shared access-stats counter corrupted by a
+concurrent query, a cache entry leaking across versions, or a publish
+that tears mid-read would all produce a payload no serial replay can.
+"""
+
+import asyncio
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.api.remote import RemoteClient
+from repro.engine import Session
+from repro.engine.executor import _execute_captured
+from repro.engine.spec import CausalitySpec, PRSQSpec
+from repro.serve import ReproServer, ServeConfig
+from repro.uncertain import UncertainDataset, UncertainObject
+from repro.uncertain.delta import DatasetDelta
+
+Q = (5.0, 5.0)
+ALPHA = 0.5
+N_INITIAL = 6
+MIN_OBJECTS = 3
+
+OPS = st.lists(
+    st.sampled_from(["insert", "delete", "update"]), min_size=1, max_size=6
+)
+
+
+def _make_object(oid, rng):
+    return UncertainObject(
+        oid, rng.uniform(0.0, 10.0, size=(int(rng.integers(1, 4)), 2))
+    )
+
+
+def _initial_objects(rng):
+    return [_make_object(f"o{i}", rng) for i in range(N_INITIAL)]
+
+
+def _fresh_copy(obj):
+    return UncertainObject(
+        obj.oid,
+        np.asarray(obj.samples).copy(),
+        np.asarray(obj.probabilities).copy(),
+        name=obj.name,
+    )
+
+
+def _plan_deltas(op_kinds, rng):
+    """The concrete delta sequence for a drawn op schedule.
+
+    Computed against a local mirror of the id set, so the writer can
+    submit them as-is and the replay can re-derive dataset contents at
+    any version without talking to the server.
+    """
+    ids = [f"o{i}" for i in range(N_INITIAL)]
+    deltas = []
+    next_id = 1000
+    for kind in op_kinds:
+        if kind == "insert":
+            obj = _make_object(f"n{next_id}", rng)
+            next_id += 1
+            ids.append(obj.oid)
+            deltas.append(DatasetDelta.insertion(obj))
+        elif kind == "delete":
+            if len(ids) <= MIN_OBJECTS:
+                continue
+            oid = ids.pop(int(rng.integers(len(ids))))
+            deltas.append(DatasetDelta.deletion(oid))
+        else:  # update
+            oid = ids[int(rng.integers(len(ids)))]
+            deltas.append(DatasetDelta.replacement(_make_object(oid, rng)))
+    return deltas
+
+
+def _semantic(envelope):
+    """The bit-comparable part of an envelope: everything but timing."""
+    if not envelope.ok:
+        return ("error", envelope.error.code)
+    value = envelope.value
+    if hasattr(value, "probabilities") and value.probabilities is not None:
+        return (
+            "prsq",
+            tuple(sorted(
+                (repr(oid), p.hex()) for oid, p in value.probabilities.items()
+            )),
+        )
+    if hasattr(value, "causes"):
+        return (
+            "causality",
+            repr(value.an),
+            tuple(
+                (repr(r.id), r.kind, r.responsibility.hex())
+                for r in value.causes
+            ),
+        )
+    raise AssertionError(f"unhandled payload {type(value).__name__}")
+
+
+def _replay(initial, deltas_by_version, version, spec):
+    """A fresh session over initial contents + deltas <= version."""
+    dataset = UncertainDataset([_fresh_copy(o) for o in initial])
+    session = Session(dataset)
+    for delta_version in sorted(deltas_by_version):
+        if delta_version > version:
+            break
+        session.apply(deltas_by_version[delta_version])
+    outcome = _execute_captured(session, spec)
+    from repro.api.results import QueryResult
+
+    return QueryResult.from_outcome(outcome, fingerprint=session.fingerprint)
+
+
+def _read_specs(rng, known_ids):
+    """A deterministic little mix of read specs per reader."""
+    specs = [
+        PRSQSpec(q=Q, alpha=ALPHA, want="probabilities"),
+        PRSQSpec(q=(float(rng.uniform(2, 8)), 5.0), alpha=0.3,
+                 want="probabilities"),
+        CausalitySpec(
+            an=known_ids[int(rng.integers(len(known_ids)))],
+            q=Q, alpha=ALPHA,
+        ),
+    ]
+    rng.shuffle(specs)
+    return specs
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(op_kinds=OPS, seed=st.integers(min_value=0, max_value=2**16))
+def test_concurrent_reads_bit_identical_to_replay_at_their_version(
+    op_kinds, seed
+):
+    rng = np.random.default_rng(seed)
+    initial = _initial_objects(rng)
+    deltas = _plan_deltas(op_kinds, rng)
+    reader_rngs = [np.random.default_rng(seed + 17 + i) for i in range(3)]
+    known_ids = [o.oid for o in initial]
+
+    observations = []  # (spec, session_version, semantic payload)
+    deltas_by_version = {}
+
+    async def main():
+        config = ServeConfig(port=0, threads=3, max_inflight=6)
+        dataset = UncertainDataset([_fresh_copy(o) for o in initial])
+        async with ReproServer({"default": dataset}, config) as server:
+
+            async def writer():
+                async with await RemoteClient.connect(
+                    port=server.port
+                ) as client:
+                    for delta in deltas:
+                        envelope = await client.apply(delta)
+                        assert envelope.ok, envelope.error
+                        # serial writer: the echoed version names this
+                        # delta exactly
+                        deltas_by_version[client.session_version] = delta
+                        await asyncio.sleep(0)  # let readers interleave
+
+            async def reader(reader_rng):
+                async with await RemoteClient.connect(
+                    port=server.port
+                ) as client:
+                    for spec in _read_specs(reader_rng, known_ids):
+                        envelope, version = await client.query_envelope(spec)
+                        observations.append(
+                            (spec, version, _semantic(envelope))
+                        )
+
+            await asyncio.gather(
+                writer(), *[reader(r) for r in reader_rngs]
+            )
+
+    asyncio.run(main())
+
+    assert len(deltas_by_version) == len(deltas)
+    assert observations
+    for spec, version, semantic in observations:
+        expected = _semantic(
+            _replay(initial, deltas_by_version, version, spec)
+        )
+        assert semantic == expected, (
+            f"divergence at version {version} for {spec!r}"
+        )
+
+
+def test_reads_during_one_write_see_exactly_old_or_new_state():
+    """Deterministic pincer: many concurrent reads race one insert; every
+    response must be exactly the version-0 or the version-1 payload."""
+
+    rng = np.random.default_rng(5)
+    initial = _initial_objects(rng)
+    new_object = _make_object("racer", rng)
+    spec = PRSQSpec(q=Q, alpha=0.01, want="probabilities")
+
+    async def main():
+        config = ServeConfig(port=0, threads=3, max_inflight=6)
+        dataset = UncertainDataset([_fresh_copy(o) for o in initial])
+        results = []
+        async with ReproServer({"default": dataset}, config) as server:
+            async with await RemoteClient.connect(port=server.port) as client:
+
+                async def one_read(i):
+                    if i == 10:  # fire the write mid-volley
+                        envelope = await client.apply(
+                            DatasetDelta.insertion(_fresh_copy(new_object))
+                        )
+                        assert envelope.ok
+                        return None
+                    envelope, version = await client.query_envelope(spec)
+                    return version, _semantic(envelope)
+
+                results = [
+                    r for r in await asyncio.gather(
+                        *[one_read(i) for i in range(21)]
+                    ) if r is not None
+                ]
+        return results
+
+    results = asyncio.run(main())
+    by_version = {}
+    for version, semantic in results:
+        assert version in (0, 1)
+        by_version.setdefault(version, set()).add(semantic)
+    # within a version, every concurrent read is bit-identical
+    for version, seen in by_version.items():
+        assert len(seen) == 1, f"torn reads at version {version}"
+    deltas = {1: DatasetDelta.insertion(_fresh_copy(new_object))}
+    for version, seen in by_version.items():
+        expected = _semantic(_replay(initial, deltas, version, spec))
+        assert seen == {expected}
