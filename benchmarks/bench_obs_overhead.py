@@ -147,6 +147,12 @@ def bench(
                 "max_overhead": max_overhead,
                 "workload": "prsq-batch-cache-off",
             },
+            workload={
+                "n": objects,
+                "d": dims,
+                "s_max": dataset.max_samples(),
+                "shards": 1,
+            },
         )
     assert overhead < max_overhead, (
         f"disabled-path instrumentation bound {overhead:.2%} exceeds "

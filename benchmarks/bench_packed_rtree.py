@@ -157,6 +157,12 @@ def bench(
                 "min_speedup": min_speedup,
                 "workload": "lemma2-multi-window-filter",
             },
+            workload={
+                "n": objects,
+                "d": dims,
+                "s_max": dataset.max_samples(),
+                "shards": 1,
+            },
         )
     assert speedup >= min_speedup, (
         f"packed traversal only {speedup:.1f}x faster than the pointer "

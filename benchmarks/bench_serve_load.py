@@ -388,6 +388,12 @@ async def _main_async(args: argparse.Namespace) -> int:
             "replay_mismatches": mismatches,
             "connect": args.connect or "in-process",
         },
+        workload={
+            "n": len(initial),
+            "d": dims,
+            "s_max": max(obj.num_samples for obj in initial),
+            "shards": 1,
+        },
     )
     print(f"wrote {args.report}")
 

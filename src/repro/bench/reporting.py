@@ -103,10 +103,34 @@ def is_non_decreasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
     return all(b + tolerance >= a for a, b in zip(values, values[1:]))
 
 
+#: Workload-shape keys every report's provenance block carries (``None``
+#: when the benchmark did not state them).  Trend dashboards join
+#: ``BENCH_*.json`` files across runs on these, so numbers recorded at
+#: different scales/topologies are never compared as if they were one
+#: series.
+WORKLOAD_KEYS = ("n", "d", "s_max", "shards")
+
+
+def workload_shape(
+    n: Optional[int] = None,
+    d: Optional[int] = None,
+    s_max: Optional[int] = None,
+    shards: Optional[int] = None,
+) -> Dict:
+    """The workload-shape block: cardinality, dims, samples, shard count."""
+    return {
+        "n": n,
+        "d": d,
+        "s_max": s_max,
+        "shards": shards,
+    }
+
+
 def json_report(
     name: str,
     rows: Sequence[Dict],
     meta: Optional[Dict] = None,
+    workload: Optional[Dict] = None,
 ) -> Dict:
     """The canonical machine-readable benchmark payload.
 
@@ -114,13 +138,18 @@ def json_report(
     carries the workload parameters (cardinality, dims, seed, ...) so a
     recorded number is reproducible without reading the emitting script.
     ``provenance`` records where the number came from (commit, time,
-    platform, interpreter and numpy versions).
+    platform, interpreter and numpy versions) plus a ``workload`` block
+    (:func:`workload_shape`: ``n``/``d``/``s_max``/``shards``) so trend
+    lines stay comparable across scales and shard topologies.
     """
+    shape = workload_shape(**(workload or {}))
+    prov = provenance()
+    prov["workload"] = shape
     return {
         "schema": "repro-bench-report/v1",
         "benchmark": str(name),
         "meta": dict(meta or {}),
-        "provenance": provenance(),
+        "provenance": prov,
         "rows": [dict(row) for row in rows],
     }
 
@@ -130,8 +159,9 @@ def write_json_report(
     name: str,
     rows: Sequence[Dict],
     meta: Optional[Dict] = None,
+    workload: Optional[Dict] = None,
 ) -> Dict:
     """Write :func:`json_report` to *path*; returns the written payload."""
-    payload = json_report(name, rows, meta=meta)
+    payload = json_report(name, rows, meta=meta, workload=workload)
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload

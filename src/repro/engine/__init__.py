@@ -19,7 +19,12 @@ algorithms:
 """
 
 from repro.engine.cache import CacheStats, LRUCache, NullCache
-from repro.engine.executor import Executor, ParallelExecutor, SerialExecutor
+from repro.engine.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    ShardScatter,
+)
 from repro.engine.plan import QueryPlan, compile_plan
 from repro.engine.session import (
     QueryOutcome,
@@ -64,6 +69,7 @@ __all__ = [
     "SPEC_KINDS",
     "SerialExecutor",
     "Session",
+    "ShardScatter",
     "UpdateSpec",
     "compile_plan",
     "dataset_fingerprint",

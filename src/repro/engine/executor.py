@@ -94,7 +94,40 @@ def _dataset_payload(
     # parent stays lazy end to end) and wanted: scalar sessions query the
     # pointer tree only, so shipping them the arrays would be dead weight.
     payload["packed"] = dataset._packed if include_packed else None
+    layout = dataset.layout_digest()
+    if layout is not None:
+        # Sharded parents ship their exact assignment (and each shard's
+        # frozen arrays), so workers reproduce the partition bit-for-bit —
+        # same layout digest, same cache keys — with zero STR recomputes
+        # and zero per-shard rebuilds.
+        payload["sharding"] = {
+            "requested": dataset.requested_shards,
+            "assignment": dataset.layout.assignment(),
+            "packed": (
+                [shard._packed for shard in dataset.shards()]
+                if include_packed
+                else None
+            ),
+        }
     return payload
+
+
+def _restore_sharding(
+    dataset: UncertainDataset, sharding: Dict[str, Any]
+) -> UncertainDataset:
+    from repro.uncertain.sharded import shard_dataset
+
+    sharded = shard_dataset(
+        dataset,
+        sharding["requested"],
+        assignment=sharding["assignment"],
+    )
+    packed = sharding.get("packed")
+    if packed is not None:
+        for shard, snapshot in zip(sharded.shards(), packed):
+            if snapshot is not None:  # a lazy parent ships unfrozen shards
+                shard.adopt_packed(snapshot)
+    return sharded
 
 
 def _restore_dataset(payload: Dict[str, Any]) -> UncertainDataset:
@@ -112,6 +145,9 @@ def _restore_dataset(payload: Dict[str, Any]) -> UncertainDataset:
     packed = payload.get("packed")
     if packed is not None:
         dataset.adopt_packed(packed)
+    sharding = payload.get("sharding")
+    if sharding is not None:
+        dataset = _restore_sharding(dataset, sharding)
     return dataset
 
 
@@ -300,7 +336,9 @@ class ParallelExecutor(Executor):
         self, session: "Session"
     ) -> Tuple[Dict[str, Any], Optional[list], Dict[str, Any], bool]:
         if session.build_index and session.use_numpy:
-            session.dataset.packed  # noqa: B018 - freeze once, ship to all
+            # Freeze once, ship to all (per-shard snapshots for a sharded
+            # dataset, the one global snapshot otherwise).
+            session.dataset.warm_index(True)
         payload = _dataset_payload(
             session.dataset, include_packed=session.use_numpy
         )
@@ -460,3 +498,143 @@ class ParallelExecutor(Executor):
                 self.last_metrics = batch_metrics.snapshot()
                 for _index, outcome in part:
                     yield outcome
+
+
+# ---------------------------------------------------------------------------
+# shard scatter: process fan-out for the *filter phase* of one query
+# ---------------------------------------------------------------------------
+_SHARD_PACKED: Optional[List[Any]] = None
+
+
+def _shard_worker_init(packed_list: List[Any]) -> None:
+    # Each packed snapshot unpickles with a private AccessStats
+    # (PackedRTree.__getstate__ drops the shared counter), so per-task
+    # access deltas below are exact, not interleaved.
+    global _SHARD_PACKED
+    _SHARD_PACKED = packed_list
+
+
+def _shard_filter_run(
+    task: Tuple[int, str, Any]
+) -> Tuple[Any, Tuple[int, int, int]]:
+    """Run one shard's batched filter call; returns (result, access delta)."""
+    assert _SHARD_PACKED is not None, "shard worker initialized without arrays"
+    shard, kind, arg = task
+    index = _SHARD_PACKED[shard]
+    before = index.stats.snapshot()
+    if kind == "many":
+        result = index.range_search_many(arg)
+    elif kind == "grouped":
+        result = index.range_search_any_grouped(arg)
+    else:  # pragma: no cover - ShardedIndex only emits the two kinds
+        raise ValueError(f"unknown shard filter task kind {kind!r}")
+    delta = index.stats.snapshot() - before
+    return result, (delta.queries, delta.node_accesses, delta.leaf_accesses)
+
+
+class ShardScatter:
+    """A process pool answering per-shard batched filter calls.
+
+    Complements :class:`ParallelExecutor`, which parallelizes *across
+    queries*: a scatter pool parallelizes the filter phase *within* one
+    query by fanning the per-shard ``range_search_many`` /
+    ``range_search_any_grouped`` calls of a
+    :class:`~repro.index.sharded.ShardedIndex` out to workers holding the
+    frozen per-shard packed arrays (shipped once at :meth:`start`, the
+    same zero-rebuild handoff the batch executor uses).
+
+    Freshness is checked by array identity: any dataset mutation
+    invalidates the shards' packed snapshots, the identity check fails,
+    and filters silently fall back to in-process execution — a stale pool
+    can never serve results for old data.  Batches below ``min_windows``
+    also stay in-process (IPC would dominate).  Use as a context manager::
+
+        with ShardScatter(dataset).start():
+            ...  # queries on `dataset` scatter their filter phases
+    """
+
+    def __init__(
+        self,
+        dataset: UncertainDataset,
+        workers: Optional[int] = None,
+        min_windows: int = 32,
+    ):
+        if dataset.layout_digest() is None:
+            raise ValueError("ShardScatter needs a sharded dataset")
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.dataset = dataset
+        self.workers = workers or os.cpu_count() or 1
+        self.min_windows = min_windows
+        self._pool = None
+        self._shipped: List[Any] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardScatter":
+        """Freeze shard snapshots, fork the pool, attach to the dataset."""
+        if self._pool is not None:
+            return self
+        self.dataset.warm_index(True)
+        shards = self.dataset.shards()
+        self._shipped = [shard._packed for shard in shards]
+        self._pool = ParallelExecutor._context().Pool(
+            processes=min(self.workers, len(shards)),
+            initializer=_shard_worker_init,
+            initargs=(self._shipped,),
+        )
+        self.dataset.attach_scatter(self)
+        return self
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._shipped = []
+        if getattr(self.dataset, "_scatter", None) is self:
+            self.dataset.attach_scatter(None)
+
+    def __enter__(self) -> "ShardScatter":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def fresh_for(self, dataset: UncertainDataset) -> bool:
+        """True iff the workers hold *dataset*'s current shard arrays."""
+        if self._pool is None:
+            return False
+        shards = dataset.shards()
+        if len(shards) != len(self._shipped):
+            return False
+        return all(
+            shard._packed is snapshot
+            for shard, snapshot in zip(shards, self._shipped)
+        )
+
+    def accepts(self, tasks: List[Tuple[int, str, Any]]) -> bool:
+        """True iff *tasks* is worth shipping to the pool."""
+        if self._pool is None:
+            return False
+        windows = 0
+        for _shard, kind, arg in tasks:
+            if kind == "many":
+                windows += len(arg)
+            else:
+                windows += sum(len(group) for group in arg)
+        return windows >= self.min_windows
+
+    def dispatch(
+        self, tasks: List[Tuple[int, str, Any]]
+    ) -> List[Tuple[Any, Tuple[int, int, int]]]:
+        """Run *tasks* on the pool; one (result, access-delta) per task."""
+        assert self._pool is not None, "ShardScatter used before start()"
+        return self._pool.map(_shard_filter_run, tasks)
+
+    def __repr__(self) -> str:
+        state = "started" if self._pool is not None else "idle"
+        return (
+            f"<ShardScatter {state} workers={self.workers} "
+            f"shards={len(self._shipped) or self.dataset.shard_count}>"
+        )

@@ -43,7 +43,22 @@ VECTORIZED_MAX_N = 4096
 
 
 def _vectorize(session: "Session") -> bool:
-    return session.use_numpy and len(session.dataset) <= VECTORIZED_MAX_N
+    # Sharded sessions always take the index path: the dense broadcast
+    # kernel is O(n x n) against the full points matrix, exactly the
+    # single-dataset assumption sharding removes — and the per-shard
+    # window filter is what the scatter-gather machinery accelerates.
+    return (
+        session.use_numpy
+        and len(session.dataset) <= VECTORIZED_MAX_N
+        and session.shard_count == 1
+    )
+
+
+def _filter_kernel(session: "Session") -> str:
+    """The filter-phase kernel label for trace spans."""
+    base = "packed-windows" if session.use_numpy else "rtree-windows"
+    k = session.shard_count
+    return f"sharded-{base}[k={k}]" if k > 1 else base
 
 
 @dataclass(frozen=True)
@@ -163,8 +178,7 @@ def plan_reverse_skyline(spec: ReverseSkylineSpec) -> QueryPlan:
                 result = [ids[i] for i in range(len(ids)) if mask[i]]
                 sp.set(answers=len(result))
             return result
-        kernel = "packed-windows" if session.use_numpy else "rtree-windows"
-        with _span("filter", kernel=kernel):
+        with _span("filter", kernel=_filter_kernel(session)):
             return reverse_skyline(
                 session.dataset, spec.q, use_numpy=session.use_numpy
             )
@@ -189,8 +203,7 @@ def plan_reverse_k_skyband(spec: ReverseKSkybandSpec) -> QueryPlan:
                 result = [ids[i] for i in range(len(ids)) if mask[i]]
                 sp.set(answers=len(result))
             return result
-        kernel = "packed-windows" if session.use_numpy else "rtree-windows"
-        with _span("filter", kernel=kernel, k=spec.k):
+        with _span("filter", kernel=_filter_kernel(session), k=spec.k):
             return reverse_k_skyband(
                 session.dataset, spec.q, spec.k, use_numpy=session.use_numpy
             )

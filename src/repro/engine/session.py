@@ -165,6 +165,13 @@ class Session:
         and each outcome carries a ``phases`` wall-time breakdown.  With
         ``None`` (the default) the instrumentation sites resolve to a
         shared no-op span.
+    shards:
+        With ``shards > 1`` the dataset is STR-partitioned into that many
+        spatial shards (:func:`repro.uncertain.sharded.shard_dataset`)
+        and every window-filter phase scatter-gathers across the
+        per-shard indexes; results stay bit-identical to ``shards=1``
+        (property-tested).  An already-sharded dataset is used as-is; the
+        default ``None`` leaves an unsharded dataset unsharded.
     """
 
     def __init__(
@@ -175,7 +182,16 @@ class Session:
         use_numpy: bool = True,
         build_index: bool = True,
         tracer: Optional[obs.Tracer] = None,
+        shards: Optional[int] = None,
     ):
+        if (
+            shards is not None
+            and shards > 1
+            and dataset.layout_digest() is None
+        ):
+            from repro.uncertain.sharded import shard_dataset
+
+            dataset = shard_dataset(dataset, shards)
         self.dataset = dataset
         self.use_numpy = use_numpy
         self.build_index = build_index
@@ -200,16 +216,15 @@ class Session:
         """Eagerly build the traversal structure this session will query.
 
         ``use_numpy`` sessions run the packed level-frontier kernels, so
-        the packed snapshot is frozen now — if the dataset already holds
-        one (the worker array handoff), this is a no-op and **no pointer
-        tree is built at all**; otherwise the bulk load runs once and the
-        freeze adds a single O(n) array pass.  Scalar sessions bulk-load
-        the pointer tree as before.
+        the packed snapshot(s) are frozen now — if the dataset already
+        holds them (the worker array handoff), this is a no-op and **no
+        pointer tree is built at all**; otherwise the bulk load runs once
+        and the freeze adds a single O(n) array pass.  Scalar sessions
+        bulk-load the pointer tree(s) as before.  Delegating to the
+        dataset's ``warm_index`` lets sharded datasets warm every
+        per-shard structure behind the same call.
         """
-        if self.use_numpy:
-            dataset.packed  # noqa: B018 - freeze (or adopt) the snapshot
-        else:
-            dataset.rtree  # noqa: B018 - bulk-load now, reuse every query
+        dataset.warm_index(self.use_numpy)
 
     # ------------------------------------------------------------------
     # construction variants
@@ -277,7 +292,25 @@ class Session:
     def cache_stats(self) -> Dict[str, float]:
         return self.cache.stats.as_dict()
 
+    @property
+    def shard_count(self) -> int:
+        """Spatial shard count of the underlying dataset (1 if unsharded)."""
+        return self.dataset.shard_count
+
     def _key(self, *parts: Hashable) -> Tuple:
+        """Result-cache key: fingerprint, partition layout (if any), spec.
+
+        The layout digest rides along whenever the dataset is sharded.
+        Results are bit-identical across layouts (property-tested), but
+        execution metadata — node accesses, phase timings — is not, and a
+        re-shard of the same data must never serve entries whose stats
+        describe a different partition.  Unsharded sessions keep the
+        historical ``(fingerprint, *spec)`` keys, so existing shared
+        caches stay warm across this change.
+        """
+        layout = self.dataset.layout_digest()
+        if layout is not None:
+            return (self.fingerprint, "layout", layout) + parts
         return (self.fingerprint,) + parts
 
     def _check_spec(self, spec: QuerySpec) -> None:
@@ -476,10 +509,10 @@ class Session:
             build_index=False,
         )
         if not self.use_numpy:
-            # Scalar readers traverse the pointer tree: bulk-load it once
-            # here so per-request views share it instead of each paying
+            # Scalar readers traverse the pointer tree(s): bulk-load once
+            # here so per-request views share them instead of each paying
             # their own O(n log n) build.
-            snapshot.dataset.rtree  # noqa: B018 - eager build
+            snapshot.dataset.warm_index(False)
         snapshot.version = self.version
         snapshot._pdf_objects = dict(self._pdf_objects)
         return snapshot

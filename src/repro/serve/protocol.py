@@ -70,7 +70,10 @@ class ServeConfig:
     an ``overloaded`` envelope instead of waiting), ``write_queue`` the
     single-writer queue of pending mutations, and ``per_connection`` the
     number of requests one connection may keep in flight before further
-    frames are answered ``overloaded`` immediately.
+    frames are answered ``overloaded`` immediately.  ``shards > 1``
+    STR-partitions every hosted raw dataset into that many spatial
+    shards (results stay bit-identical; prepared :class:`Session` objects
+    are hosted as given).
     """
 
     host: str = "127.0.0.1"
@@ -84,6 +87,7 @@ class ServeConfig:
     per_connection: int = 32
     max_line_bytes: int = 1 << 20
     drain_timeout_s: float = 5.0
+    shards: int = 1
 
 
 def error_response(

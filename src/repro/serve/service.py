@@ -80,14 +80,22 @@ class DatasetState:
 
     def info(self) -> Dict[str, Any]:
         published = self.published
-        return {
+        payload = {
             "version": published.version,
             "objects": len(published.dataset),
             "dims": published.dataset.dims,
             "fingerprint": published.fingerprint,
             "kind": type(published.dataset).__name__,
             "write_queue_depth": self.writer.depth,
+            "shards": published.shard_count,
         }
+        layout = published.dataset.layout_digest()
+        if layout is not None:
+            payload["layout_digest"] = layout
+            payload["shard_sizes"] = [
+                len(shard) for shard in published.dataset.shards()
+            ]
+        return payload
 
 
 class DatasetService:
@@ -129,6 +137,7 @@ class DatasetService:
                     item,
                     cache=self.cache,
                     use_numpy=self.config.use_numpy,
+                    shards=self.config.shards,
                 )
             )
             self._states[name] = DatasetState(

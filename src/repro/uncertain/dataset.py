@@ -40,6 +40,12 @@ from repro.uncertain.tensor import DatasetTensor
 class UncertainDataset:
     """An ordered collection of :class:`UncertainObject` with a lazy R-tree."""
 
+    #: Digest header token.  A class attribute (not ``type(self).__name__``)
+    #: so sharded subclasses fingerprint identically to their base — the
+    #: content digest names *what the data is*, never how it is partitioned;
+    #: the partition is named separately by ``layout_digest``.
+    _digest_kind = "UncertainDataset"
+
     def __init__(
         self,
         objects: Iterable[UncertainObject],
@@ -118,6 +124,29 @@ class UncertainDataset:
 
         return self.packed if resolve_use_numpy(use_numpy) else self.rtree
 
+    def warm_index(self, use_numpy: Optional[bool] = None) -> None:
+        """Eagerly build the structure :meth:`spatial_index` would return.
+
+        Sessions call this instead of touching :attr:`packed`/:attr:`rtree`
+        directly so sharded datasets can warm *their* per-shard structures
+        behind the same call.
+        """
+        self.spatial_index(use_numpy)
+
+    @property
+    def shard_count(self) -> int:
+        """Number of spatial shards (1 for a plain dataset)."""
+        return 1
+
+    def layout_digest(self) -> Optional[str]:
+        """Partition-layout digest, or ``None`` for an unsharded dataset.
+
+        Sharded subclasses return a digest of their exact shard
+        assignment; the engine folds it into cache keys so re-sharding
+        the same data can never alias cached results.
+        """
+        return None
+
     def adopt_packed(self, packed: PackedRTree) -> None:
         """Install a pre-built packed snapshot (the worker array handoff).
 
@@ -186,7 +215,7 @@ class UncertainDataset:
             # Object digests are fixed-width (20 bytes), so one join is
             # unambiguous; the header pins type, dims and count.
             hasher.update(
-                f"{type(self).__name__}:{self.dims}:{len(self._objects)}:".encode()
+                f"{self._digest_kind}:{self.dims}:{len(self._objects)}:".encode()
             )
             hasher.update(b"".join(obj.digest() for obj in self._objects))
             self._content_digest = hasher.hexdigest()
@@ -484,6 +513,8 @@ class UncertainDataset:
 
 class CertainDataset(UncertainDataset):
     """A dataset of certain points (Section 4), stored as 1-sample objects."""
+
+    _digest_kind = "CertainDataset"
 
     def __init__(
         self,
