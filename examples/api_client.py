@@ -86,6 +86,8 @@ class NearestCountSpec(QuerySpec):
 
     kind: ClassVar[str] = "nearest_count"
     dataset_kind: ClassVar[str] = "uncertain"
+    cacheable: ClassVar[bool] = True
+    mutates: ClassVar[bool] = False
 
     def __post_init__(self):
         object.__setattr__(self, "q", tuple(float(v) for v in self.q))

@@ -1,0 +1,96 @@
+"""``repro.analysis`` — the repo's AST-based invariant linter.
+
+A zero-dependency static-analysis subsystem that machine-checks the
+contracts the rest of the codebase proves dynamically: determinism
+(RPR001-003), event-loop / single-writer concurrency (RPR101-103),
+cache/registry discipline (RPR201-202), and API hygiene (RPR301-303).
+One AST walk per file dispatches every rule; inline
+``# repro: ignore[RPRxxx]`` suppressions are audited (unused ones are
+themselves errors, RPR900); per-path scoping comes from
+``[tool.repro.lint]`` in ``pyproject.toml``.
+
+Run it as ``python -m repro lint src tests`` (exit 0 clean, 1 findings,
+2 usage/config error), or programmatically::
+
+    from repro.analysis import lint_paths
+
+    findings, files = lint_paths(["src"])
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.config import (
+    LintConfig,
+    LintConfigError,
+    discover_config,
+    load_config,
+)
+from repro.analysis.engine import PARSE_ERROR, FileLinter, LintContext, Rule
+from repro.analysis.findings import ERROR, WARNING, Finding
+from repro.analysis.reporters import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_text,
+    report_from_json,
+)
+from repro.analysis.rules import RULE_CLASSES, all_rules, rules_by_code
+from repro.analysis.suppress import UNUSED_SUPPRESSION, SuppressionIndex
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "PARSE_ERROR",
+    "UNUSED_SUPPRESSION",
+    "JSON_SCHEMA_VERSION",
+    "Finding",
+    "FileLinter",
+    "LintConfig",
+    "LintConfigError",
+    "LintContext",
+    "Rule",
+    "RULE_CLASSES",
+    "SuppressionIndex",
+    "all_rules",
+    "rules_by_code",
+    "discover_config",
+    "load_config",
+    "render_json",
+    "render_text",
+    "report_from_json",
+    "lint_paths",
+    "make_linter",
+]
+
+
+def make_linter(
+    config_path: Optional[Path] = None,
+    *,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+    discover: bool = True,
+) -> FileLinter:
+    """A ready :class:`FileLinter` with the full rule set.
+
+    With *discover* (the default) and no explicit *config_path*, the
+    nearest ``pyproject.toml`` above the working directory is used.
+    """
+    if config_path is None and discover:
+        config_path = discover_config(Path.cwd())
+    codes = {cls.code for cls in RULE_CLASSES}
+    config = load_config(config_path, codes, select=select, ignore=ignore)
+    return FileLinter(all_rules(), config)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config_path: Optional[Path] = None,
+    *,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> Tuple[List[Finding], int]:
+    """Lint *paths* with discovered/explicit config; ``(findings, files)``."""
+    linter = make_linter(config_path, select=select, ignore=ignore)
+    return linter.lint_paths([Path(p) for p in paths])

@@ -1,0 +1,120 @@
+"""The ``repro lint`` front-end.
+
+Exit codes are part of the CI contract and stable:
+
+* ``0`` — clean (no non-suppressed findings)
+* ``1`` — findings reported
+* ``2`` — usage or configuration error (unknown rule code, unreadable
+  config/path, invalid TOML) — argparse's own convention, so flag typos
+  and config mistakes land on the same status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis import (
+    RULE_CLASSES,
+    LintConfigError,
+    make_linter,
+    render_json,
+    render_text,
+)
+
+
+def _codes(value: str) -> List[str]:
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to *parser* (shared with the repro CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files/directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        metavar="CODES",
+        help="comma-separated rule codes to run exclusively (e.g. "
+        "RPR001,RPR302); overrides the config file's select",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        metavar="CODES",
+        help="comma-separated rule codes to disable; overrides the config "
+        "file's ignore",
+    )
+    parser.add_argument(
+        "--config",
+        default=None,
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml ([tool.repro.lint]); default: nearest "
+        "pyproject.toml above the working directory",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the rule table (code, name, severity, rationale) and exit",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute one lint run for parsed *args*; returns the exit code."""
+    if args.explain:
+        width = max(len(cls.name) for cls in RULE_CLASSES)
+        for cls in RULE_CLASSES:
+            print(
+                f"{cls.code}  {cls.name:<{width}}  "
+                f"[{cls.severity}] {cls.rationale}"
+            )
+        return 0
+    try:
+        linter = make_linter(
+            Path(args.config) if args.config else None,
+            select=_codes(args.select),
+            ignore=_codes(args.ignore),
+            discover=args.config is None,
+        )
+    except LintConfigError as exc:
+        print(f"lint: config error: {exc}", file=sys.stderr)
+        return 2
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"lint: no such path(s): {', '.join(missing)}", file=sys.stderr
+        )
+        return 2
+
+    findings, files = linter.lint_paths(paths)
+    if args.json:
+        sys.stdout.write(render_json(findings, files))
+    else:
+        print(render_text(findings, files))
+    return 1 if findings else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based invariant linter for the repro codebase",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,212 @@
+"""Lint configuration: rule selection plus per-path rule scoping.
+
+Every rule ships sensible defaults (its ``default_paths`` /
+``default_exclude`` globs encode *where the contract applies* — e.g. the
+determinism rules exempt ``repro/bench``, where wall-clock timestamps are
+the point).  A ``pyproject.toml`` overlays repo-specific scoping::
+
+    [tool.repro.lint]
+    select = []          # empty = every rule
+    ignore = []          # codes disabled everywhere
+
+    [tool.repro.lint.rules.RPR303]
+    exclude = ["src/repro/io/cli.py", "tests/*"]
+
+    [tool.repro.lint.rules.RPR103]
+    paths = ["src/repro/serve/*"]
+
+``paths`` replaces the rule's active globs (empty/omitted = the rule's
+default), ``exclude`` *extends* the rule's default exclusions.  Globs use
+:mod:`fnmatch` semantics against ``/``-separated paths relative to the
+config root (``*`` crosses directory separators, so ``src/repro/bench/*``
+covers the whole subtree).
+
+Config errors — an unreadable/invalid TOML file, an unknown code in
+``select``/``ignore``/``rules`` — raise :class:`LintConfigError`, which
+the CLI maps to exit code 2 (usage error), distinct from exit 1
+(findings).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+
+class LintConfigError(Exception):
+    """Invalid lint configuration (exit code 2, not a finding)."""
+
+
+_CODE_RE_HINT = "rule codes look like RPR001"
+
+
+def _normalize_codes(label: str, values: Sequence[str], known: Set[str]) -> Tuple[str, ...]:
+    out = []
+    for value in values:
+        code = str(value).strip().upper()
+        if code not in known:
+            raise LintConfigError(
+                f"{label}: unknown rule code {code!r} "
+                f"({_CODE_RE_HINT}; known: {', '.join(sorted(known))})"
+            )
+        out.append(code)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class RuleScope:
+    """Per-rule path overrides layered on the rule's own defaults."""
+
+    paths: Tuple[str, ...] = ()    # empty = keep the rule's default_paths
+    exclude: Tuple[str, ...] = ()  # extends the rule's default_exclude
+
+
+@dataclass
+class LintConfig:
+    """Resolved configuration for one lint run."""
+
+    select: Tuple[str, ...] = ()
+    ignore: Tuple[str, ...] = ()
+    scopes: Dict[str, RuleScope] = field(default_factory=dict)
+    root: Optional[Path] = None  # globs resolve relative to this
+
+    # ------------------------------------------------------------------
+    def active_codes(self, all_codes: Sequence[str]) -> Set[str]:
+        """The codes this run executes, after select/ignore."""
+        active = set(self.select) if self.select else set(all_codes)
+        return active - set(self.ignore)
+
+    def rule_applies(
+        self,
+        code: str,
+        rel_path: str,
+        default_paths: Sequence[str],
+        default_exclude: Sequence[str],
+    ) -> bool:
+        """Does *code* run on *rel_path* (posix, config-root-relative)?"""
+        scope = self.scopes.get(code)
+        paths = (
+            scope.paths if scope is not None and scope.paths else default_paths
+        )
+        exclude = tuple(default_exclude)
+        if scope is not None:
+            exclude += scope.exclude
+        if paths and not any(fnmatch.fnmatch(rel_path, g) for g in paths):
+            return False
+        return not any(fnmatch.fnmatch(rel_path, g) for g in exclude)
+
+
+def _as_str_list(label: str, value: object) -> List[str]:
+    if not isinstance(value, list) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise LintConfigError(f"{label} must be an array of strings")
+    return value
+
+
+def load_config(
+    config_path: Optional[Path],
+    known_codes: Set[str],
+    *,
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> LintConfig:
+    """Build a :class:`LintConfig` from pyproject TOML + CLI overrides.
+
+    *config_path* of ``None`` means "no file": CLI flags only.  CLI
+    ``select``/``ignore`` override (not extend) the file's lists, matching
+    the usual linter convention.
+    """
+    file_select: Tuple[str, ...] = ()
+    file_ignore: Tuple[str, ...] = ()
+    scopes: Dict[str, RuleScope] = {}
+    root: Optional[Path] = None
+
+    if config_path is not None:
+        try:
+            payload = tomllib.loads(config_path.read_text())
+        except OSError as exc:
+            raise LintConfigError(f"cannot read {config_path}: {exc}") from exc
+        except tomllib.TOMLDecodeError as exc:
+            raise LintConfigError(f"{config_path}: invalid TOML: {exc}") from exc
+        root = config_path.resolve().parent
+        section = payload.get("tool", {}).get("repro", {}).get("lint", {})
+        if not isinstance(section, dict):
+            raise LintConfigError(
+                f"{config_path}: [tool.repro.lint] must be a table"
+            )
+        file_select = _normalize_codes(
+            "[tool.repro.lint] select",
+            _as_str_list("select", section.get("select", [])),
+            known_codes,
+        )
+        file_ignore = _normalize_codes(
+            "[tool.repro.lint] ignore",
+            _as_str_list("ignore", section.get("ignore", [])),
+            known_codes,
+        )
+        rules = section.get("rules", {})
+        if not isinstance(rules, dict):
+            raise LintConfigError(
+                f"{config_path}: [tool.repro.lint.rules] must be a table"
+            )
+        for code, entry in rules.items():
+            code = str(code).strip().upper()
+            if code not in known_codes:
+                raise LintConfigError(
+                    f"{config_path}: [tool.repro.lint.rules.{code}]: "
+                    f"unknown rule code ({_CODE_RE_HINT})"
+                )
+            if not isinstance(entry, dict):
+                raise LintConfigError(
+                    f"{config_path}: [tool.repro.lint.rules.{code}] "
+                    "must be a table with 'paths' and/or 'exclude'"
+                )
+            unknown = set(entry) - {"paths", "exclude"}
+            if unknown:
+                raise LintConfigError(
+                    f"{config_path}: [tool.repro.lint.rules.{code}]: "
+                    f"unknown key(s) {sorted(unknown)}"
+                )
+            scopes[code] = RuleScope(
+                paths=tuple(
+                    _as_str_list(f"rules.{code}.paths", entry.get("paths", []))
+                ),
+                exclude=tuple(
+                    _as_str_list(
+                        f"rules.{code}.exclude", entry.get("exclude", [])
+                    )
+                ),
+            )
+
+    return LintConfig(
+        select=(
+            _normalize_codes("--select", select, known_codes)
+            if select
+            else file_select
+        ),
+        ignore=(
+            _normalize_codes("--ignore", ignore, known_codes)
+            if ignore
+            else file_ignore
+        ),
+        scopes=scopes,
+        root=root,
+    )
+
+
+def discover_config(start: Path) -> Optional[Path]:
+    """The nearest ``pyproject.toml`` at or above *start* that has a
+    ``[tool.repro.lint]`` table (or any pyproject at all, for root
+    resolution)."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for candidate_dir in (current, *current.parents):
+        candidate = candidate_dir / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None

@@ -1,0 +1,67 @@
+"""The linter's output model: one :class:`Finding` per contract violation.
+
+A finding is a plain, JSON-stable value — ``(path, line, col, code,
+severity, message)`` — so the text and JSON reporters, the suppression
+pass, and the tests all speak one shape.  ``Severity`` is deliberately
+two-valued: every finding fails the build (the CI contract), severity
+only drives presentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+#: Findings that fail the build outright (contract violations).
+ERROR = "error"
+#: Style/hygiene findings; still nonzero exit, rendered distinctly.
+WARNING = "warning"
+
+SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    severity: str
+    message: str
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        return cls(
+            path=payload["path"],
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            code=payload["code"],
+            severity=payload["severity"],
+            message=payload["message"],
+        )
+
+    def render(self) -> str:
+        """The one-line text-reporter form (``path:line:col: CODE ...``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )

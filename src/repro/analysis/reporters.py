@@ -1,0 +1,65 @@
+"""Finding reporters: human text and machine JSON.
+
+Both reporters are pure (findings in, string out) so the CLI owns all
+printing and the JSON schema can be round-trip tested:
+``report_from_json(render_json(...))`` reconstructs the exact finding
+list.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Schema version of the JSON report; bump on breaking shape changes.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], files: int) -> str:
+    """One line per finding plus a summary tail line."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        by_code: Dict[str, int] = {}
+        for finding in findings:
+            by_code[finding.code] = by_code.get(finding.code, 0) + 1
+        breakdown = ", ".join(
+            f"{code} x{count}" for code, count in sorted(by_code.items())
+        )
+        lines.append(
+            f"{len(findings)} finding(s) in {files} file(s): {breakdown}"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {files} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files: int) -> str:
+    """The machine-readable report (stable key order, newline-terminated)."""
+    by_code: Dict[str, int] = {}
+    for finding in findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+    payload: Dict[str, Any] = {
+        "version": JSON_SCHEMA_VERSION,
+        "summary": {
+            "files": files,
+            "findings": len(findings),
+            "errors": sum(f.severity == "error" for f in findings),
+            "warnings": sum(f.severity == "warning" for f in findings),
+            "by_code": dict(sorted(by_code.items())),
+        },
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def report_from_json(text: str) -> Tuple[List[Finding], int]:
+    """Parse a :func:`render_json` report back into ``(findings, files)``."""
+    payload = json.loads(text)
+    if payload.get("version") != JSON_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported lint report version {payload.get('version')!r}"
+        )
+    findings = [Finding.from_dict(item) for item in payload["findings"]]
+    return findings, int(payload["summary"]["files"])

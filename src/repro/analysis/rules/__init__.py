@@ -1,0 +1,52 @@
+"""The rule registry: every active rule, in code order.
+
+Import-time assembly keeps the table declarative; :func:`all_rules`
+returns fresh instances so two concurrent :class:`~repro.analysis.
+engine.FileLinter` objects never share rule state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.analysis.engine import Rule
+from repro.analysis.rules.cache import CacheKeyFingerprintRule, SpecContractRule
+from repro.analysis.rules.concurrency import (
+    BlockingCallInAsyncRule,
+    LockAcrossAwaitRule,
+    SingleWriterSeamRule,
+)
+from repro.analysis.rules.determinism import (
+    UnorderedIterationRule,
+    UnseededRngRule,
+    WallClockRule,
+)
+from repro.analysis.rules.hygiene import (
+    BareExceptRule,
+    MutableDefaultRule,
+    PrintInLibraryRule,
+)
+
+#: Code-ordered rule classes — the authoritative table the CLI, the
+#: README generator, and the tests all enumerate.
+RULE_CLASSES: List[Type[Rule]] = [
+    WallClockRule,          # RPR001
+    UnseededRngRule,        # RPR002
+    UnorderedIterationRule, # RPR003
+    BlockingCallInAsyncRule,  # RPR101
+    LockAcrossAwaitRule,      # RPR102
+    SingleWriterSeamRule,     # RPR103
+    SpecContractRule,         # RPR201
+    CacheKeyFingerprintRule,  # RPR202
+    MutableDefaultRule,       # RPR301
+    BareExceptRule,           # RPR302
+    PrintInLibraryRule,       # RPR303
+]
+
+
+def all_rules() -> List[Rule]:
+    return [cls() for cls in RULE_CLASSES]
+
+
+def rules_by_code() -> Dict[str, Type[Rule]]:
+    return {cls.code: cls for cls in RULE_CLASSES}

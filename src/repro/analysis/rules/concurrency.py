@@ -1,0 +1,189 @@
+"""Concurrency rules: the serve layer's event-loop and single-writer
+contracts.
+
+The asyncio server multiplexes every connection onto one event loop; a
+single blocking call in a coroutine stalls *all* of them (PR 7 pushes
+blocking work onto the thread pool via ``run_in_executor`` for exactly
+this reason).  The snapshot-isolation story additionally requires that
+service state is only mutated through the :class:`~repro.serve.writer.
+SingleWriter` seam — a mutation from a read path would race the writer
+and break the "response echoes its session_version" property.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.analysis.engine import (
+    LintContext,
+    Rule,
+    contains_await,
+    dotted_name,
+    subtree_mentions,
+)
+
+
+class BlockingCallInAsyncRule(Rule):
+    """RPR101: no blocking calls in ``async def`` bodies.
+
+    ``time.sleep``, synchronous socket/file I/O, and ``subprocess`` calls
+    freeze the event loop for every connection.  Use ``asyncio.sleep``,
+    stream APIs, or ``loop.run_in_executor(pool, fn, ...)`` (passing the
+    callable, not calling it).
+    """
+
+    code = "RPR101"
+    name = "blocking-in-async"
+    rationale = (
+        "a blocking call inside async def stalls the whole event loop; "
+        "await an async API or push it onto the executor pool"
+    )
+    node_types = (ast.Call,)
+    default_paths = ("src/repro/*",)
+
+    _BLOCKING = {
+        "time.sleep": "asyncio.sleep",
+        "subprocess.run": "loop.run_in_executor",
+        "subprocess.call": "loop.run_in_executor",
+        "subprocess.check_call": "loop.run_in_executor",
+        "subprocess.check_output": "loop.run_in_executor",
+        "subprocess.Popen": "asyncio.create_subprocess_exec",
+        "socket.create_connection": "asyncio.open_connection",
+        "socket.getaddrinfo": "loop.getaddrinfo",
+        "os.system": "asyncio.create_subprocess_shell",
+        "urllib.request.urlopen": "loop.run_in_executor",
+    }
+    _BLOCKING_BARE = {
+        "open": "loop.run_in_executor (or read before entering the loop)",
+    }
+    _BLOCKING_TAILS = {
+        "read_text": "loop.run_in_executor",
+        "write_text": "loop.run_in_executor",
+        "read_bytes": "loop.run_in_executor",
+        "write_bytes": "loop.run_in_executor",
+    }
+
+    def check(self, node: ast.Call, ctx: LintContext) -> None:
+        if not ctx.in_async_function:
+            return
+        name = dotted_name(node.func)
+        hint: Optional[str] = None
+        if name in self._BLOCKING:
+            hint = self._BLOCKING[name]
+        elif name in self._BLOCKING_BARE:
+            hint = self._BLOCKING_BARE[name]
+        else:
+            tail = name.rsplit(".", 1)[-1]
+            if "." in name and tail in self._BLOCKING_TAILS:
+                hint = self._BLOCKING_TAILS[tail]
+        if hint is not None:
+            ctx.report(
+                self,
+                node,
+                f"blocking call {name}() inside async def blocks the event "
+                f"loop; use {hint}",
+            )
+
+
+class LockAcrossAwaitRule(Rule):
+    """RPR102: no sync lock held across an ``await``.
+
+    A ``with some_lock:`` block that awaits parks the coroutine while the
+    *thread* lock stays held; any pool thread (or another coroutine
+    resumed on the loop) touching the same lock then deadlocks the
+    server.  Release before awaiting, or use ``asyncio.Lock``.
+    """
+
+    code = "RPR102"
+    name = "lock-across-await"
+    rationale = (
+        "a threading lock held across an await is a deadlock seed: the "
+        "coroutine parks, the lock stays taken"
+    )
+    node_types = (ast.With,)
+    default_paths = ("src/repro/*",)
+
+    _LOCK_TOKENS = ("lock", "Lock", "mutex", "Semaphore", "Condition")
+
+    def check(self, node: ast.With, ctx: LintContext) -> None:
+        if not ctx.in_async_function:
+            return
+        if not contains_await(node):
+            return
+        for item in node.items:
+            expr = item.context_expr
+            if subtree_mentions(expr, self._LOCK_TOKENS):
+                ctx.report(
+                    self,
+                    node,
+                    f"sync lock {ast.unparse(expr)!r} held across an await; "
+                    "release it before awaiting or use asyncio.Lock",
+                )
+                return
+
+
+class SingleWriterSeamRule(Rule):
+    """RPR103: serve-layer state mutates only through the writer seam.
+
+    In :mod:`repro.serve`, dataset mutation (``session.apply`` /
+    ``apply_delta`` / ``insert_object`` / ...) and snapshot publication
+    (``*.published = ...``) are legal **only** inside the single-writer
+    apply callback (``_apply_write``) — anywhere else they race the
+    writer queue and void snapshot isolation.
+    """
+
+    code = "RPR103"
+    name = "single-writer-seam"
+    rationale = (
+        "mutating service state outside the SingleWriter apply seam races "
+        "the write queue and breaks snapshot isolation"
+    )
+    node_types = (ast.Call, ast.Assign, ast.AugAssign)
+    default_paths = ("src/repro/serve/*",)
+
+    _MUTATORS = {
+        "apply",
+        "apply_delta",
+        "replace_dataset",
+        "insert_object",
+        "delete_object",
+        "update_object",
+    }
+    _ALLOWED_FUNCS = {"_apply_write", "__init__"}
+
+    def _in_seam(self, ctx: LintContext) -> bool:
+        names = ctx.enclosing_function_names()
+        return any(name in self._ALLOWED_FUNCS for name in names)
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        if self._in_seam(ctx):
+            return
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in self._MUTATORS
+                and subtree_mentions(func.value, ("session", "dataset"))
+            ):
+                ctx.report(
+                    self,
+                    node,
+                    f".{func.attr}(...) mutates session state outside the "
+                    "SingleWriter seam; route it through writer.submit() so "
+                    "the apply callback publishes the snapshot",
+                )
+            return
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Attribute) and target.attr == "published":
+                ctx.report(
+                    self,
+                    node,
+                    "assignment to .published outside the SingleWriter apply "
+                    "callback; snapshots may only be published after a "
+                    "successful serialized write",
+                )
+                return

@@ -1,0 +1,112 @@
+"""API-hygiene rules: classic Python footguns the repo bans outright."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import LintContext, Rule, dotted_name
+from repro.analysis.findings import WARNING
+
+
+class MutableDefaultRule(Rule):
+    """RPR301: no mutable default arguments.
+
+    A ``def f(x=[])`` default is created once and shared by every call;
+    state leaks across invocations (and across sessions, for long-lived
+    engine objects).  Use ``None`` plus an in-body default.
+    """
+
+    code = "RPR301"
+    name = "mutable-default"
+    rationale = (
+        "mutable default arguments are shared across calls; default to "
+        "None and materialize inside the function"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _FACTORIES = {"list", "dict", "set", "bytearray"}
+
+    def _is_mutable(self, default: ast.AST) -> bool:
+        if isinstance(
+            default,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+             ast.SetComp),
+        ):
+            return True
+        if isinstance(default, ast.Call):
+            return dotted_name(default.func) in self._FACTORIES
+        return False
+
+    def check(self, node: ast.AST, ctx: LintContext) -> None:
+        args = node.args
+        for default in (*args.defaults, *args.kw_defaults):
+            if default is not None and self._is_mutable(default):
+                name = getattr(node, "name", "<lambda>")
+                ctx.report(
+                    self,
+                    default,
+                    f"mutable default argument in {name}(): evaluated once "
+                    "and shared by every call; use None and build it in "
+                    "the body",
+                )
+
+
+class BareExceptRule(Rule):
+    """RPR302: no bare ``except:``.
+
+    A bare except swallows ``KeyboardInterrupt``/``SystemExit`` too — the
+    CLI's graceful-shutdown discipline (flush NDJSON, close the tracer,
+    exit 130) depends on those propagating.  Catch a concrete exception
+    type, or ``Exception`` at the very least.
+    """
+
+    code = "RPR302"
+    name = "bare-except"
+    rationale = (
+        "bare except: swallows KeyboardInterrupt/SystemExit and hides the "
+        "graceful-shutdown path; name the exception type"
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def check(self, node: ast.ExceptHandler, ctx: LintContext) -> None:
+        if node.type is None:
+            ctx.report(
+                self,
+                node,
+                "bare except: catches KeyboardInterrupt and SystemExit; "
+                "catch a concrete exception type (Exception at broadest)",
+            )
+
+
+class PrintInLibraryRule(Rule):
+    """RPR303: no ``print()`` in library code.
+
+    Engine/serve/index code emits through envelopes, the metrics
+    registry, or the tracer; a stray print corrupts the NDJSON streams
+    the CLI and server write to stdout.  Only the CLI front-ends and
+    reporters print.
+    """
+
+    code = "RPR303"
+    name = "print-in-library"
+    severity = WARNING
+    rationale = (
+        "library prints corrupt the CLI/server NDJSON stdout streams; "
+        "emit through envelopes, metrics, or the tracer"
+    )
+    node_types = (ast.Call,)
+    default_paths = ("src/repro/*",)
+    default_exclude = (
+        "src/repro/io/cli.py",
+        "src/repro/analysis/cli.py",
+        "src/repro/bench/*",
+    )
+
+    def check(self, node: ast.Call, ctx: LintContext) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "print":
+            ctx.report(
+                self,
+                node,
+                "print() in library code writes into the CLI/server stdout "
+                "protocol streams; return data or log through repro.obs",
+            )

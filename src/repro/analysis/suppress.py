@@ -1,0 +1,102 @@
+"""Inline suppressions: ``# repro: ignore[RPRxxx]`` comments.
+
+A suppression silences specific rule codes on the physical line the
+comment sits on (for multi-line constructs, that is the line the node's
+``lineno`` points at — the first line).  Suppressions are *audited*: one
+that silences nothing is itself an error (:data:`UNUSED_SUPPRESSION`),
+so stale ignores can never accumulate and quietly mask a future
+regression — the same contract ``mypy``'s ``warn_unused_ignores`` and
+ruff's ``--extend-select RUF100`` enforce.
+
+Parsing is tokenizer-based, so a ``# repro: ignore[...]`` inside a string
+literal is never treated as a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.findings import ERROR, Finding
+
+#: Meta-code for a suppression comment that silenced no finding.
+UNUSED_SUPPRESSION = "RPR900"
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]"
+)
+
+
+class SuppressionIndex:
+    """Per-file map of line -> suppressed codes, with usage accounting."""
+
+    def __init__(self, source: str):
+        #: line -> set of codes suppressed on that line
+        self.by_line: Dict[int, Set[str]] = {}
+        self._used: Set[Tuple[int, str]] = set()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _PATTERN.search(token.string)
+                if match is None:
+                    continue
+                codes = {
+                    part.strip().upper()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                }
+                if codes:
+                    line = token.start[0]
+                    self.by_line.setdefault(line, set()).update(codes)
+        except tokenize.TokenError:
+            # An unterminated construct: the AST parse will report the
+            # syntax error; suppressions simply don't apply.
+            pass
+
+    # ------------------------------------------------------------------
+    def suppresses(self, line: int, code: str) -> bool:
+        """True (and marks the suppression used) if *code* is ignored on
+        *line*."""
+        codes = self.by_line.get(line)
+        if codes is None or code not in codes:
+            return False
+        self._used.add((line, code))
+        return True
+
+    def unused(self, active_codes: Set[str]) -> List[Tuple[int, str]]:
+        """``(line, code)`` suppressions that silenced nothing.
+
+        Codes outside *active_codes* (deselected via config or ``--select``)
+        are skipped: a narrowed run must not flag suppressions whose rule
+        it never executed.  Unknown codes are always reported — they can
+        never silence anything.
+        """
+        out = []
+        for line, codes in sorted(self.by_line.items()):
+            for code in sorted(codes):
+                if (line, code) in self._used:
+                    continue
+                if code.startswith("RPR") and code not in active_codes:
+                    continue
+                out.append((line, code))
+        return out
+
+    def unused_findings(self, path: str, active_codes: Set[str]) -> List[Finding]:
+        return [
+            Finding(
+                path=path,
+                line=line,
+                col=0,
+                code=UNUSED_SUPPRESSION,
+                severity=ERROR,
+                message=(
+                    f"unused suppression: no {code} finding on this line "
+                    "(remove the stale '# repro: ignore')"
+                ),
+            )
+            for line, code in self.unused(active_codes)
+        ]

@@ -135,8 +135,8 @@ class RemoteClient:
                 self._fatal = RemoteProtocolError(
                     "connection closed by server"
                 )
-            for queue in self._pending.values():
-                queue.put_nowait(None)  # wake every waiter
+            for request_id in sorted(self._pending):
+                self._pending[request_id].put_nowait(None)  # wake every waiter
 
     async def _send(self, payload: Dict[str, Any]) -> None:
         if self._fatal is not None:

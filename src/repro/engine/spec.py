@@ -111,6 +111,8 @@ class PRSQSpec(QuerySpec):
 
     kind: ClassVar[str] = "prsq"
     dataset_kind: ClassVar[str] = "uncertain"
+    cacheable: ClassVar[bool] = True
+    mutates: ClassVar[bool] = False
 
     def __post_init__(self):
         object.__setattr__(self, "q", _point_tuple(self.q))
@@ -132,6 +134,8 @@ class CausalitySpec(QuerySpec):
 
     kind: ClassVar[str] = "causality"
     dataset_kind: ClassVar[str] = "uncertain"
+    cacheable: ClassVar[bool] = True
+    mutates: ClassVar[bool] = False
 
     def __post_init__(self):
         object.__setattr__(self, "q", _point_tuple(self.q))
@@ -155,6 +159,8 @@ class PdfCausalitySpec(QuerySpec):
 
     kind: ClassVar[str] = "pdf_causality"
     dataset_kind: ClassVar[str] = "pdf"
+    cacheable: ClassVar[bool] = True
+    mutates: ClassVar[bool] = False
 
     def __post_init__(self):
         object.__setattr__(self, "q", _point_tuple(self.q))
@@ -171,6 +177,8 @@ class CausalityCertainSpec(QuerySpec):
 
     kind: ClassVar[str] = "causality_certain"
     dataset_kind: ClassVar[str] = "certain"
+    cacheable: ClassVar[bool] = True
+    mutates: ClassVar[bool] = False
 
     def __post_init__(self):
         object.__setattr__(self, "q", _point_tuple(self.q))
@@ -187,6 +195,8 @@ class KSkybandCausalitySpec(QuerySpec):
 
     kind: ClassVar[str] = "k_skyband_causality"
     dataset_kind: ClassVar[str] = "certain"
+    cacheable: ClassVar[bool] = True
+    mutates: ClassVar[bool] = False
 
     def __post_init__(self):
         object.__setattr__(self, "q", _point_tuple(self.q))
@@ -202,6 +212,8 @@ class ReverseSkylineSpec(QuerySpec):
 
     kind: ClassVar[str] = "reverse_skyline"
     dataset_kind: ClassVar[str] = "certain"
+    cacheable: ClassVar[bool] = True
+    mutates: ClassVar[bool] = False
 
     def __post_init__(self):
         object.__setattr__(self, "q", _point_tuple(self.q))
@@ -216,6 +228,8 @@ class ReverseKSkybandSpec(QuerySpec):
 
     kind: ClassVar[str] = "reverse_k_skyband"
     dataset_kind: ClassVar[str] = "certain"
+    cacheable: ClassVar[bool] = True
+    mutates: ClassVar[bool] = False
 
     def __post_init__(self):
         object.__setattr__(self, "q", _point_tuple(self.q))
@@ -233,6 +247,8 @@ class ReverseTopKSpec(QuerySpec):
 
     kind: ClassVar[str] = "reverse_top_k"
     dataset_kind: ClassVar[str] = "certain"
+    cacheable: ClassVar[bool] = True
+    mutates: ClassVar[bool] = False
 
     def __post_init__(self):
         object.__setattr__(self, "q", _point_tuple(self.q))

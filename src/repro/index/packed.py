@@ -229,6 +229,11 @@ class PackedRTree:
         for slot, value in state.items():
             setattr(self, slot, value)
         self.stats = AccessStats()
+        # pickle restores fresh writable arrays; re-freeze so a worker's
+        # copy keeps the same immutability contract as the original
+        for slot, value in state.items():
+            if isinstance(value, np.ndarray):
+                value.flags.writeable = False
 
     # ------------------------------------------------------------------
     # traversal kernels

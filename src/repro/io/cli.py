@@ -13,6 +13,7 @@ Usage (after ``pip install -e .``)::
     python -m repro stats    --data data.csv --queries queries.json
     python -m repro update   --data data.csv --ops ops.ndjsonl --out new.csv
     python -m repro serve    --data data.csv --port 7733 --threads 4
+    python -m repro lint     src tests --json
 
 ``generate`` writes a synthetic dataset; ``prsq`` lists answers and
 non-answers with probabilities; ``explain`` runs algorithm CP on one
@@ -38,6 +39,11 @@ SIGINT/SIGTERM; ``batch`` and ``serve`` share the same shutdown
 discipline — flush what was already produced, close the tracer sink,
 exit with a distinct status — so Ctrl-C never truncates an NDJSON line
 or loses buffered spans.
+
+``lint`` runs the :mod:`repro.analysis` AST invariant linter over the
+given paths (determinism, concurrency, cache-discipline, and hygiene
+contracts; see the README rule table).  Exit codes are stable: 0 clean,
+1 findings, 2 usage/config error.
 """
 
 from __future__ import annotations
@@ -307,6 +313,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="STR-partition every hosted dataset into K spatial shards "
         "(snapshot publication and results unchanged; default 1)",
     )
+
+    from repro.analysis.cli import add_lint_arguments
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro.analysis AST invariant linter",
+        description=(
+            "Statically check the codebase's determinism, concurrency, "
+            "cache-discipline, and API-hygiene contracts (rules RPR001-"
+            "RPR303; '# repro: ignore[RPRxxx]' suppresses one line and "
+            "errors when unused).  Exit codes: 0 clean, 1 findings, "
+            "2 usage/config error."
+        ),
+    )
+    add_lint_arguments(lint)
 
     return parser
 
@@ -766,6 +787,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_lint
+
+    return run_lint(args)
+
+
 _COMMANDS = {
     "generate": _cmd_generate,
     "prsq": _cmd_prsq,
@@ -775,11 +802,17 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "update": _cmd_update,
     "serve": _cmd_serve,
+    "lint": _cmd_lint,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        # Lint owns its exit-code contract (0 clean / 1 findings / 2
+        # usage-or-config error); the broad catcher below would fold a
+        # config error into 1.
+        return _cmd_lint(args)
     try:
         return _COMMANDS[args.command](args)
     except (ReproError, KeyError, ValueError, OSError) as exc:

@@ -144,7 +144,7 @@ class DatasetService:
                 name, session, self._pool,
                 write_queue=self.config.write_queue,
             )
-        self._started = time.time()
+        self._started = time.monotonic()
         metrics = obs.registry()
         self._requests = metrics.counter("serve.requests")
         self._failures = metrics.counter("serve.request_failures")
@@ -152,12 +152,12 @@ class DatasetService:
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        for state in self._states.values():
-            state.writer.start()
+        for name in sorted(self._states):
+            self._states[name].writer.start()
 
     async def stop(self) -> None:
-        for state in self._states.values():
-            await state.writer.stop()
+        for name in sorted(self._states):
+            await self._states[name].writer.stop()
         self._pool.shutdown(wait=True)
 
     async def __aenter__(self) -> "DatasetService":
@@ -244,7 +244,7 @@ class DatasetService:
             }
         return {
             "service": {
-                "uptime_s": round(time.time() - self._started, 3),
+                "uptime_s": round(time.monotonic() - self._started, 3),
                 "threads": self.config.threads,
                 "cache": self.cache.stats.as_dict(),
                 "admission": self.admission.snapshot(),

@@ -535,6 +535,9 @@ class CertainDataset(UncertainDataset):
             name = names[i] if names is not None else None
             objects.append(UncertainObject.certain(oid, matrix[i], name=name))
         super().__init__(objects, page_size=page_size)
+        # frozen: snapshots and worker handoffs share this matrix by
+        # reference, so an in-place write would corrupt every reader
+        matrix.flags.writeable = False
         self.points = matrix
 
     @classmethod
@@ -558,7 +561,9 @@ class CertainDataset(UncertainDataset):
                     f"object {obj.oid!r} has {obj.num_samples} samples; "
                     "certain datasets need single-sample objects"
                 )
-        dataset.points = np.vstack([obj.samples[0] for obj in dataset._objects])
+        points = np.vstack([obj.samples[0] for obj in dataset._objects])
+        points.flags.writeable = False
+        dataset.points = points
         return dataset
 
     def point_of(self, oid: Hashable) -> np.ndarray:
@@ -599,15 +604,21 @@ class CertainDataset(UncertainDataset):
                 "certain datasets need single-sample objects"
             )
 
+    def _replace_points(self, points: np.ndarray) -> None:
+        # every mutation swaps the matrix wholesale and re-freezes it, so
+        # snapshots holding the previous matrix stay untouched
+        points.flags.writeable = False
+        self.points = points
+
     def _insert_many(self, objects: Sequence[UncertainObject]) -> None:
         super()._insert_many(objects)
-        self.points = np.concatenate(
+        self._replace_points(np.concatenate(
             [self.points] + [obj.samples[:1] for obj in objects]
-        )
+        ))
 
     def _delete_many(self, oids: Sequence[Hashable]) -> List[int]:
         positions = super()._delete_many(oids)
-        self.points = np.delete(self.points, positions, axis=0)
+        self._replace_points(np.delete(self.points, positions, axis=0))
         return positions
 
     def _update_many(self, objects: Sequence[UncertainObject]) -> List[int]:
@@ -615,5 +626,5 @@ class CertainDataset(UncertainDataset):
         points = self.points.copy()
         for position, obj in zip(positions, objects):
             points[position] = obj.samples[0]
-        self.points = points
+        self._replace_points(points)
         return positions

@@ -99,6 +99,20 @@ class DatasetTensor:
         tensor.index_of = {oid: i for i, oid in enumerate(ids)}
         return tensor
 
+    # ------------------------------------------------------------------
+    # pickling (worker handoff): re-freeze the restored arrays
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        # unpickled arrays come back writable; a worker's copy must keep
+        # the same read-only contract as the tensor it was cloned from
+        for array in (self.samples, self.probabilities, self.mask):
+            array.flags.writeable = False
+
     def _padded_to(self, s_max: int):
         """Writable copies of the arrays, widened to *s_max* slots."""
         n, old, d = self.samples.shape

@@ -1,0 +1,518 @@
+"""repro.analysis — the AST invariant linter.
+
+Every rule is exercised three ways: a fixture snippet that triggers it
+(true positive), a clean sibling that must not (negative), and the same
+true positive silenced by an inline ``# repro: ignore[RPRxxx]``
+suppression.  On top of that: suppression auditing (unused ones are
+RPR900 errors), pyproject scoping semantics, the JSON reporter
+round-trip, and the CLI's stable exit codes (0 clean / 1 findings /
+2 usage or config error).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    ERROR,
+    JSON_SCHEMA_VERSION,
+    PARSE_ERROR,
+    RULE_CLASSES,
+    UNUSED_SUPPRESSION,
+    WARNING,
+    FileLinter,
+    Finding,
+    LintConfig,
+    LintConfigError,
+    all_rules,
+    load_config,
+    render_json,
+    render_text,
+    report_from_json,
+)
+from repro.analysis.cli import main as lint_main
+
+#: Virtual repo root: fixtures are linted as in-memory sources with a
+#: path under this root, so per-rule glob scoping behaves exactly as it
+#: does on the real tree without touching disk.
+ROOT = Path("/virtual-repro")
+
+
+def lint_snippet(source, rel="src/repro/engine/fixture.py", config=None):
+    linter = FileLinter(all_rules(), config or LintConfig(root=ROOT))
+    return linter.lint_source(source, ROOT / rel)
+
+
+def codes(findings):
+    return sorted(f.code for f in findings)
+
+
+def suppressed(source, line, code):
+    """*source* with an ignore comment appended to physical *line*."""
+    lines = source.splitlines()
+    lines[line - 1] += f"  # repro: ignore[{code}]"
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# per-rule fixtures: (true-positive source, path it fires on, finding line)
+# ---------------------------------------------------------------------------
+FIXTURES = {
+    "RPR001": (
+        "import time\n\ndef f():\n    return time.time()\n",
+        "src/repro/engine/clock.py",
+        4,
+    ),
+    "RPR002": (
+        "import numpy as np\n\ndef f():\n    return np.random.default_rng()\n",
+        "src/repro/uncertain/gen.py",
+        4,
+    ),
+    "RPR003": (
+        "def f(items):\n    return [x for x in set(items)]\n",
+        "src/repro/engine/order.py",
+        2,
+    ),
+    "RPR101": (
+        "import time\n\nasync def f():\n    time.sleep(0.1)\n",
+        "src/repro/serve/loop.py",
+        4,
+    ),
+    "RPR102": (
+        "async def f(self, g):\n    with self._lock:\n        await g()\n",
+        "src/repro/serve/locks.py",
+        2,
+    ),
+    "RPR103": (
+        "def handle(state, op):\n    state.session.apply(op)\n",
+        "src/repro/serve/handlers.py",
+        2,
+    ),
+    "RPR201": (
+        "from repro.engine.spec import QuerySpec\n\n"
+        "class FooSpec(QuerySpec):\n    kind = 'foo'\n",
+        "src/repro/engine/families.py",
+        3,
+    ),
+    "RPR202": (
+        "def q(self, spec, fn):\n"
+        "    return self.cache.get_or_compute((spec.kind,), fn)\n",
+        "src/repro/engine/exec.py",
+        2,
+    ),
+    "RPR301": (
+        "def f(x=[]):\n    return x\n",
+        "src/repro/engine/args.py",
+        1,
+    ),
+    "RPR302": (
+        "def f(g):\n    try:\n        g()\n    except:\n        pass\n",
+        "src/repro/io/any.py",
+        4,
+    ),
+    "RPR303": (
+        "def f():\n    print('hi')\n",
+        "src/repro/engine/noise.py",
+        2,
+    ),
+}
+
+
+@pytest.mark.parametrize("code", sorted(FIXTURES))
+def test_rule_fires_on_fixture(code):
+    source, rel, line = FIXTURES[code]
+    findings = lint_snippet(source, rel)
+    assert codes(findings) == [code]
+    assert findings[0].line == line
+    assert findings[0].path == rel
+
+
+@pytest.mark.parametrize("code", sorted(FIXTURES))
+def test_suppression_silences_rule(code):
+    source, rel, line = FIXTURES[code]
+    findings = lint_snippet(suppressed(source, line, code), rel)
+    # the finding is silenced AND the suppression counts as used (no RPR900)
+    assert findings == []
+
+
+def test_rule_count_meets_floor():
+    assert len(RULE_CLASSES) >= 8
+    linter = FileLinter(all_rules(), LintConfig(root=ROOT))
+    assert len(linter.active) >= 8
+
+
+# ---------------------------------------------------------------------------
+# per-rule negatives
+# ---------------------------------------------------------------------------
+def test_monotonic_clocks_are_clean():
+    source = (
+        "import time\n\ndef f():\n"
+        "    return time.monotonic() + time.perf_counter()\n"
+    )
+    assert lint_snippet(source, "src/repro/engine/clock.py") == []
+
+
+def test_wall_clock_allowed_in_bench():
+    source, _, _ = FIXTURES["RPR001"]
+    assert lint_snippet(source, "src/repro/bench/timing.py") == []
+
+
+def test_seeded_rng_is_clean():
+    source = (
+        "import numpy as np\nimport random\n\n"
+        "def f(seed):\n"
+        "    return np.random.default_rng(seed), random.Random(7)\n"
+    )
+    assert lint_snippet(source, "src/repro/uncertain/gen.py") == []
+
+
+def test_global_random_module_flagged():
+    source = "import random\n\ndef f():\n    return random.random()\n"
+    assert codes(lint_snippet(source, "src/repro/engine/x.py")) == ["RPR002"]
+
+
+def test_sorted_iteration_is_clean():
+    source = "def f(d):\n    return [v for v in sorted(d.values())]\n"
+    assert lint_snippet(source, "src/repro/engine/order.py") == []
+
+
+def test_set_iteration_outside_scoped_dirs_is_clean():
+    source, _, _ = FIXTURES["RPR003"]
+    assert lint_snippet(source, "src/repro/io/loader.py") == []
+
+
+def test_dict_values_iteration_flagged():
+    source = "def f(d):\n    for v in d.values():\n        v()\n"
+    assert codes(lint_snippet(source, "src/repro/prsq/agg.py")) == ["RPR003"]
+
+
+def test_blocking_call_in_sync_def_is_clean():
+    source = "import time\n\ndef f():\n    time.sleep(0.1)\n"
+    assert lint_snippet(source, "src/repro/serve/loop.py") == []
+
+
+def test_nested_sync_def_inside_async_is_clean():
+    source = (
+        "import time\n\nasync def f():\n"
+        "    def worker():\n        time.sleep(0.1)\n"
+        "    return worker\n"
+    )
+    assert lint_snippet(source, "src/repro/serve/loop.py") == []
+
+
+def test_lock_without_await_is_clean():
+    source = (
+        "async def f(self, g):\n"
+        "    with self._lock:\n        x = 1\n"
+        "    await g()\n    return x\n"
+    )
+    assert lint_snippet(source, "src/repro/serve/locks.py") == []
+
+
+def test_asyncio_lock_async_with_is_clean():
+    source = (
+        "async def f(self, g):\n"
+        "    async with self._lock:\n        await g()\n"
+    )
+    assert lint_snippet(source, "src/repro/serve/locks.py") == []
+
+
+def test_mutation_inside_apply_seam_is_clean():
+    source = (
+        "def _apply_write(state, op):\n"
+        "    state.session.apply(op)\n"
+        "    state.published = state.session.snapshot()\n"
+    )
+    assert lint_snippet(source, "src/repro/serve/handlers.py") == []
+
+
+def test_published_assignment_outside_seam_flagged():
+    source = "def sneak(state, snap):\n    state.published = snap\n"
+    assert codes(lint_snippet(source, "src/repro/serve/state.py")) == [
+        "RPR103"
+    ]
+
+
+def test_session_mutation_outside_serve_is_unscoped():
+    source, _, _ = FIXTURES["RPR103"]
+    assert lint_snippet(source, "src/repro/engine/session2.py") == []
+
+
+def test_spec_with_both_flags_is_clean():
+    source = (
+        "from repro.engine.spec import QuerySpec\n\n"
+        "class FooSpec(QuerySpec):\n"
+        "    cacheable = True\n    mutates = False\n"
+    )
+    assert lint_snippet(source, "src/repro/engine/families.py") == []
+
+
+def test_spec_missing_one_flag_flagged():
+    source = (
+        "from repro.engine.spec import QuerySpec\n\n"
+        "class FooSpec(QuerySpec):\n    cacheable = True\n"
+    )
+    findings = lint_snippet(source, "src/repro/engine/families.py")
+    assert codes(findings) == ["RPR201"]
+    assert "mutates" in findings[0].message
+
+
+def test_cache_key_via_session_key_is_clean():
+    source = (
+        "def q(self, spec, fn):\n"
+        "    key = self._key(spec)\n"
+        "    return self.cache.get_or_compute(key, fn)\n"
+    )
+    assert lint_snippet(source, "src/repro/engine/exec.py") == []
+
+
+def test_cache_key_untraceable_name_not_flagged():
+    # a key passed in as a parameter cannot be proven wrong
+    source = (
+        "def q(self, key, fn):\n"
+        "    return self.cache.get_or_compute(key, fn)\n"
+    )
+    assert lint_snippet(source, "src/repro/engine/exec.py") == []
+
+
+def test_none_default_is_clean():
+    source = "def f(x=None):\n    return x or []\n"
+    assert lint_snippet(source, "src/repro/engine/args.py") == []
+
+
+def test_typed_except_is_clean():
+    source = (
+        "def f(g):\n    try:\n        g()\n"
+        "    except Exception:\n        pass\n"
+    )
+    assert lint_snippet(source, "src/repro/io/any.py") == []
+
+
+def test_print_in_cli_is_clean_and_severity_is_warning():
+    source, _, _ = FIXTURES["RPR303"]
+    assert lint_snippet(source, "src/repro/io/cli.py") == []
+    finding = lint_snippet(source, "src/repro/engine/noise.py")[0]
+    assert finding.severity == WARNING
+
+
+# ---------------------------------------------------------------------------
+# suppression auditing
+# ---------------------------------------------------------------------------
+def test_unused_suppression_is_an_error():
+    source = "def f():\n    return 1  # repro: ignore[RPR001]\n"
+    findings = lint_snippet(source)
+    assert codes(findings) == [UNUSED_SUPPRESSION]
+    assert findings[0].line == 2
+    assert findings[0].severity == ERROR
+
+
+def test_unknown_code_suppression_always_flagged():
+    source = "def f():\n    return 1  # repro: ignore[XYZ123]\n"
+    assert codes(lint_snippet(source)) == [UNUSED_SUPPRESSION]
+
+
+def test_suppression_of_deselected_rule_not_flagged():
+    # a narrowed run never executed RPR001, so its suppression is not stale
+    source, rel, line = FIXTURES["RPR001"]
+    config = LintConfig(root=ROOT, select=("RPR302",))
+    findings = lint_snippet(suppressed(source, line, "RPR001"), rel, config)
+    assert findings == []
+
+
+def test_suppression_inside_string_is_not_a_suppression():
+    source = 'def f():\n    return "# repro: ignore[RPR001]"\n'
+    assert lint_snippet(source) == []
+
+
+def test_one_comment_multiple_codes():
+    source = (
+        "import time\n\n"
+        "async def f():\n"
+        "    time.sleep(time.time())  # repro: ignore[RPR001, RPR101]\n"
+    )
+    assert lint_snippet(source, "src/repro/serve/loop.py") == []
+
+
+def test_syntax_error_reports_parse_finding():
+    findings = lint_snippet("def f(:\n")
+    assert codes(findings) == [PARSE_ERROR]
+
+
+# ---------------------------------------------------------------------------
+# config: select/ignore and per-path scoping
+# ---------------------------------------------------------------------------
+KNOWN = {cls.code for cls in RULE_CLASSES}
+
+
+def test_select_and_ignore_narrow_the_run():
+    source, rel, _ = FIXTURES["RPR001"]
+    assert lint_snippet(source, rel, LintConfig(root=ROOT, select=("RPR302",))) == []
+    assert lint_snippet(source, rel, LintConfig(root=ROOT, ignore=("RPR001",))) == []
+
+
+def test_config_paths_replace_rule_defaults(tmp_path):
+    config_file = tmp_path / "pyproject.toml"
+    config_file.write_text(
+        "[tool.repro.lint.rules.RPR001]\npaths = ['lib/*']\n"
+    )
+    config = load_config(config_file, KNOWN)
+    source, _, _ = FIXTURES["RPR001"]
+    linter = FileLinter(all_rules(), config)
+    # default scope (src/repro/*) no longer applies; the new one does
+    assert linter.lint_source(source, tmp_path / "src/repro/engine/c.py") == []
+    assert codes(linter.lint_source(source, tmp_path / "lib/c.py")) == [
+        "RPR001"
+    ]
+
+
+def test_config_exclude_extends_rule_defaults(tmp_path):
+    config_file = tmp_path / "pyproject.toml"
+    config_file.write_text(
+        "[tool.repro.lint.rules.RPR001]\n"
+        "exclude = ['src/repro/legacy/*']\n"
+    )
+    config = load_config(config_file, KNOWN)
+    source, _, _ = FIXTURES["RPR001"]
+    linter = FileLinter(all_rules(), config)
+    assert linter.lint_source(source, tmp_path / "src/repro/legacy/c.py") == []
+    # the rule's own bench exclusion survives the extension
+    assert linter.lint_source(source, tmp_path / "src/repro/bench/c.py") == []
+    assert codes(
+        linter.lint_source(source, tmp_path / "src/repro/engine/c.py")
+    ) == ["RPR001"]
+
+
+def test_cli_select_overrides_file_select(tmp_path):
+    config_file = tmp_path / "pyproject.toml"
+    config_file.write_text("[tool.repro.lint]\nselect = ['RPR001']\n")
+    config = load_config(config_file, KNOWN, select=("RPR302",))
+    assert config.active_codes(sorted(KNOWN)) == {"RPR302"}
+
+
+def test_config_rejects_unknown_code(tmp_path):
+    config_file = tmp_path / "pyproject.toml"
+    config_file.write_text("[tool.repro.lint]\nselect = ['RPR777']\n")
+    with pytest.raises(LintConfigError):
+        load_config(config_file, KNOWN)
+
+
+def test_config_rejects_invalid_toml(tmp_path):
+    config_file = tmp_path / "pyproject.toml"
+    config_file.write_text("[tool.repro.lint\n")
+    with pytest.raises(LintConfigError):
+        load_config(config_file, KNOWN)
+
+
+def test_config_rejects_unknown_scope_key(tmp_path):
+    config_file = tmp_path / "pyproject.toml"
+    config_file.write_text(
+        "[tool.repro.lint.rules.RPR001]\nfiles = ['x']\n"
+    )
+    with pytest.raises(LintConfigError):
+        load_config(config_file, KNOWN)
+
+
+def test_duplicate_rule_codes_rejected():
+    rules = all_rules()
+    with pytest.raises(ValueError):
+        FileLinter(rules + [rules[0]], LintConfig(root=ROOT))
+
+
+# ---------------------------------------------------------------------------
+# reporters
+# ---------------------------------------------------------------------------
+def test_json_report_round_trips():
+    source, rel, _ = FIXTURES["RPR001"]
+    findings = lint_snippet(source, rel)
+    text = render_json(findings, files=3)
+    back, files = report_from_json(text)
+    assert back == findings
+    assert files == 3
+    payload = json.loads(text)
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert payload["summary"]["findings"] == 1
+    assert payload["summary"]["errors"] == 1
+    assert payload["summary"]["by_code"] == {"RPR001": 1}
+
+
+def test_json_report_rejects_future_version():
+    text = render_json([], 0).replace(
+        f'"version": {JSON_SCHEMA_VERSION}', '"version": 999'
+    )
+    with pytest.raises(ValueError):
+        report_from_json(text)
+
+
+def test_text_report_lists_findings_and_summary():
+    source, rel, _ = FIXTURES["RPR001"]
+    findings = lint_snippet(source, rel)
+    text = render_text(findings, files=1)
+    assert f"{rel}:4:" in text
+    assert "RPR001 x1" in text
+    assert render_text([], files=5) == "clean: 0 findings in 5 file(s)"
+
+
+def test_findings_sort_by_path_then_line():
+    a = Finding("b.py", 1, 0, "RPR001", ERROR, "m")
+    b = Finding("a.py", 9, 0, "RPR001", ERROR, "m")
+    c = Finding("a.py", 2, 0, "RPR001", ERROR, "m")
+    assert sorted([a, b, c]) == [c, b, a]
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes (0 clean / 1 findings / 2 usage or config error)
+# ---------------------------------------------------------------------------
+def _write(tmp, rel, text):
+    path = tmp / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return path
+
+
+def test_cli_exit_1_on_findings_and_0_on_clean(tmp_path, capsys):
+    config = _write(tmp_path, "pyproject.toml", "[tool.repro.lint]\n")
+    source, rel, _ = FIXTURES["RPR001"]
+    _write(tmp_path, rel, source)
+    argv = [str(tmp_path / "src"), "--config", str(config)]
+    assert lint_main(argv) == 1
+    assert "RPR001" in capsys.readouterr().out
+
+    _write(tmp_path, rel, "import time\n\ndef f():\n    return time.monotonic()\n")
+    assert lint_main(argv) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_json_output(tmp_path, capsys):
+    config = _write(tmp_path, "pyproject.toml", "[tool.repro.lint]\n")
+    source, rel, _ = FIXTURES["RPR303"]
+    _write(tmp_path, rel, source)
+    rc = lint_main(
+        [str(tmp_path / "src"), "--json", "--config", str(config)]
+    )
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["by_code"] == {"RPR303": 1}
+    assert payload["summary"]["warnings"] == 1
+
+
+def test_cli_exit_2_on_missing_path(tmp_path, capsys):
+    config = _write(tmp_path, "pyproject.toml", "[tool.repro.lint]\n")
+    rc = lint_main(
+        [str(tmp_path / "nope"), "--config", str(config)]
+    )
+    assert rc == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_cli_exit_2_on_unknown_select(tmp_path, capsys):
+    rc = lint_main([str(tmp_path), "--select", "RPR777"])
+    assert rc == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_cli_explain_lists_every_rule(capsys):
+    assert lint_main(["--explain"]) == 0
+    out = capsys.readouterr().out
+    for cls in RULE_CLASSES:
+        assert cls.code in out

@@ -171,6 +171,8 @@ class CountInWindowSpec(QuerySpec):
 
     kind: ClassVar[str] = "count_in_window"
     dataset_kind: ClassVar[str] = "uncertain"
+    cacheable: ClassVar[bool] = True
+    mutates: ClassVar[bool] = False
 
     def __post_init__(self):
         object.__setattr__(self, "q", tuple(float(v) for v in self.q))
@@ -284,6 +286,8 @@ class TestRegistryExtension:
 
             kind: ClassVar[str] = "configured_count"
             dataset_kind: ClassVar[str] = "uncertain"
+            cacheable: ClassVar[bool] = True
+            mutates: ClassVar[bool] = False
 
             def __post_init__(self):
                 object.__setattr__(self, "q", tuple(float(v) for v in self.q))

@@ -261,6 +261,20 @@ class TestCertainMutations:
         assert [obj.oid for obj in ds] == ["x", "z", "w"]
         assert_matches_fresh(ds)
 
+    def test_points_matrix_is_frozen(self):
+        # snapshots and worker handoffs share .points by reference; an
+        # in-place write would corrupt every reader, so both constructors
+        # hand out read-only matrices
+        ds = self._ds()
+        with pytest.raises(ValueError):
+            ds.points[0, 0] = 99.0
+        shared = CertainDataset.from_objects(list(ds))
+        with pytest.raises(ValueError):
+            shared.points[0, 0] = 99.0
+        ds.insert_object(UncertainObject.certain("w", [7.0, 8.0]))
+        with pytest.raises(ValueError):
+            ds.points[0, 0] = 99.0  # still frozen after a rebuild
+
     def test_multi_sample_insert_rejected(self):
         ds = self._ds()
         with pytest.raises(ValueError, match="single-sample"):

@@ -1,0 +1,52 @@
+"""The repo lints itself clean — the CI gate, as a test.
+
+``python -m repro lint src tests`` (plus examples and benchmarks) must
+exit 0 against the repo's own ``pyproject.toml``: every invariant the
+linter encodes is one the codebase actually upholds, and every
+``# repro: ignore`` that survives is still load-bearing.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def test_repo_lints_clean():
+    findings, files = lint_paths(
+        [str(REPO / "src"), str(REPO / "tests")],
+        config_path=REPO / "pyproject.toml",
+    )
+    assert files > 100
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_examples_and_benchmarks_lint_clean():
+    findings, files = lint_paths(
+        [str(REPO / "examples"), str(REPO / "benchmarks")],
+        config_path=REPO / "pyproject.toml",
+    )
+    assert files > 0
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_cli_self_run_is_clean_json():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint", "src", "tests", "--json"],
+        cwd=REPO,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    payload = json.loads(proc.stdout)
+    assert payload["summary"]["findings"] == 0
+    assert payload["summary"]["files"] > 100

@@ -153,6 +153,12 @@ class TestTraversalParity:
             packed.node_lo[0, 0] = 1.0
         clone = pickle.loads(pickle.dumps(packed))
         assert clone.stats is not packed.stats  # counters never shipped
+        # the worker's copy keeps the read-only contract: unpickling
+        # must re-freeze what pickle restores writable
+        with pytest.raises(ValueError):
+            clone.node_lo[0, 0] = 1.0
+        with pytest.raises(ValueError):
+            clone.entry_lo[0, 0] = 1.0
         window = _rect(rng, extent=40.0)
         assert clone.range_search(window) == packed.range_search(window)
 

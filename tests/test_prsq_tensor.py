@@ -78,6 +78,24 @@ class TestDatasetTensor:
         assert [row[0][0] for row in samples] == [3.0, 1.0, 4.0]
         assert probs.shape == (3, 1) and mask.all()
 
+    def test_pickle_round_trip_stays_frozen(self):
+        import pickle
+
+        ds = UncertainDataset(
+            [
+                UncertainObject("a", [[1.0, 2.0]]),
+                UncertainObject("b", [[3.0, 4.0], [5.0, 6.0]]),
+            ]
+        )
+        clone = pickle.loads(pickle.dumps(ds.tensor))
+        np.testing.assert_array_equal(clone.samples, ds.tensor.samples)
+        assert clone.index_of == ds.tensor.index_of
+        # a worker's unpickled copy keeps the read-only contract
+        for array in (clone.samples, clone.probabilities, clone.mask):
+            assert not array.flags.writeable
+        with pytest.raises(ValueError):
+            clone.samples[0, 0, 0] = 9.0
+
     def test_standalone_construction_matches_dataset(self):
         objects = [UncertainObject(i, [[float(i), 1.0]]) for i in range(3)]
         ds = UncertainDataset(objects)
