@@ -1,0 +1,339 @@
+"""Fault-recovery benchmark: mixed load under kills and disconnects.
+
+Two phases, each measured against its own fault-free baseline:
+
+* **serve**: C concurrent retrying clients (readers plus one
+  idempotency-keyed writer) drive an in-process server twice — once
+  clean, once under a composed :class:`FaultPlan` of connection drops
+  and a mid-stream disconnect.  Asserts **zero lost responses** (every
+  logical request resolves to exactly one successful envelope — retries
+  absorb every injected drop), **exactly-once writes** (final object
+  count equals initial + unique inserts), and **bounded p99 inflation**:
+  the faulted p99 must stay under ``--p99-factor`` x the baseline p99
+  (floored at ``--p99-floor-ms`` so a microsecond-fast baseline cannot
+  fail the run on scheduler noise).  When a ``BENCH_serve_load.json``
+  from the load bench is present (``--baseline``), its closest client
+  level is used as the reference p99 instead.
+
+* **executor**: a :class:`ParallelExecutor` batch is SIGKILLed once via
+  the ``worker.chunk`` seam; the respawned pool must return answers
+  bit-identical to the fault-free parallel run, with recovery wall time
+  under ``--recovery-factor`` x the clean run (floored at 5 s).
+
+Writes ``BENCH_fault_recovery.json``:
+
+    PYTHONPATH=src python benchmarks/bench_fault_recovery.py \\
+        --report BENCH_fault_recovery.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro import faults, obs
+from repro.api.remote import RemoteClient
+from repro.api.retry import RetryPolicy
+from repro.bench.reporting import write_json_report
+from repro.engine.executor import ParallelExecutor, SerialExecutor
+from repro.engine.session import Session
+from repro.engine.spec import UpdateSpec
+from repro.faults.chaos import (
+    _chaos_objects,
+    _fresh_dataset,
+    _read_spec,
+    _run_batch,
+)
+from repro.faults.plan import FaultPlan, FaultRule
+from repro.serve.protocol import ServeConfig
+from repro.serve.server import ReproServer
+from repro.uncertain.object import UncertainObject
+
+_DIMS = 2
+
+
+def _disconnect_plan(seed: int, drops: int) -> FaultPlan:
+    """Connection drops spread over the run plus one stream disconnect."""
+    rng = random.Random(seed)
+    rules = [
+        FaultRule(
+            seam=("socket.read", "socket.write")[i % 2],
+            hit=rng.randint(2, 40),
+            action="drop",
+        )
+        for i in range(drops)
+    ]
+    rules.append(FaultRule(seam="stream.frame", hit=2, action="disconnect"))
+    deduped = {(r.seam, r.hit): r for r in rules}
+    return FaultPlan(seed=seed, rules=tuple(deduped.values()))
+
+
+async def _reader(
+    port: int, requests: int, seed: int, latencies: List[float],
+    failures: List[str],
+) -> None:
+    rng = random.Random(seed)
+    policy = RetryPolicy(max_attempts=8, base_s=0.01, cap_s=0.2, seed=seed)
+    async with await RemoteClient.connect(port=port, retry=policy) as client:
+        for _ in range(requests):
+            spec = _read_spec(rng, _DIMS)
+            started = time.perf_counter()
+            envelope, _version = await client.query_envelope(spec)
+            latencies.append(time.perf_counter() - started)
+            if not envelope.ok:
+                failures.append(f"read: {envelope.error.code}")
+
+
+async def _writer(
+    port: int, requests: int, seed: int, latencies: List[float],
+    failures: List[str], tag: str,
+) -> int:
+    rng = random.Random(seed)
+    policy = RetryPolicy(max_attempts=8, base_s=0.01, cap_s=0.2, seed=seed)
+    written = 0
+    async with await RemoteClient.connect(port=port, retry=policy) as client:
+        for i in range(requests):
+            obj = UncertainObject(
+                f"{tag}-{i}",
+                [[rng.uniform(0.0, 10.0) for _ in range(_DIMS)]],
+            )
+            spec = UpdateSpec(inserts=(obj,))
+            started = time.perf_counter()
+            envelope = await client.query(spec, idem=f"{tag}-{i}")
+            latencies.append(time.perf_counter() - started)
+            if envelope.ok:
+                written += 1
+            else:
+                failures.append(f"write: {envelope.error.code}")
+    return written
+
+
+async def _batcher(
+    port: int, specs_n: int, seed: int, latencies: List[float],
+    failures: List[str],
+) -> None:
+    """One streamed batch — the workload's stream.frame seam exposure."""
+    rng = random.Random(seed)
+    policy = RetryPolicy(max_attempts=8, base_s=0.01, cap_s=0.2, seed=seed)
+    client = await RemoteClient.connect(port=port, retry=policy)
+    try:
+        specs = [_read_spec(rng, _DIMS) for _ in range(specs_n)]
+        started = time.perf_counter()
+        results = await _run_batch(client, specs, policy)
+        per_spec = (time.perf_counter() - started) / max(len(results), 1)
+        for envelope, _version in results:
+            latencies.append(per_spec)
+            if not envelope.ok:
+                failures.append(f"batch: {envelope.error.code}")
+    finally:
+        await client.close()
+
+
+async def _serve_phase(
+    clients: int, requests: int, seed: int, plan: Optional[FaultPlan]
+) -> Dict:
+    objects = _chaos_objects(random.Random(seed), 24, _DIMS)
+    config = ServeConfig(
+        port=0, threads=2, cache_size=128, fault_plan=plan,
+        drain_timeout_s=3.0,
+    )
+    latencies: List[float] = []
+    failures: List[str] = []
+    batch_specs = 3
+    expected = clients * requests + batch_specs
+    async with ReproServer({"default": _fresh_dataset(objects)}, config) as srv:
+        started = time.perf_counter()
+        results = await asyncio.gather(
+            _writer(
+                srv.port, requests, seed + 1, latencies, failures, "bench"
+            ),
+            _batcher(srv.port, batch_specs, seed + 5, latencies, failures),
+            *[
+                _reader(srv.port, requests, seed + 10 + i, latencies, failures)
+                for i in range(clients - 1)
+            ],
+        )
+        wall = time.perf_counter() - started
+        written = results[0]
+        async with await RemoteClient.connect(port=srv.port) as probe:
+            final_objects = (
+                await probe.stats()
+            )["datasets"]["default"]["objects"]
+    ordered = sorted(latencies)
+
+    def quantile(q: float) -> float:
+        index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[index] * 1e3
+
+    return {
+        "requests": expected,
+        "responses": len(latencies),
+        "lost": expected - len(latencies),
+        "error_envelopes": failures[:5],
+        "errors": len(failures),
+        "writes_acked": written,
+        "objects_expected": len(objects) + written,
+        "objects_final": final_objects,
+        "wall_s": round(wall, 3),
+        "p50_ms": round(quantile(0.50), 3),
+        "p99_ms": round(quantile(0.99), 3),
+    }
+
+
+def _executor_phase(seed: int) -> Dict:
+    session = Session(
+        _fresh_dataset(_chaos_objects(random.Random(seed), 48, _DIMS))
+    )
+    rng = random.Random(seed + 1)
+    specs = [_read_spec(rng, _DIMS) for _ in range(12)]
+    serial = session.execute_batch(specs, SerialExecutor())
+
+    started = time.perf_counter()
+    clean = session.execute_batch(
+        specs, ParallelExecutor(workers=2, chunk_size=2)
+    )
+    clean_wall = time.perf_counter() - started
+
+    plan = FaultPlan(seed=seed, rules=(
+        FaultRule(seam="worker.chunk", hit=1, action="kill"),
+    ))
+    respawns = obs.registry().counter("fault.worker_respawns")
+    before = respawns.value
+    with faults.installed(plan):
+        started = time.perf_counter()
+        recovered = session.execute_batch(
+            specs, ParallelExecutor(workers=2, chunk_size=2)
+        )
+        faulted_wall = time.perf_counter() - started
+
+    identical = all(
+        a.error is None and b.error is None and c.error is None
+        and a.value == b.value == c.value
+        for a, b, c in zip(serial, clean, recovered)
+    )
+    return {
+        "specs": len(specs),
+        "respawns": respawns.value - before,
+        "bit_identical": identical,
+        "clean_wall_s": round(clean_wall, 3),
+        "faulted_wall_s": round(faulted_wall, 3),
+    }
+
+
+def _baseline_p99(path: str, clients: int) -> Optional[float]:
+    baseline = Path(path)
+    if not baseline.is_file():
+        return None
+    payload = json.loads(baseline.read_text())
+    rows = [r for r in payload.get("rows", []) if "p99_ms" in r]
+    if not rows:
+        return None
+    best = min(rows, key=lambda r: abs(r.get("clients", 0) - clients))
+    return float(best["p99_ms"])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=10,
+                        help="requests per client and phase")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--drops", type=int, default=6,
+                        help="injected connection drops in the faulted run")
+    parser.add_argument("--p99-factor", type=float, default=10.0)
+    parser.add_argument("--p99-floor-ms", type=float, default=250.0)
+    parser.add_argument("--recovery-factor", type=float, default=25.0)
+    parser.add_argument("--baseline", default="BENCH_serve_load.json",
+                        help="optional load-bench report for the reference p99")
+    parser.add_argument("--report", default="BENCH_fault_recovery.json")
+    args = parser.parse_args(argv)
+
+    clean = asyncio.run(
+        _serve_phase(args.clients, args.requests, args.seed, None)
+    )
+    faulted = asyncio.run(
+        _serve_phase(
+            args.clients, args.requests, args.seed,
+            _disconnect_plan(args.seed, args.drops),
+        )
+    )
+    executor = _executor_phase(args.seed)
+
+    reference = _baseline_p99(args.baseline, args.clients) or clean["p99_ms"]
+    p99_budget = max(args.p99_factor * reference, args.p99_floor_ms)
+    recovery_budget = max(
+        args.recovery_factor * executor["clean_wall_s"], 5.0
+    )
+
+    problems: List[str] = []
+    for label, phase in (("clean", clean), ("faulted", faulted)):
+        if phase["lost"]:
+            problems.append(f"{label}: {phase['lost']} lost responses")
+        if phase["errors"]:
+            problems.append(
+                f"{label}: {phase['errors']} error envelopes "
+                f"{phase['error_envelopes']}"
+            )
+        if phase["objects_final"] != phase["objects_expected"]:
+            problems.append(
+                f"{label}: {phase['objects_final']} objects, expected "
+                f"{phase['objects_expected']} (write not exactly-once)"
+            )
+    if faulted["p99_ms"] > p99_budget:
+        problems.append(
+            f"faulted p99 {faulted['p99_ms']}ms exceeds budget "
+            f"{p99_budget:.1f}ms ({args.p99_factor}x reference "
+            f"{reference}ms)"
+        )
+    if not executor["bit_identical"]:
+        problems.append("executor recovery answers diverge from serial")
+    if executor["respawns"] != 1:
+        problems.append(
+            f"expected exactly 1 pool respawn, saw {executor['respawns']}"
+        )
+    if executor["faulted_wall_s"] > recovery_budget:
+        problems.append(
+            f"recovery took {executor['faulted_wall_s']}s, budget "
+            f"{recovery_budget:.1f}s"
+        )
+
+    rows = [
+        {"phase": "serve_clean", **clean},
+        {"phase": "serve_faulted", **faulted},
+        {"phase": "executor", **executor},
+    ]
+    write_json_report(
+        args.report,
+        "fault_recovery",
+        rows,
+        meta={
+            "clients": args.clients,
+            "requests": args.requests,
+            "seed": args.seed,
+            "drops": args.drops,
+            "reference_p99_ms": reference,
+            "p99_budget_ms": round(p99_budget, 3),
+            "ok": not problems,
+            "problems": problems,
+        },
+    )
+
+    print(
+        f"fault_recovery: clean p99={clean['p99_ms']}ms, "
+        f"faulted p99={faulted['p99_ms']}ms (budget {p99_budget:.1f}ms), "
+        f"lost={faulted['lost']}, errors={faulted['errors']}, "
+        f"executor respawns={executor['respawns']} "
+        f"recovery={executor['faulted_wall_s']}s; report -> {args.report}"
+    )
+    for problem in problems:
+        print(f"  FAIL: {problem}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

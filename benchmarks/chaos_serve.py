@@ -1,0 +1,175 @@
+"""CI chaos runner: seeded fault schedules against a **real** server process.
+
+For each seed this script
+
+1. generates a :class:`FaultPlan` over the serve-reachable seams,
+2. starts an actual ``python -m repro serve`` subprocess with
+   ``--fault-plan`` carrying that schedule (parsing the announce line for
+   the ephemeral port),
+3. drives the same deterministic mixed workload the in-process chaos
+   suite uses (reads, idempotency-keyed mutations, one streamed batch)
+   through a retrying :class:`RemoteClient`,
+4. replays every acknowledged delta on a local session and verifies the
+   observed reads bit-identically,
+5. appends one NDJSON line — seed, schedule, verdict, failures — to the
+   artifact file, then SIGINTs the server and waits for a clean exit.
+
+Any violated invariant prints the failing seed and its full schedule
+(``FaultPlan.from_dict`` reproduces the run) and exits nonzero:
+
+    PYTHONPATH=src python benchmarks/chaos_serve.py \\
+        --seeds 12 --artifact chaos_schedules.ndjson
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.faults.chaos import (
+    SERVE_SEAMS,
+    _build_ops,
+    _chaos_objects,
+    _drive_workload,
+    _fresh_dataset,
+    _verify_replay,
+)
+from repro.faults.plan import FaultPlan
+from repro.io import save_uncertain_csv
+
+_DATASET_SEED = 4242
+_N_OBJECTS = 24
+_DIMS = 2
+
+
+def _start_server(csv_path: str, plan: FaultPlan) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--data", csv_path, "--port", "0",
+            "--fault-plan", plan.to_json(),
+        ],
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _wait_for_port(proc: subprocess.Popen, timeout_s: float = 30.0) -> int:
+    """Parse the announce line (``# serving ... on HOST:PORT [...``)."""
+    deadline = time.monotonic() + timeout_s
+    assert proc.stderr is not None
+    while time.monotonic() < deadline:
+        line = proc.stderr.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited before announcing (rc={proc.poll()})"
+            )
+        if line.startswith("# serving"):
+            address = line.split(" on ", 1)[1].split()[0]
+            return int(address.rsplit(":", 1)[1])
+    raise RuntimeError("server never announced its port")
+
+
+def _stop_server(proc: subprocess.Popen) -> int:
+    proc.send_signal(signal.SIGINT)
+    try:
+        proc.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.wait()
+    if proc.stderr is not None:
+        proc.stderr.close()
+    return proc.returncode
+
+
+def _run_seed(seed: int, csv_path: str, objects, n_ops: int) -> dict:
+    plan = FaultPlan.generate(seed, seams=SERVE_SEAMS)
+    rng = random.Random(seed)
+    ops = _build_ops(rng, _DIMS, n_ops, seed)
+    proc = _start_server(csv_path, plan)
+    try:
+        port = _wait_for_port(proc)
+        run = asyncio.run(_drive_workload(port, ops, seed))
+    finally:
+        returncode = _stop_server(proc)
+    checked, mismatches = _verify_replay(
+        objects, run["deltas_by_version"], run["semantics"]
+    )
+    failures: List[str] = []
+    if len(run["outcomes"]) != len(ops):
+        failures.append(
+            f"{len(ops)} requests but {len(run['outcomes'])} outcomes"
+        )
+    if mismatches:
+        failures.append(
+            f"{mismatches}/{checked} replayed reads diverged"
+        )
+    if len(run["deltas_by_version"]) != len(run["acked_inserts"]):
+        failures.append("acked mutations and versions disagree")
+    if run["degraded_seen"] and "default" not in run["ping"].get("degraded", []):
+        failures.append("degraded writes but dataset not advertised degraded")
+    if returncode not in (0, 130):
+        failures.append(f"server exited rc={returncode} (not a clean stop)")
+    return {
+        "seed": seed,
+        "plan": plan.to_dict(),
+        "requests": len(ops),
+        "replayed_reads": checked,
+        "acked_mutations": len(run["acked_inserts"]),
+        "degraded": run["degraded_seen"],
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=12,
+                        help="number of seeded schedules (seeds 0..N-1)")
+    parser.add_argument("--ops", type=int, default=14,
+                        help="workload length per schedule")
+    parser.add_argument("--artifact", default="chaos_schedules.ndjson",
+                        help="NDJSON fault-schedule artifact path")
+    args = parser.parse_args(argv)
+
+    objects = _chaos_objects(random.Random(_DATASET_SEED), _N_OBJECTS, _DIMS)
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = str(Path(tmp) / "chaos-data.csv")
+        save_uncertain_csv(_fresh_dataset(objects), csv_path)
+        reports = [
+            _run_seed(seed, csv_path, objects, args.ops)
+            for seed in range(args.seeds)
+        ]
+
+    with open(args.artifact, "w") as sink:
+        for report in reports:
+            sink.write(json.dumps(report, sort_keys=True) + "\n")
+
+    failed = [r for r in reports if not r["ok"]]
+    mutations = sum(r["acked_mutations"] for r in reports)
+    replayed = sum(r["replayed_reads"] for r in reports)
+    print(
+        f"chaos_serve: {len(reports)} schedules against a real serve "
+        f"process — {len(reports) - len(failed)} ok, {len(failed)} failed "
+        f"({replayed} reads replayed bit-identically, {mutations} "
+        f"exactly-once mutations); schedules -> {args.artifact}"
+    )
+    for report in failed:
+        print(
+            f"  FAILING SEED {report['seed']}: {report['failures']}\n"
+            f"    schedule: {json.dumps(report['plan'], sort_keys=True)}"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -21,6 +21,7 @@ deprecation shims; new code should go through this package.
 from repro.api import families as _families  # noqa: F401 - registers builtins
 from repro.api.client import BatchBuilder, Client, connect, connect_pdf
 from repro.api.remote import RemoteBatchBuilder, RemoteClient
+from repro.api.retry import RetryPolicy
 from repro.api.registry import (
     DEFAULT_SEQUENCE_FIELDS,
     QueryFamily,
@@ -57,6 +58,7 @@ __all__ = [
     "REGISTRY",
     "RemoteBatchBuilder",
     "RemoteClient",
+    "RetryPolicy",
     "ReverseKSkybandResult",
     "ReverseSkylineResult",
     "ReverseTopKResult",

@@ -1,0 +1,61 @@
+"""Retry policy for the remote client: seeded, decorrelated-jitter backoff.
+
+A :class:`RetryPolicy` decides **how long** to wait between attempts; the
+client decides **what** is safe to retry (see
+:meth:`~repro.api.remote.RemoteClient.query_envelope` — cacheable reads
+and idempotency-keyed mutations only).  The schedule is *decorrelated
+jitter* (each sleep drawn uniformly from ``[base_s, 3 * previous]``,
+capped at ``cap_s``), which de-synchronizes retrying clients far better
+than plain exponential backoff while keeping the expected wait bounded.
+
+The jitter stream comes from a ``random.Random(seed)`` owned by each
+schedule, so a fault-injection run replays bit-identically: same seed,
+same sleeps, same interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import InvalidSpecError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff parameters for automatic remote-client retries.
+
+    ``max_attempts`` counts the first try: ``max_attempts=4`` means one
+    initial attempt plus at most three retries.  ``base_s`` seeds (and
+    floors) every sleep; ``cap_s`` ceilings it.  ``seed`` makes the
+    jitter deterministic per schedule.
+    """
+
+    max_attempts: int = 4
+    base_s: float = 0.05
+    cap_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidSpecError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_s <= 0 or self.cap_s < self.base_s:
+            raise InvalidSpecError(
+                f"need 0 < base_s <= cap_s, got base_s={self.base_s} "
+                f"cap_s={self.cap_s}"
+            )
+
+    def schedule(self) -> Iterator[float]:
+        """Yield successive sleep durations (decorrelated jitter).
+
+        Infinite by design — the caller's attempt counter, not the
+        schedule, terminates the loop.
+        """
+        rng = random.Random(self.seed)
+        sleep = self.base_s
+        while True:
+            sleep = min(self.cap_s, rng.uniform(self.base_s, 3.0 * sleep))
+            yield sleep

@@ -5,13 +5,22 @@ The :class:`ParallelExecutor` ships the *dataset contents* plus the frozen
 to each worker once, via the pool initializer; workers adopt the packed
 snapshot by array handoff — no per-worker O(n log n) index rebuild — build
 their own session (cache, kernels) and then drain chunks of
-``(index, spec)`` pairs.  ``Pool.map`` over contiguous chunks keeps the
+``(index, spec)`` pairs.  Contiguous chunks submitted in order keep the
 result order deterministic and identical to the serial executor, which is
 asserted by the engine parity tests.
 Per-spec *data* errors (unknown object ids, a causality query on an
 object that is actually an answer, ...) are captured into the outcome's
 ``error`` field rather than aborting the batch; spec/session mismatches
 still fail fast in the parent before any work is dispatched.
+
+Worker fan-out runs on :class:`concurrent.futures.ProcessPoolExecutor`
+rather than ``multiprocessing.Pool`` because the former *detects* worker
+death: a SIGKILLed worker raises :class:`BrokenProcessPool` instead of
+hanging a ``Pool.map`` forever.  On the first crash the executor salvages
+every chunk that completed, respawns the pool once (with ``worker.chunk``
+fault rules disarmed so an injected kill cannot re-fire), resubmits only
+the incomplete chunks, and keeps the deterministic order; a second crash
+raises :class:`~repro.exceptions.WorkerCrashError`.
 """
 
 from __future__ import annotations
@@ -19,7 +28,10 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import signal
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -31,10 +43,10 @@ from typing import (
     Tuple,
 )
 
-from repro import obs
+from repro import faults, obs
 from repro.engine.cache import CacheStats
 from repro.engine.spec import QuerySpec
-from repro.exceptions import ReproError, error_code
+from repro.exceptions import ReproError, WorkerCrashError, error_code
 from repro.uncertain.dataset import CertainDataset, UncertainDataset
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -162,10 +174,15 @@ def _worker_init(
     pdf_objects: Optional[list],
     session_kwargs: Dict[str, Any],
     trace_enabled: bool = False,
+    fault_plan: Optional[faults.FaultPlan] = None,
 ) -> None:
     from repro.engine.session import Session
 
     global _WORKER_SESSION
+    # Fault hit counts are per *process*: install the shipped plan fresh
+    # (install(None) also clears any injector inherited across fork, so
+    # a worker never double-counts the parent's seam passes).
+    faults.install(fault_plan)
     # A Tracer holds thread-local state and maybe a file handle, so the
     # parent ships a flag instead of its tracer: a traced parent gives
     # every worker a private in-memory collector whose finished span
@@ -195,6 +212,14 @@ def _worker_run(
     the parent merges those into the batch-wide totals.
     """
     assert _WORKER_SESSION is not None, "worker initialized without a session"
+    rule = faults.check(
+        "worker.chunk", chunk_start=chunk[0][0] if chunk else -1
+    )
+    if rule is not None and rule.action == "kill":
+        # A real crash, not an exception: SIGKILL gives the pool no
+        # chance to clean up, which is exactly the failure mode the
+        # parent-side recovery has to survive.
+        os.kill(os.getpid(), signal.SIGKILL)
     stats = _WORKER_SESSION.cache.stats
     before = (stats.hits, stats.misses, stats.evictions)
     metrics_before = obs.registry().snapshot()
@@ -334,7 +359,13 @@ class ParallelExecutor(Executor):
 
     def _initargs(
         self, session: "Session"
-    ) -> Tuple[Dict[str, Any], Optional[list], Dict[str, Any], bool]:
+    ) -> Tuple[
+        Dict[str, Any],
+        Optional[list],
+        Dict[str, Any],
+        bool,
+        Optional[faults.FaultPlan],
+    ]:
         if session.build_index and session.use_numpy:
             # Freeze once, ship to all (per-shard snapshots for a sharded
             # dataset, the one global snapshot otherwise).
@@ -360,8 +391,17 @@ class ParallelExecutor(Executor):
         else:
             session_kwargs["cache_size"] = self.cache_size
         # The tracer itself stays out of session_kwargs (it is not
-        # picklable); workers rebuild their own from this flag.
-        return payload, pdf_objects, session_kwargs, session.tracer is not None
+        # picklable); workers rebuild their own from this flag.  An
+        # installed fault plan ships along so injected worker faults
+        # (e.g. worker.chunk kills) fire inside real pool processes.
+        injector = faults.active()
+        return (
+            payload,
+            pdf_objects,
+            session_kwargs,
+            session.tracer is not None,
+            injector.plan if injector is not None else None,
+        )
 
     @staticmethod
     def _context():
@@ -388,6 +428,92 @@ class ParallelExecutor(Executor):
                 "or Session.apply) between read-only batches"
             )
 
+    def _completed_parts(
+        self,
+        chunks: List[List[Tuple[int, QuerySpec]]],
+        initargs: Tuple[Any, ...],
+    ) -> Iterator[Tuple[int, Any]]:
+        """Yield ``(chunk_index, worker part)`` in chunk order, surviving
+        one pool crash.
+
+        Chunks are submitted in order and awaited in order, so delivery
+        matches the serial executor exactly.  When the pool breaks
+        (a worker was SIGKILLed or died in its initializer), every chunk
+        that already completed is salvaged from its future, the pool is
+        respawned once with ``worker.chunk`` fault rules disarmed
+        (``sticky`` rules survive, which is how the give-up path is
+        tested), and only the incomplete chunks are resubmitted.  A
+        second crash raises :class:`WorkerCrashError` — never a hang.
+        """
+        total = len(chunks)
+        parts: Dict[int, Any] = {}
+        pending = list(range(total))
+        next_out = 0
+        for attempt in range(2):
+            executor = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending)),
+                mp_context=self._context(),
+                initializer=_worker_init,
+                initargs=initargs,
+            )
+            crashed = False
+            try:
+                futures = {
+                    index: executor.submit(_worker_run, chunks[index])
+                    for index in pending
+                }
+                for index in pending:
+                    try:
+                        parts[index] = futures[index].result()
+                    except BrokenProcessPool:
+                        crashed = True
+                        break
+                    while next_out in parts:
+                        yield next_out, parts.pop(next_out)
+                        next_out += 1
+                if crashed:
+                    # Chunks that finished before the crash are results
+                    # we already hold — only the rest get resubmitted.
+                    for index in pending:
+                        future = futures[index]
+                        if (
+                            index not in parts
+                            and future.done()
+                            and not future.cancelled()
+                            and future.exception() is None
+                        ):
+                            parts[index] = future.result()
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+            pending = [
+                index for index in range(next_out, total) if index not in parts
+            ]
+            if not pending:
+                break
+            if attempt == 1:
+                raise WorkerCrashError(
+                    f"worker pool crashed twice; {len(pending)} of {total} "
+                    "chunk(s) unrecovered"
+                )
+            initargs = self._disarm_worker_kills(initargs)
+            obs.registry().counter("fault.worker_respawns").inc()
+        while next_out in parts:
+            yield next_out, parts.pop(next_out)
+            next_out += 1
+
+    @staticmethod
+    def _disarm_worker_kills(initargs: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """The respawn initargs: same payload, kill rules removed.
+
+        Without this a respawned worker would re-fire the very
+        ``worker.chunk`` rule that killed its predecessor (hit counters
+        are per process) and recovery could never converge.
+        """
+        plan = initargs[-1]
+        if plan is None:
+            return initargs
+        return initargs[:-1] + (plan.drop("worker.chunk"),)
+
     def map(
         self, session: "Session", specs: Sequence[QuerySpec]
     ) -> List["QueryOutcome"]:
@@ -409,19 +535,16 @@ class ParallelExecutor(Executor):
         batch_metrics = obs.MetricsRegistry()
         depth = obs.registry().gauge("batch.queue_depth")
         depth.set(len(chunks))
-        with self._context().Pool(
-            processes=min(self.workers, len(chunks)),
-            initializer=_worker_init,
-            initargs=self._initargs(session),
-        ) as pool:
-            parts = pool.map(_worker_run, chunks)
-        depth.set(0)
-
         outcomes: List[Tuple[int, "QueryOutcome"]] = []
-        for part, delta, metrics_delta, spans in parts:
-            outcomes.extend(part)
-            self._merge_stats(delta)
-            self._merge_obs(session, batch_metrics, metrics_delta, spans)
+        try:
+            for _chunk_index, (part, delta, metrics_delta, spans) in (
+                self._completed_parts(chunks, self._initargs(session))
+            ):
+                outcomes.extend(part)
+                self._merge_stats(delta)
+                self._merge_obs(session, batch_metrics, metrics_delta, spans)
+        finally:
+            depth.set(0)
         self.last_metrics = batch_metrics.snapshot()
         outcomes.sort(key=lambda pair: pair[0])
         return [outcome for _index, outcome in outcomes]
@@ -457,10 +580,10 @@ class ParallelExecutor(Executor):
     ) -> Iterator["QueryOutcome"]:
         """Incremental fan-out: outcomes arrive chunk by chunk, in order.
 
-        ``Pool.imap`` over the same contiguous chunks :meth:`map` uses
-        keeps delivery order identical to the serial executor while a
-        consumer (the NDJSON streamer) sees results as each chunk
-        finishes instead of waiting for the whole batch.
+        The same ordered-chunk submission :meth:`map` uses (including
+        its crash recovery) keeps delivery order identical to the serial
+        executor while a consumer (the NDJSON streamer) sees results as
+        each chunk finishes instead of waiting for the whole batch.
         """
         specs = list(specs)
         if not specs:
@@ -482,14 +605,10 @@ class ParallelExecutor(Executor):
         self.last_metrics = batch_metrics.snapshot()
         depth = obs.registry().gauge("batch.queue_depth")
         depth.set(len(chunks))
-        with self._context().Pool(
-            processes=min(self.workers, len(chunks)),
-            initializer=_worker_init,
-            initargs=self._initargs(session),
-        ) as pool:
-            remaining = len(chunks)
-            for part, delta, metrics_delta, spans in pool.imap(
-                _worker_run, chunks
+        remaining = len(chunks)
+        try:
+            for _chunk_index, (part, delta, metrics_delta, spans) in (
+                self._completed_parts(chunks, self._initargs(session))
             ):
                 remaining -= 1
                 depth.set(remaining)
@@ -498,6 +617,8 @@ class ParallelExecutor(Executor):
                 self.last_metrics = batch_metrics.snapshot()
                 for _index, outcome in part:
                     yield outcome
+        finally:
+            depth.set(0)
 
 
 # ---------------------------------------------------------------------------

@@ -127,6 +127,51 @@ class OverloadedError(ServeError):
         super().__init__(message)
 
 
+class DeadlineExceededError(ServeError):
+    """A request's ``deadline_ms`` budget expired before it could finish.
+
+    Raised at the resilience checkpoints — admission-queue wait, the
+    engine dispatch point, the single-writer drain — so work that can no
+    longer be useful is never started.  Serialized as a structured
+    ``deadline_exceeded`` envelope (HTTP 504), never a dropped
+    connection or a silently late answer.
+    """
+
+    code = "deadline_exceeded"
+
+
+class DatasetDegradedError(ServeError):
+    """The dataset's single writer has died; the dataset is read-only.
+
+    Reads keep serving the last successfully published snapshot; every
+    mutation is refused with this error until the server is restarted.
+    Surfaced in ``/healthz``/``stats`` as ``status: "degraded"``.
+    """
+
+    code = "degraded"
+
+
+class WorkerCrashError(ReproError):
+    """A batch executor lost worker process(es) and recovery failed.
+
+    The :class:`~repro.engine.executor.ParallelExecutor` respawns a
+    crashed pool once and resubmits only the incomplete chunks; a second
+    crash within the same batch raises this instead of hanging.
+    """
+
+    code = "worker_crash"
+
+
+class FaultInjectionError(ReproError):
+    """An injected fault fired (deterministic chaos testing only).
+
+    Raised by :mod:`repro.faults` seams whose action is ``error`` — e.g.
+    the ``writer.apply`` seam — never by production code paths.
+    """
+
+    code = "fault_injected"
+
+
 class UnknownDatasetError(ServeError, KeyError):
     """A request names a dataset the service does not host."""
 

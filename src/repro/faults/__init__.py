@@ -1,0 +1,38 @@
+"""Deterministic fault injection for chaos testing the serve/engine stack.
+
+``repro.faults`` is pure scheduling + matching: :class:`FaultPlan` (a
+seed-reproducible list of :class:`FaultRule`\\ s) says *what* breaks and
+*when*; :class:`FaultInjector` counts seam passes at runtime and hands
+the matching rule to the instrumented seam, which performs the action
+(drop the socket, stall the read, SIGKILL the worker, raise in the
+writer, cut the stream).  Nothing imports this module on production
+paths unless a plan is installed — seams call :func:`check`, which is a
+single global load when inactive.
+
+The chaos scenario runner lives in :mod:`repro.faults.chaos`; it imports
+:mod:`repro.serve` and is therefore *not* re-exported here, keeping the
+``serve → faults`` dependency edge acyclic.
+"""
+
+from .injector import (
+    FaultInjector,
+    active,
+    check,
+    install,
+    installed,
+    uninstall,
+)
+from .plan import SEAM_ACTIONS, SEAMS, FaultPlan, FaultRule
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "SEAMS",
+    "SEAM_ACTIONS",
+    "active",
+    "check",
+    "install",
+    "installed",
+    "uninstall",
+]

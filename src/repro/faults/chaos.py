@@ -1,0 +1,382 @@
+"""Seeded end-to-end chaos scenarios: a fault plan vs. the full stack.
+
+Each scenario derives **everything** — dataset, workload, fault schedule,
+retry jitter — from one integer seed, so a failure reproduces exactly
+from its seed alone.  Two scenario shapes cover the five seams:
+
+* :func:`run_serve_chaos` boots an in-process :class:`ReproServer` with a
+  generated :class:`FaultPlan` over the socket/stream/writer seams and
+  drives a sequential mixed workload (reads, idempotency-keyed
+  mutations, one streamed batch) through a retrying
+  :class:`RemoteClient`.  It records, per logical request, exactly one
+  outcome, then checks the three resilience invariants:
+
+  1. **one response per request** — the workload loop never hangs and
+     never double-counts (retries collapse into their logical request);
+  2. **exactly-once mutations** — every acknowledged delta occupies its
+     own ``session_version``, and replaying the acknowledged deltas on a
+     fresh local session reproduces every observed read **bit-identically**
+     (probabilities compared via ``float.hex``);
+  3. **degradation is sticky and typed** — once a write fails with
+     ``degraded``, every later write fails the same way and the server
+     reports the dataset in its ``degraded`` list, while reads keep
+     answering from the last published snapshot.
+
+* :func:`run_executor_chaos` covers the ``worker.chunk`` seam: a
+  :class:`ParallelExecutor` batch under SIGKILLed pool workers must
+  either recover (respawn once, answers bit-identical to the serial
+  baseline) or fail with a typed :class:`WorkerCrashError` — never hang,
+  never return partial results.
+
+This module deliberately lives outside ``repro.faults.__init__``'s
+exports: it imports the serve and api layers, and pulling it in eagerly
+would cycle the dependency graph (serve → faults → serve).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.remote import RemoteClient
+from repro.api.results import QueryResult
+from repro.api.retry import RetryPolicy
+from repro.engine.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    _execute_captured,
+)
+from repro.engine.session import Session
+from repro.engine.spec import PRSQSpec, UpdateSpec
+from repro.exceptions import (
+    DatasetDegradedError,
+    DeadlineExceededError,
+    OverloadedError,
+    RemoteProtocolError,
+    RemoteQueryError,
+    WorkerCrashError,
+)
+from repro.faults.plan import SEAMS, FaultPlan
+from repro.serve.protocol import ServeConfig
+from repro.serve.server import ReproServer
+from repro.uncertain.dataset import UncertainDataset
+from repro.uncertain.delta import DatasetDelta
+from repro.uncertain.object import UncertainObject
+
+#: The seams an in-process serve scenario can actually reach (pool
+#: workers never run: serve executes reads on threads, so the
+#: ``worker.chunk`` seam belongs to :func:`run_executor_chaos`).
+SERVE_SEAMS = tuple(s for s in SEAMS if s != "worker.chunk")
+
+#: Generous per-request budget: chaos stalls are <= 0.25 s, so any
+#: deadline_exceeded under this budget would be a real server bug.
+_CHAOS_DEADLINE_MS = 30_000.0
+
+
+def _chaos_objects(rng: random.Random, n: int, dims: int) -> List[UncertainObject]:
+    return [
+        UncertainObject(
+            f"o{i}",
+            [
+                [rng.uniform(0.0, 10.0) for _ in range(dims)]
+                for _ in range(rng.randint(1, 3))
+            ],
+        )
+        for i in range(n)
+    ]
+
+
+def _fresh_dataset(objects: List[UncertainObject]) -> UncertainDataset:
+    return UncertainDataset([
+        UncertainObject(
+            o.oid,
+            [list(sample) for sample in o.samples],
+            list(o.probabilities),
+            name=o.name,
+        )
+        for o in objects
+    ])
+
+
+def _read_spec(rng: random.Random, dims: int) -> PRSQSpec:
+    q = tuple(rng.uniform(2.0, 8.0) for _ in range(dims))
+    want = ("answers", "non_answers", "probabilities")[rng.randint(0, 2)]
+    return PRSQSpec(q=q, alpha=rng.uniform(0.1, 0.9), want=want)
+
+
+def _semantic(envelope: QueryResult) -> object:
+    """Bit-stable digest of an envelope (hex floats, sorted ids)."""
+    if not envelope.ok:
+        return ("error", envelope.error.code)
+    value = envelope.value
+    if value.probabilities is not None:
+        return tuple(sorted(
+            (repr(oid), float(p).hex())
+            for oid, p in value.probabilities.items()
+        ))
+    return tuple(sorted(repr(oid) for oid in value.ids))
+
+
+def _build_ops(
+    rng: random.Random, dims: int, n_ops: int, seed: int
+) -> List[Tuple[str, Any]]:
+    """A deterministic op list: ~1/4 mutations, one streamed batch."""
+    ops: List[Tuple[str, Any]] = []
+    serial = 0
+    for i in range(n_ops):
+        if rng.random() < 0.25:
+            obj = UncertainObject(
+                f"chaos-{seed}-{serial}",
+                [[rng.uniform(0.0, 10.0) for _ in range(dims)]],
+            )
+            serial += 1
+            ops.append(("write", DatasetDelta.insertion(obj)))
+        else:
+            ops.append(("read", _read_spec(rng, dims)))
+    # One streamed batch mid-workload exercises the stream.frame seam.
+    batch_at = rng.randint(0, max(0, n_ops - 1))
+    ops.insert(batch_at, ("batch", [_read_spec(rng, dims) for _ in range(3)]))
+    return ops
+
+
+async def _run_batch(
+    client: RemoteClient, specs: List[PRSQSpec], policy: RetryPolicy
+) -> List[Tuple[QueryResult, Optional[int]]]:
+    """Run one streamed batch, retrying whole on connection loss.
+
+    Batches have no automatic retry (partially-consumed streams are not
+    idempotent as a unit), so the chaos driver retries the whole batch —
+    read-only by construction — after reconnecting.
+    """
+    schedule = policy.schedule()
+    for attempt in range(1, policy.max_attempts + 1):
+        try:
+            if client._fatal is not None:
+                await client._reconnect()
+            builder = client.batch()
+            for spec in specs:
+                builder.add(spec)
+            results: List[Tuple[QueryResult, Optional[int]]] = []
+            async for envelope in builder.stream():
+                results.append((envelope, client.session_version))
+            return results
+        except (RemoteProtocolError, OverloadedError):
+            if attempt >= policy.max_attempts:
+                raise
+            await asyncio.sleep(next(schedule))
+    raise AssertionError("unreachable: retry loop exits via return/raise")
+
+
+async def _drive_workload(
+    port: int, ops: List[Tuple[str, Any]], seed: int
+) -> Dict[str, Any]:
+    """Run the op list sequentially; one recorded outcome per op."""
+    policy = RetryPolicy(max_attempts=5, base_s=0.01, cap_s=0.2, seed=seed)
+    outcomes: List[Tuple[str, object]] = []
+    semantics: Dict[Tuple[int, PRSQSpec], object] = {}
+    deltas_by_version: Dict[int, DatasetDelta] = {}
+    acked_inserts: List[str] = []
+    degraded_seen = False
+    client = await RemoteClient.connect(
+        port=port, retry=policy, deadline_ms=_CHAOS_DEADLINE_MS
+    )
+    try:
+        for index, (kind, payload) in enumerate(ops):
+            try:
+                if kind == "read":
+                    envelope, version = await client.query_envelope(payload)
+                    if envelope.ok:
+                        semantics[(version, payload)] = _semantic(envelope)
+                        outcomes.append(("ok", version))
+                    else:
+                        outcomes.append(("data_error", envelope.error.code))
+                elif kind == "write":
+                    spec = UpdateSpec.from_delta(payload)
+                    idem = f"chaos-{seed}-op{index}"
+                    envelope = await client.query(spec, idem=idem)
+                    deltas_by_version[client.session_version] = payload
+                    acked_inserts.append(payload.inserts[0].oid)
+                    outcomes.append(("ok", client.session_version))
+                else:  # batch
+                    results = await _run_batch(client, payload, policy)
+                    for (envelope, version), spec in zip(results, payload):
+                        if envelope.ok:
+                            semantics[(version, spec)] = _semantic(envelope)
+                    outcomes.append(("ok", "batch"))
+            except DatasetDegradedError:
+                degraded_seen = True
+                outcomes.append(("degraded", kind))
+            except (RemoteQueryError, OverloadedError,
+                    DeadlineExceededError, RemoteProtocolError) as exc:
+                outcomes.append((type(exc).__name__, kind))
+        # The final ping must survive any not-yet-fired drop rules too.
+        for attempt in range(3):
+            try:
+                if client._fatal is not None:
+                    await client._reconnect()
+                ping = await client.ping()
+                break
+            except RemoteProtocolError:
+                if attempt == 2:
+                    raise
+                await asyncio.sleep(0.01)
+    finally:
+        await client.close()
+    return {
+        "outcomes": outcomes,
+        "semantics": semantics,
+        "deltas_by_version": deltas_by_version,
+        "acked_inserts": acked_inserts,
+        "degraded_seen": degraded_seen,
+        "ping": ping,
+    }
+
+
+def _verify_replay(
+    initial: List[UncertainObject],
+    deltas_by_version: Dict[int, DatasetDelta],
+    semantics: Dict[Tuple[int, PRSQSpec], object],
+) -> Tuple[int, int]:
+    """Replay acknowledged deltas version-by-version on a local session,
+    re-running every observed read; returns ``(checked, mismatches)``."""
+    session = Session(_fresh_dataset(initial))
+    by_version: Dict[int, List[PRSQSpec]] = {}
+    for (version, spec) in semantics:
+        by_version.setdefault(version, []).append(spec)
+    checked = mismatches = 0
+    current = 0
+    for version in sorted(by_version):
+        while current < version:
+            current += 1
+            delta = deltas_by_version.get(current)
+            if delta is None:
+                raise AssertionError(
+                    f"read observed version {version} but no mutation was "
+                    f"acknowledged at version {current}: a retried "
+                    f"mutation applied more than once, or an ack was lost"
+                )
+            session.apply(delta)
+        for spec in by_version[version]:
+            outcome = _execute_captured(session, spec)
+            envelope = QueryResult.from_outcome(
+                outcome, fingerprint=session.fingerprint
+            )
+            checked += 1
+            if _semantic(envelope) != semantics[(version, spec)]:
+                mismatches += 1
+    return checked, mismatches
+
+
+async def _serve_chaos(seed: int, n_objects: int, n_ops: int) -> Dict[str, Any]:
+    rng = random.Random(seed)
+    dims = 2
+    objects = _chaos_objects(rng, n_objects, dims)
+    ops = _build_ops(rng, dims, n_ops, seed)
+    plan = FaultPlan.generate(seed, seams=SERVE_SEAMS)
+    config = ServeConfig(
+        port=0, threads=2, cache_size=64, fault_plan=plan,
+        drain_timeout_s=2.0,
+    )
+    async with ReproServer({"default": _fresh_dataset(objects)}, config) as srv:
+        run = await _drive_workload(srv.port, ops, seed)
+
+    checked, mismatches = _verify_replay(
+        objects, run["deltas_by_version"], run["semantics"]
+    )
+    failures: List[str] = []
+    if len(run["outcomes"]) != len(ops):
+        failures.append(
+            f"{len(ops)} requests but {len(run['outcomes'])} outcomes"
+        )
+    if mismatches:
+        failures.append(
+            f"{mismatches}/{checked} replayed reads diverged from the "
+            f"fault-free baseline"
+        )
+    # Exactly-once: every acknowledged insert landed at its own version.
+    if len(run["deltas_by_version"]) != len(run["acked_inserts"]):
+        failures.append(
+            f"{len(run['acked_inserts'])} acked mutations occupy "
+            f"{len(run['deltas_by_version'])} versions (double-apply?)"
+        )
+    # Degradation surfaced: a degraded write means the server must
+    # advertise the dataset as degraded (reads may still succeed).
+    if run["degraded_seen"] and "default" not in run["ping"].get("degraded", []):
+        failures.append("writes degraded but ping does not list the dataset")
+    return {
+        "seed": seed,
+        "plan": plan.to_dict(),
+        "requests": len(ops),
+        "replayed_reads": checked,
+        "acked_mutations": len(run["acked_inserts"]),
+        "degraded": run["degraded_seen"],
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def run_serve_chaos(
+    seed: int, *, n_objects: int = 24, n_ops: int = 14
+) -> Dict[str, Any]:
+    """One seeded serve-layer chaos scenario; returns a report dict.
+
+    ``report["ok"]`` is the verdict; ``report["failures"]`` lists every
+    violated invariant; ``report["plan"]`` is the schedule that did it
+    (feed it back through ``FaultPlan.from_dict`` to reproduce).
+    """
+    return asyncio.run(_serve_chaos(seed, n_objects, n_ops))
+
+
+def run_executor_chaos(seed: int, *, n_objects: int = 40) -> Dict[str, Any]:
+    """One seeded worker-crash scenario against :class:`ParallelExecutor`.
+
+    Generates a ``worker.chunk`` plan, runs a parallel batch under it,
+    and demands either full recovery (answers bit-identical to the
+    serial baseline) or a typed :class:`WorkerCrashError` — a hang or a
+    silent partial result fails the scenario (a hang fails the suite's
+    timeout, not this function).
+    """
+    from repro import faults
+
+    rng = random.Random(seed)
+    dataset = _chaos_objects(rng, n_objects, 2)
+    session = Session(_fresh_dataset(dataset))
+    specs = [_read_spec(rng, 2) for _ in range(8)]
+    baseline = session.execute_batch(specs, SerialExecutor())
+    plan = FaultPlan.generate(
+        seed, seams=("worker.chunk",), max_rules=3, max_hit=4
+    )
+    failures: List[str] = []
+    crashed = False
+    with faults.installed(plan):
+        try:
+            parallel = session.execute_batch(
+                specs, ParallelExecutor(workers=2, chunk_size=2)
+            )
+        except WorkerCrashError:
+            crashed = True
+            parallel = None
+    if parallel is not None:
+        if len(parallel) != len(baseline):
+            failures.append(
+                f"recovered run returned {len(parallel)} of "
+                f"{len(baseline)} outcomes"
+            )
+        else:
+            for serial_out, parallel_out in zip(baseline, parallel):
+                if _outcome_digest(serial_out) != _outcome_digest(parallel_out):
+                    failures.append("recovered answers diverge from serial")
+                    break
+    return {
+        "seed": seed,
+        "plan": plan.to_dict(),
+        "crashed": crashed,
+        "failures": failures,
+        "ok": not failures,
+    }
+
+
+def _outcome_digest(outcome: Any) -> object:
+    envelope = QueryResult.from_outcome(outcome, fingerprint="x")
+    return _semantic(envelope)

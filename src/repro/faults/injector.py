@@ -1,0 +1,133 @@
+"""Runtime fault matching: seams ask, the injector answers.
+
+One process-global :class:`FaultInjector` (installed via :func:`install`
+or the :func:`installed` context manager) counts passes through each
+seam and hands back the :class:`~repro.faults.plan.FaultRule` whose
+``hit`` matches — at most once per rule.  Instrumented code calls
+:func:`check`; when nothing is installed that is a single global load
+and ``None`` return, so production paths pay nothing.
+
+The injector also keeps an ordered event log (seam, hit, action,
+context) for the chaos NDJSON artifact, and bumps ``fault.injected`` /
+``fault.injected.<seam>`` counters in the metrics registry so fired
+faults show up in ``stats`` next to the retry/degradation counters they
+provoke.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from ..obs import registry
+from .plan import FaultPlan, FaultRule
+
+__all__ = [
+    "FaultInjector",
+    "active",
+    "check",
+    "install",
+    "installed",
+    "uninstall",
+]
+
+
+class FaultInjector:
+    """Matches seam passes against one :class:`FaultPlan`.
+
+    Thread-safe: seams are crossed from the event loop, executor
+    threads, and forked workers (each worker installs its own injector,
+    so counters are per-process by construction).
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._hits: Dict[str, int] = {}
+        self._fired: set = set()
+        self._events: List[Dict[str, Any]] = []
+
+    def check(self, seam: str, **context: Any) -> Optional[FaultRule]:
+        """Record one pass through *seam*; the rule to apply, if any."""
+        with self._lock:
+            count = self._hits.get(seam, 0) + 1
+            self._hits[seam] = count
+            for index, rule in enumerate(self.plan.rules):
+                if (
+                    index not in self._fired
+                    and rule.seam == seam
+                    and rule.hit == count
+                ):
+                    self._fired.add(index)
+                    self._events.append(
+                        {
+                            "seam": seam,
+                            "hit": count,
+                            "action": rule.action,
+                            "delay_s": rule.delay_s,
+                            "context": context,
+                        }
+                    )
+                    break
+            else:
+                return None
+        reg = registry()
+        reg.counter("fault.injected").inc()
+        reg.counter(f"fault.injected.{seam}").inc()
+        return rule
+
+    def events(self) -> List[Dict[str, Any]]:
+        """A copy of the fired-fault log, in firing order."""
+        with self._lock:
+            return [dict(event) for event in self._events]
+
+    def exhausted(self) -> bool:
+        """True once every rule in the plan has fired."""
+        with self._lock:
+            return len(self._fired) == len(self.plan.rules)
+
+
+_LOCK = threading.Lock()
+_ACTIVE: Optional[FaultInjector] = None
+
+
+def install(plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
+    """Install *plan* process-globally; the injector (None for no-op plans)."""
+    global _ACTIVE
+    with _LOCK:
+        if plan is None or not plan.rules:
+            _ACTIVE = None
+        else:
+            _ACTIVE = FaultInjector(plan)
+        return _ACTIVE
+
+
+def uninstall() -> None:
+    """Remove the active injector; seams go back to zero-cost."""
+    global _ACTIVE
+    with _LOCK:
+        _ACTIVE = None
+
+
+def active() -> Optional[FaultInjector]:
+    """The currently installed injector, if any."""
+    return _ACTIVE
+
+
+def check(seam: str, **context: Any) -> Optional[FaultRule]:
+    """The rule firing at this pass of *seam*, or None (fast no-op path)."""
+    injector = _ACTIVE
+    if injector is None:
+        return None
+    return injector.check(seam, **context)
+
+
+@contextmanager
+def installed(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultInjector]]:
+    """Scope an injector to a ``with`` block (tests, chaos runs)."""
+    injector = install(plan)
+    try:
+        yield injector
+    finally:
+        uninstall()

@@ -1,0 +1,248 @@
+"""Deterministic fault schedules: what breaks, where, and on which hit.
+
+A :class:`FaultPlan` is a seed plus a tuple of :class:`FaultRule`\\ s, each
+naming a *seam* (an instrumented point in the serve/engine stack), the
+1-based *hit* at which it fires, and an *action*.  Plans are pure data:
+JSON round-trippable, hashable by content, and reproducible from their
+seed via :meth:`FaultPlan.generate` — so a chaos failure is reported as
+one integer that regenerates the exact schedule that broke.
+
+Seams and their legal actions:
+
+========================  ==========================================
+seam                      actions
+========================  ==========================================
+``socket.read``           ``drop`` (close mid-read), ``stall`` (delay)
+``socket.write``          ``drop`` (close before the response frame)
+``worker.chunk``          ``kill`` (SIGKILL the pool worker)
+``writer.apply``          ``error`` (raise inside the apply)
+``stream.frame``          ``disconnect`` (cut a streamed batch mid-way)
+========================  ==========================================
+
+Nothing here performs the actions; :mod:`repro.faults.injector` matches
+rules at runtime and the instrumented seams interpret them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..exceptions import InvalidSpecError
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "SEAMS",
+    "SEAM_ACTIONS",
+]
+
+#: Legal actions per seam; the ordering of this mapping is the canonical
+#: seam ordering used by :meth:`FaultPlan.generate`.
+SEAM_ACTIONS: Dict[str, Tuple[str, ...]] = {
+    "socket.read": ("drop", "stall"),
+    "socket.write": ("drop",),
+    "worker.chunk": ("kill",),
+    "writer.apply": ("error",),
+    "stream.frame": ("disconnect",),
+}
+
+#: All instrumented seams, in canonical order.
+SEAMS: Tuple[str, ...] = tuple(SEAM_ACTIONS)
+
+#: Stall delays stay small so chaos suites finish fast but still overlap
+#: concurrent traffic; generate() samples from this range.
+_STALL_RANGE_S = (0.02, 0.25)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault: fire ``action`` on the ``hit``-th pass of ``seam``.
+
+    ``hit`` counts seam passes *per process* (each forked worker starts
+    at zero).  Rules fire at most once per injector.  ``sticky`` rules
+    survive :meth:`FaultPlan.drop` — used to test give-up paths where a
+    respawned worker must crash again.
+    """
+
+    seam: str
+    hit: int
+    action: str
+    delay_s: float = 0.0
+    message: str = ""
+    sticky: bool = False
+
+    def __post_init__(self) -> None:
+        if self.seam not in SEAM_ACTIONS:
+            raise InvalidSpecError(
+                f"unknown fault seam {self.seam!r}; expected one of {SEAMS}"
+            )
+        if self.action not in SEAM_ACTIONS[self.seam]:
+            raise InvalidSpecError(
+                f"action {self.action!r} invalid for seam {self.seam!r}; "
+                f"expected one of {SEAM_ACTIONS[self.seam]}"
+            )
+        if self.hit < 1:
+            raise InvalidSpecError(f"fault hit must be >= 1, got {self.hit}")
+        if self.delay_s < 0:
+            raise InvalidSpecError(
+                f"fault delay_s must be >= 0, got {self.delay_s}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seam": self.seam,
+            "hit": self.hit,
+            "action": self.action,
+            "delay_s": self.delay_s,
+            "message": self.message,
+            "sticky": self.sticky,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultRule":
+        try:
+            return cls(
+                seam=str(payload["seam"]),
+                hit=int(payload["hit"]),
+                action=str(payload["action"]),
+                delay_s=float(payload.get("delay_s", 0.0)),
+                message=str(payload.get("message", "")),
+                sticky=bool(payload.get("sticky", False)),
+            )
+        except KeyError as exc:
+            raise InvalidSpecError(f"fault rule missing field {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serializable schedule of :class:`FaultRule`\\ s."""
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def seams(self) -> Tuple[str, ...]:
+        """The distinct seams this plan touches, in canonical order."""
+        present = {rule.seam for rule in self.rules}
+        return tuple(seam for seam in SEAMS if seam in present)
+
+    def drop(self, seam: str) -> "FaultPlan":
+        """A copy without the non-``sticky`` rules for *seam*.
+
+        Used to disarm a seam on recovery — e.g. the respawned worker
+        pool ships a plan minus ``worker.chunk`` kills so the retry is
+        not re-killed by its own schedule.
+        """
+        kept = tuple(
+            rule for rule in self.rules
+            if rule.seam != seam or rule.sticky
+        )
+        return FaultPlan(seed=self.seed, rules=kept)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultPlan":
+        rules = payload.get("rules", [])
+        if not isinstance(rules, (list, tuple)):
+            raise InvalidSpecError("fault plan 'rules' must be a list")
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            rules=tuple(FaultRule.from_dict(r) for r in rules),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise InvalidSpecError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise InvalidSpecError("fault plan JSON must be an object")
+        return cls.from_dict(payload)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        *,
+        seams: Sequence[str] = SEAMS,
+        max_rules: int = 4,
+        max_hit: int = 6,
+    ) -> "FaultPlan":
+        """The deterministic schedule for *seed*.
+
+        Same seed, same plan — across processes and runs.  Rule count,
+        seam choice, hit numbers and stall delays are all drawn from one
+        ``random.Random(seed)`` stream.
+        """
+        import random
+
+        rng = random.Random(seed)
+        n_rules = rng.randint(1, max_rules)
+        rules = []
+        for _ in range(n_rules):
+            seam = rng.choice(list(seams))
+            action = rng.choice(SEAM_ACTIONS[seam])
+            delay = 0.0
+            if action == "stall":
+                lo, hi = _STALL_RANGE_S
+                delay = round(rng.uniform(lo, hi), 4)
+            rules.append(
+                FaultRule(
+                    seam=seam,
+                    hit=rng.randint(1, max_hit),
+                    action=action,
+                    delay_s=delay,
+                    message=f"injected[{seed}] {seam}:{action}",
+                )
+            )
+        # Deterministic order regardless of draw order; dedupe exact
+        # (seam, hit) collisions — two rules on the same pass would mask
+        # each other and make event logs ambiguous.
+        unique: Dict[Tuple[str, int], FaultRule] = {}
+        for rule in rules:
+            unique.setdefault((rule.seam, rule.hit), rule)
+        ordered = sorted(
+            unique.values(), key=lambda r: (SEAMS.index(r.seam), r.hit)
+        )
+        return cls(seed=seed, rules=tuple(ordered))
+
+    @classmethod
+    def parse(cls, text: Optional[str]) -> Optional["FaultPlan"]:
+        """A plan from CLI/env shorthand, or ``None`` for empty input.
+
+        Accepts a bare integer (``"42"`` → :meth:`generate`), inline
+        JSON (``'{"seed": ...}'``), or a path to a JSON file.
+        """
+        if text is None:
+            return None
+        text = text.strip()
+        if not text:
+            return None
+        if text.lstrip("-").isdigit():
+            return cls.generate(int(text))
+        if text.startswith("{"):
+            return cls.from_json(text)
+        try:
+            with open(text, "r", encoding="utf-8") as handle:
+                return cls.from_json(handle.read())
+        except OSError as exc:
+            raise InvalidSpecError(
+                f"fault plan {text!r} is neither a seed, JSON, nor a "
+                f"readable file: {exc}"
+            ) from exc

@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -312,6 +313,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="STR-partition every hosted dataset into K spatial shards "
         "(snapshot publication and results unchanged; default 1)",
+    )
+    serve.add_argument(
+        "--fault-plan",
+        metavar="SEED|JSON|FILE",
+        help="install a deterministic fault-injection plan (chaos testing "
+        "only): an integer seed generates one, inline JSON or a JSON file "
+        "spells one out; REPRO_FAULT_PLAN is the env equivalent",
     )
 
     from repro.analysis.cli import add_lint_arguments
@@ -750,6 +758,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             raise ValueError(f"--data: duplicate dataset name {name!r}")
         datasets[name] = load(path)
 
+    fault_plan = None
+    plan_text = args.fault_plan or os.environ.get("REPRO_FAULT_PLAN")
+    if plan_text:
+        from repro.faults import FaultPlan
+
+        fault_plan = FaultPlan.parse(plan_text)
+
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -761,6 +776,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         write_queue=args.write_queue,
         per_connection=args.per_connection,
         shards=max(args.shards, 1),
+        fault_plan=fault_plan,
     )
 
     def announce(server) -> None:
@@ -783,6 +799,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # signal handlers normally absorb SIGINT for a graceful drain;
         # this is the fallback (e.g. non-main-thread loops)
         return 130
+    except OSError as exc:
+        # Bind failures (port in use, privileged port, bad host) are an
+        # operator error, not a crash: one line, exit 2, no traceback.
+        print(
+            f"error: cannot bind {config.host}:{config.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
     print("# server stopped", file=sys.stderr)
     return 0
 

@@ -29,10 +29,10 @@ import asyncio
 import time
 from collections import deque
 from contextlib import asynccontextmanager
-from typing import Any, Deque, Dict
+from typing import Any, Deque, Dict, Optional
 
 from repro import obs
-from repro.exceptions import OverloadedError
+from repro.exceptions import DeadlineExceededError, OverloadedError
 
 
 class AdmissionController:
@@ -95,8 +95,16 @@ class AdmissionController:
         self._inflight_gauge.set(self._inflight)
         self._queue_gauge.set(len(self._waiters))
 
-    async def acquire(self) -> None:
-        """Take a slot, waiting in FIFO order; raise when the queue is full."""
+    async def acquire(self, deadline: Optional[float] = None) -> None:
+        """Take a slot, waiting in FIFO order; raise when the queue is full.
+
+        *deadline* is an absolute ``time.monotonic()`` instant: a request
+        whose budget expires while it is still queued is answered with
+        :class:`DeadlineExceededError` instead of being started late —
+        dead work never reaches the thread pool.
+        """
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceededError("deadline expired before admission")
         if self._inflight < self.max_inflight and not self._waiters:
             self._inflight += 1
             self.admitted += 1
@@ -111,9 +119,24 @@ class AdmissionController:
                 f"({self._inflight} in flight, {len(self._waiters)} queued)",
                 retry_after_s=self.retry_after(),
             )
-        future = asyncio.get_running_loop().create_future()
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
         self._waiters.append(future)
         self._publish_gauges()
+        # An expiry callback instead of asyncio.wait_for: set_exception
+        # and the grant's set_result race atomically on one future, so a
+        # slot handed over in the same tick the deadline fires is either
+        # kept (grant won) or passed on below (expiry won) — never lost.
+        handle = None
+        if deadline is not None:
+            def _expire() -> None:
+                if not future.done():
+                    future.set_exception(DeadlineExceededError(
+                        "deadline expired while queued for admission"
+                    ))
+            handle = loop.call_later(
+                max(0.0, deadline - time.monotonic()), _expire
+            )
         try:
             await future
         except asyncio.CancelledError:
@@ -128,6 +151,16 @@ class AdmissionController:
                     pass
             self._publish_gauges()
             raise
+        except DeadlineExceededError:
+            try:
+                self._waiters.remove(future)
+            except ValueError:
+                pass
+            self._publish_gauges()
+            raise
+        finally:
+            if handle is not None:
+                handle.cancel()
         self.admitted += 1
         self._admitted_counter.inc()
         self._publish_gauges()
@@ -152,9 +185,9 @@ class AdmissionController:
         self._inflight -= 1
 
     @asynccontextmanager
-    async def slot(self):
+    async def slot(self, deadline: Optional[float] = None):
         """``async with controller.slot():`` — acquire/release + EMA feed."""
-        await self.acquire()
+        await self.acquire(deadline)
         started = time.perf_counter()
         try:
             yield self

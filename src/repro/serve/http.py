@@ -52,6 +52,8 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 #: Request-level taxonomy codes -> HTTP status (fallback 500).
 _CODE_STATUS = {
@@ -63,6 +65,8 @@ _CODE_STATUS = {
     "type_error": 400,
     "unknown_key": 400,
     "unknown_dataset": 404,
+    "deadline_exceeded": 504,
+    "degraded": 503,
 }
 
 
@@ -169,11 +173,15 @@ def _to_frame(method: str, target: str, body: bytes) -> Dict[str, Any]:
             raise InvalidRequestError("POST /query body must be an object")
         if "spec" not in payload and "kind" in payload:
             payload = {"spec": payload}  # bare-spec convenience
-        return {
+        frame = {
             "op": "query",
             "spec": payload.get("spec"),
             "dataset": payload.get("dataset", dataset),
         }
+        for field in ("deadline_ms", "idem"):
+            if field in payload:
+                frame[field] = payload[field]
+        return frame
     if method == "POST" and path == "/batch":
         payload = _parse_body(body)
         if isinstance(payload, list):
@@ -182,11 +190,14 @@ def _to_frame(method: str, target: str, body: bytes) -> Dict[str, Any]:
             raise InvalidRequestError(
                 "POST /batch body must be an object or a spec array"
             )
-        return {
+        frame = {
             "op": "batch",
             "specs": payload.get("specs"),
             "dataset": payload.get("dataset", dataset),
         }
+        if "deadline_ms" in payload:
+            frame["deadline_ms"] = payload["deadline_ms"]
+        return frame
     if path in ("/healthz", "/stats", "/query", "/batch"):
         raise InvalidRequestError(f"method {method} not allowed on {path}")
     raise InvalidRequestError(

@@ -43,17 +43,23 @@ followed by a ``done`` summary frame, mirroring the CLI's NDJSON
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
+import time
 from dataclasses import dataclass
 from typing import Any, AsyncIterator, Dict, Optional
 
+from repro import faults
 from repro.api.results import ErrorInfo
 from repro.engine import spec_from_dict
 from repro.exceptions import (
+    DatasetDegradedError,
+    DeadlineExceededError,
     InvalidRequestError,
     OverloadedError,
     ReproError,
 )
+from repro.faults.plan import FaultPlan
 from repro.serve.wire import DEFAULT_DATASET, DEFAULT_PORT, encode_frame
 
 #: Ops a request may name; ``query`` is the default when ``op`` is absent
@@ -74,6 +80,11 @@ class ServeConfig:
     STR-partitions every hosted raw dataset into that many spatial
     shards (results stay bit-identical; prepared :class:`Session` objects
     are hosted as given).
+
+    ``idem_window`` bounds the per-dataset idempotency window (applied
+    mutation results kept for retry dedup); ``fault_plan`` installs a
+    deterministic :class:`~repro.faults.plan.FaultPlan` for the server's
+    lifetime — chaos runs only, ``None`` in production.
     """
 
     host: str = "127.0.0.1"
@@ -88,6 +99,8 @@ class ServeConfig:
     max_line_bytes: int = 1 << 20
     drain_timeout_s: float = 5.0
     shards: int = 1
+    idem_window: int = 1024
+    fault_plan: Optional[FaultPlan] = None
 
 
 def error_response(
@@ -127,6 +140,36 @@ class RequestHandler:
             )
         return spec_from_dict(payload)
 
+    @staticmethod
+    def _deadline_of(request: Dict[str, Any]) -> Optional[float]:
+        """The absolute monotonic deadline for *request*, if it set one.
+
+        ``deadline_ms`` is a *relative* budget (clients and servers do
+        not share clocks); it is anchored to ``time.monotonic()`` here,
+        at frame receipt, and the absolute instant rides along through
+        admission, the write queue, and the pool dispatch checkpoint.
+        """
+        budget = request.get("deadline_ms")
+        if budget is None:
+            return None
+        if not isinstance(budget, (int, float)) or isinstance(budget, bool) \
+                or budget <= 0:
+            raise InvalidRequestError(
+                f"'deadline_ms' must be a positive number, got {budget!r}"
+            )
+        return time.monotonic() + float(budget) / 1000.0
+
+    @staticmethod
+    def _idem_of(request: Dict[str, Any]) -> Optional[str]:
+        idem = request.get("idem")
+        if idem is None:
+            return None
+        if not isinstance(idem, str) or not idem:
+            raise InvalidRequestError(
+                f"'idem' must be a non-empty string, got {idem!r}"
+            )
+        return idem
+
     async def handle(
         self, request: Any
     ) -> AsyncIterator[Dict[str, Any]]:
@@ -152,6 +195,11 @@ class RequestHandler:
                     "ok": True,
                     "pong": True,
                     "datasets": self.service.dataset_names(),
+                    "status": {
+                        name: self.service.state(name).status
+                        for name in self.service.dataset_names()
+                    },
+                    "degraded": self.service.degraded_datasets(),
                 }
             elif op == "stats":
                 yield {"id": request_id, "ok": True, **self.service.stats_payload()}
@@ -160,7 +208,10 @@ class RequestHandler:
                     raise InvalidRequestError("op 'query' needs a 'spec'")
                 spec = self._decode_spec(request["spec"])
                 envelope, version = await self.service.execute(
-                    spec, dataset=request.get("dataset", DEFAULT_DATASET)
+                    spec,
+                    dataset=request.get("dataset", DEFAULT_DATASET),
+                    deadline=self._deadline_of(request),
+                    idem=self._idem_of(request),
                 )
                 yield {
                     "id": request_id,
@@ -185,6 +236,7 @@ class RequestHandler:
         if not isinstance(specs, list):
             raise InvalidRequestError("op 'batch' needs a 'specs' array")
         dataset = request.get("dataset", DEFAULT_DATASET)
+        deadline = self._deadline_of(request)
         # Pre-validate every spec up front (the CLI batch contract): a
         # malformed spec at index 50 fails the batch before spec 0 runs.
         parsed = [self._decode_spec(item) for item in specs]
@@ -192,11 +244,13 @@ class RequestHandler:
         for seq, spec in enumerate(parsed):
             try:
                 envelope, version = await self.service.execute(
-                    spec, dataset=dataset
+                    spec, dataset=dataset, deadline=deadline
                 )
-            except OverloadedError as exc:
-                # One rejected spec does not abort the batch: the client
-                # sees which seq was shed and can retry just that one.
+            except (
+                OverloadedError, DeadlineExceededError, DatasetDegradedError
+            ) as exc:
+                # One rejected/expired spec does not abort the batch: the
+                # client sees which seq failed and can retry just that one.
                 failures += 1
                 yield error_response(request_id, exc, seq=seq)
                 continue
@@ -223,8 +277,9 @@ async def serve_ndjson(
     writer: asyncio.StreamWriter,
     config: ServeConfig,
     first_line: Optional[bytes] = None,
+    draining: Optional[asyncio.Event] = None,
 ) -> None:
-    """Drive one NDJSON connection until EOF.
+    """Drive one NDJSON connection until EOF (or server drain).
 
     Each request frame is handled in its own task (so one slow query
     never head-of-line-blocks the connection), bounded by
@@ -233,11 +288,37 @@ async def serve_ndjson(
     Outbound frames are serialized through one lock; ``drain()`` under
     that lock gives natural per-connection backpressure against slow
     consumers.
+
+    When *draining* (the server's shutdown event) fires, the loop stops
+    *reading* but in-flight request tasks — including a half-streamed
+    batch — run to completion and flush their tails before the socket
+    closes cleanly; client-initiated EOF keeps the old behavior of
+    cancelling whatever is still running.
+
+    Fault seams (active only under an installed
+    :class:`~repro.faults.FaultPlan`): ``socket.read`` (drop the
+    connection before a frame is read, or stall the read), ``socket.write``
+    (drop before a response frame is written), and ``stream.frame``
+    (hard-reset mid-way through a streamed batch).
     """
     write_lock = asyncio.Lock()
     tasks: set = set()
 
+    def _abort(reason: str) -> None:
+        transport = writer.transport
+        if transport is not None:
+            transport.abort()  # hard reset, not a graceful FIN
+        raise ConnectionResetError(reason)
+
     async def send(payload: Dict[str, Any]) -> None:
+        if faults.active() is not None:
+            if "seq" in payload:
+                rule = faults.check("stream.frame", seq=payload.get("seq"))
+                if rule is not None:
+                    _abort(rule.message or "injected stream.frame disconnect")
+            rule = faults.check("socket.write", id=payload.get("id"))
+            if rule is not None:
+                _abort(rule.message or "injected socket.write drop")
         frame = encode_frame(payload)
         async with write_lock:
             writer.write(frame)
@@ -247,20 +328,59 @@ async def serve_ndjson(
         try:
             async for response in handler.handle(request):
                 await send(response)
-        except (ConnectionError, asyncio.CancelledError):
+        except asyncio.CancelledError:
             raise
+        except ConnectionError:
+            # The connection is already gone (or fault-injected away);
+            # there is nobody left to answer.
+            return
         except Exception as exc:  # defensive: never kill the connection
             await send(error_response(
                 request.get("id") if isinstance(request, dict) else None, exc
             ))
 
+    drain_wait = (
+        asyncio.ensure_future(draining.wait()) if draining is not None
+        else None
+    )
+
+    async def next_line() -> bytes:
+        """One frame line — or ``b""`` when the server starts draining."""
+        if drain_wait is None:
+            return await reader.readline()
+        if drain_wait.done():
+            return b""
+        read = asyncio.ensure_future(reader.readline())
+        try:
+            await asyncio.wait(
+                {read, drain_wait}, return_when=asyncio.FIRST_COMPLETED
+            )
+        except asyncio.CancelledError:
+            read.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await read
+            raise
+        if read.done():
+            return read.result()
+        read.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await read
+        return b""
+
+    drained_exit = False
     try:
         while True:
             if first_line is not None:
                 line, first_line = first_line, None
             else:
+                rule = faults.check("socket.read") if faults.active() else None
+                if rule is not None:
+                    if rule.action == "drop":
+                        _abort(rule.message or "injected socket.read drop")
+                    if rule.action == "stall":
+                        await asyncio.sleep(rule.delay_s)
                 try:
-                    line = await reader.readline()
+                    line = await next_line()
                 except (asyncio.LimitOverrunError, ValueError):
                     # Oversized frame: framing is lost, close after a hint.
                     await send(error_response(None, InvalidRequestError(
@@ -269,6 +389,7 @@ async def serve_ndjson(
                     )))
                     break
             if not line:
+                drained_exit = draining is not None and draining.is_set()
                 break
             if not line.strip():
                 continue
@@ -295,10 +416,26 @@ async def serve_ndjson(
     except (ConnectionError, asyncio.IncompleteReadError):
         pass
     finally:
-        for task in tasks:
-            task.cancel()
-        if tasks:
-            await asyncio.gather(*tasks, return_exceptions=True)
+        if drain_wait is not None:
+            drain_wait.cancel()
+        if drained_exit and tasks:
+            # Graceful drain: let in-flight requests (e.g. a half-
+            # streamed batch) flush their remaining frames.  The server's
+            # stop() still bounds this wait by drain_timeout_s — if that
+            # expires, this connection task is cancelled and the
+            # stragglers get cancelled in turn below.
+            try:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            except asyncio.CancelledError:
+                for task in list(tasks):
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
+                raise
+        else:
+            for task in list(tasks):
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
         writer.close()
         try:
             await writer.wait_closed()

@@ -24,6 +24,7 @@ import contextlib
 import signal
 from typing import Callable, Mapping, Optional
 
+from repro import faults
 from repro.serve.http import serve_http
 from repro.serve.protocol import RequestHandler, ServeConfig, serve_ndjson
 from repro.serve.service import DatasetLike, DatasetService
@@ -45,9 +46,17 @@ class ReproServer:
         self.port: Optional[int] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
+        self._draining = asyncio.Event()
+        self._faults_installed = False
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
+        self._draining = asyncio.Event()  # fresh per start/stop cycle
+        if self.config.fault_plan is not None:
+            # Chaos runs only: the plan lives for this server's lifetime
+            # and reaches forked pool workers via the executor initargs.
+            faults.install(self.config.fault_plan)
+            self._faults_installed = True
         await self.service.start()
         self._server = await asyncio.start_server(
             self._on_connection,
@@ -58,6 +67,10 @@ class ReproServer:
         self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
+        # Flip the drain flag before anything else: connection loops stop
+        # reading new frames but flush their in-flight responses (a half-
+        # streamed batch completes) instead of being reset.
+        self._draining.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -71,6 +84,9 @@ class ReproServer:
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
         await self.service.stop()
+        if self._faults_installed:
+            faults.uninstall()
+            self._faults_installed = False
 
     async def __aenter__(self) -> "ReproServer":
         await self.start()
@@ -98,7 +114,8 @@ class ReproServer:
         stripped = first.lstrip()
         if stripped[:1] in (b"{", b"["):
             await serve_ndjson(
-                self.handler, reader, writer, self.config, first_line=first
+                self.handler, reader, writer, self.config,
+                first_line=first, draining=self._draining,
             )
         elif stripped[:4] in _HTTP_VERBS:
             await serve_http(

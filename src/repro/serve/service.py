@@ -30,18 +30,38 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
-from repro import obs
+from repro import faults, obs
 from repro.api.results import QueryResult
 from repro.engine.cache import LRUCache, NullCache
 from repro.engine.executor import _execute_captured
 from repro.engine.session import Session
-from repro.exceptions import UnknownDatasetError
+from repro.exceptions import (
+    DeadlineExceededError,
+    FaultInjectionError,
+    UnknownDatasetError,
+)
 from repro.serve.admission import AdmissionController
 from repro.serve.protocol import ServeConfig
 from repro.serve.writer import SingleWriter
 from repro.uncertain.dataset import UncertainDataset
 
 DatasetLike = Union[Session, UncertainDataset]
+
+
+def _execute_with_deadline(
+    reader: Session, spec: Any, deadline: Optional[float]
+) -> Any:
+    """The pool-side entry for reads: last deadline checkpoint, then run.
+
+    Runs on a worker thread — a request that spent its whole budget
+    waiting for a pool slot is answered ``deadline_exceeded`` here
+    instead of executing dead work.
+    """
+    if deadline is not None and time.monotonic() >= deadline:
+        raise DeadlineExceededError(
+            f"deadline expired before execution of {spec.kind!r} began"
+        )
+    return _execute_captured(reader, spec)
 
 
 class DatasetState:
@@ -54,12 +74,14 @@ class DatasetState:
         pool: ThreadPoolExecutor,
         *,
         write_queue: int = 128,
+        idem_window: int = 1024,
     ):
         self.name = name
         self.session = session  # the writer's live session
         self.published = session.read_snapshot()
         self.writer = SingleWriter(
-            self._apply_write, pool, max_queue=write_queue, name=name
+            self._apply_write, pool, max_queue=write_queue, name=name,
+            idem_window=idem_window,
         )
 
     def _apply_write(self, spec: Any) -> Any:
@@ -73,10 +95,22 @@ class DatasetState:
         the response echoes this write's version even if a queued write
         publishes again before the response is built.
         """
+        rule = faults.check("writer.apply", dataset=self.name, kind=spec.kind)
+        if rule is not None and rule.action == "error":
+            # Raised *before* the apply touches the session: the escaping
+            # exception is what flips the writer dead, exercising the
+            # degraded-mode path without actually corrupting anything.
+            raise FaultInjectionError(
+                rule.message or "injected writer.apply failure"
+            )
         outcome = _execute_captured(self.session, spec)
         if outcome.error is None:
             self.published = self.session.read_snapshot()
         return outcome, self.published
+
+    @property
+    def status(self) -> str:
+        return "degraded" if self.writer.dead else "ok"
 
     def info(self) -> Dict[str, Any]:
         published = self.published
@@ -88,7 +122,10 @@ class DatasetState:
             "kind": type(published.dataset).__name__,
             "write_queue_depth": self.writer.depth,
             "shards": published.shard_count,
+            "status": self.status,
         }
+        if self.writer.dead and self.writer.death_reason:
+            payload["degraded_reason"] = self.writer.death_reason
         layout = published.dataset.layout_digest()
         if layout is not None:
             payload["layout_digest"] = layout
@@ -143,12 +180,14 @@ class DatasetService:
             self._states[name] = DatasetState(
                 name, session, self._pool,
                 write_queue=self.config.write_queue,
+                idem_window=self.config.idem_window,
             )
         self._started = time.monotonic()
         metrics = obs.registry()
         self._requests = metrics.counter("serve.requests")
         self._failures = metrics.counter("serve.request_failures")
         self._latency = metrics.histogram("serve.request_latency_s")
+        self._deadlines = metrics.counter("serve.deadline_exceeded")
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -182,9 +221,21 @@ class DatasetService:
     def retry_after(self) -> float:
         return self.admission.retry_after()
 
+    def degraded_datasets(self) -> List[str]:
+        """Names of hosted datasets whose writer has died (read-only)."""
+        return sorted(
+            name for name, state in self._states.items()
+            if state.writer.dead
+        )
+
     # ------------------------------------------------------------------
     async def execute(
-        self, spec: Any, dataset: str = "default"
+        self,
+        spec: Any,
+        dataset: str = "default",
+        *,
+        deadline: Optional[float] = None,
+        idem: Optional[str] = None,
     ) -> Tuple[QueryResult, int]:
         """Run one spec; return ``(envelope, session_version)``.
 
@@ -193,28 +244,41 @@ class DatasetService:
         starve writes, and vice versa); reads admit, snapshot, and run on
         the pool.  Raises :class:`~repro.exceptions.OverloadedError` on
         rejection; data errors come back *inside* the envelope.
+
+        *deadline* is an absolute ``time.monotonic()`` instant checked at
+        every checkpoint (admission wait, pool dispatch, write queue);
+        past it the request is answered with a ``deadline_exceeded``
+        error instead of executing dead work.  *idem* keys mutations for
+        exactly-once retries (see :meth:`SingleWriter.submit`).
         """
         state = self.state(dataset)
         started = time.perf_counter()
         self._requests.inc()
         try:
             if getattr(spec, "mutates", False):
-                outcome, published = await state.writer.submit(spec)
+                outcome, published = await state.writer.submit(
+                    spec, idem=idem, deadline=deadline
+                )
                 envelope = QueryResult.from_outcome(
                     outcome, fingerprint=published.fingerprint
                 )
                 version = published.version
             else:
-                async with self.admission.slot():
+                async with self.admission.slot(deadline):
                     published = state.published
                     reader = published.reader()
                     outcome = await asyncio.get_running_loop().run_in_executor(
-                        self._pool, _execute_captured, reader, spec
+                        self._pool, _execute_with_deadline,
+                        reader, spec, deadline,
                     )
                     envelope = QueryResult.from_outcome(
                         outcome, fingerprint=published.fingerprint
                     )
                     version = published.version
+        except DeadlineExceededError:
+            self._deadlines.inc()
+            self._failures.inc()
+            raise
         except Exception:
             self._failures.inc()
             raise
@@ -248,6 +312,7 @@ class DatasetService:
                 "threads": self.config.threads,
                 "cache": self.cache.stats.as_dict(),
                 "admission": self.admission.snapshot(),
+                "degraded": self.degraded_datasets(),
             },
             "datasets": {
                 name: state.info() for name, state in self._states.items()

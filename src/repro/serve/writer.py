@@ -4,11 +4,12 @@ Readers never lock anything — they run against the immutable published
 snapshot (:meth:`repro.engine.session.Session.read_snapshot`).  That only
 works because writes are funneled through exactly one consumer per
 dataset: the :class:`SingleWriter` drains an ``asyncio.Queue`` of
-``(spec, future)`` pairs, applies each mutation to the live writer
-session on the shared thread pool, and — only when the mutation succeeds
-— publishes a fresh frozen snapshot for subsequent readers.  In-flight
-queries keep whatever snapshot they started with, which is the whole
-snapshot-isolation story: a reader's arrays cannot change under it.
+``(spec, future, idem, deadline)`` entries, applies each mutation to the
+live writer session on the shared thread pool, and — only when the
+mutation succeeds — publishes a fresh frozen snapshot for subsequent
+readers.  In-flight queries keep whatever snapshot they started with,
+which is the whole snapshot-isolation story: a reader's arrays cannot
+change under it.
 
 The queue is bounded: a full write queue raises
 :class:`~repro.exceptions.OverloadedError` at submit time (carrying a
@@ -16,17 +17,41 @@ drain-rate ``retry_after_s`` hint) instead of buffering unboundedly.
 Failed mutations (unknown id, spec mismatch, ...) resolve the submitter's
 future with the *failed outcome* — they are data errors that belong in
 the response envelope, not exceptions that should kill the drain task.
+
+**Idempotency.**  A mutation may carry an ``idem`` key (clients generate
+one per logical write and reuse it across retries).  Applied results —
+successes *and* captured data failures — land in a bounded,
+sequence-tagged window; a duplicate key returns the recorded result
+without re-applying, and a duplicate arriving while the original is still
+queued awaits the original's future.  That makes a retried apply
+exactly-once even when the first response was lost to a dropped socket.
+
+**Death.**  An exception *escaping* the apply callable (anything the
+engine's error capture did not turn into a failed outcome — e.g. an
+injected ``writer.apply`` fault) means the live session's integrity is
+unknown.  The writer marks itself dead, fails the triggering write and
+everything queued behind it with
+:class:`~repro.exceptions.DatasetDegradedError`, and stops draining: the
+dataset degrades to read-only on its last published snapshot instead of
+taking the server down.  Recorded idempotent results keep answering
+duplicates after death, so a retried write whose first apply succeeded
+still resolves exactly-once.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
+from collections import OrderedDict
 from concurrent.futures import Executor
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import obs
-from repro.exceptions import OverloadedError
+from repro.exceptions import (
+    DatasetDegradedError,
+    DeadlineExceededError,
+    OverloadedError,
+)
 
 _STOP = object()
 
@@ -46,6 +71,7 @@ class SingleWriter:
         *,
         max_queue: int = 128,
         name: str = "default",
+        idem_window: int = 1024,
     ):
         self._apply = apply
         self._pool = pool
@@ -53,10 +79,19 @@ class SingleWriter:
         self._queue: "asyncio.Queue" = asyncio.Queue(maxsize=max_queue)
         self._task: Optional[asyncio.Task] = None
         self._write_latency_ema_s = 0.01
+        self._idem_window = max(0, idem_window)
+        # key -> (apply sequence number, recorded result); bounded FIFO
+        self._idem_done: "OrderedDict[str, Tuple[int, Any]]" = OrderedDict()
+        self._idem_pending: Dict[str, asyncio.Future] = {}
+        self._sequence = 0
+        self.dead = False
+        self.death_reason: Optional[str] = None
         metrics = obs.registry()
         self._depth_gauge = metrics.gauge("serve.write_queue_depth")
         self._applied = metrics.counter("serve.writes_applied")
         self._rejected = metrics.counter("serve.writes_rejected")
+        self._idem_hits = metrics.counter("retry.idempotent_hits")
+        self._deaths = metrics.counter("fault.writer_deaths")
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -67,7 +102,8 @@ class SingleWriter:
         """Drain queued writes, then stop the consumer task."""
         if self._task is None:
             return
-        await self._queue.put(_STOP)
+        if not self._task.done():
+            await self._queue.put(_STOP)
         await self._task
         self._task = None
 
@@ -79,17 +115,47 @@ class SingleWriter:
         backlog = self._queue.qsize() + 1
         return round(max(0.05, backlog * self._write_latency_ema_s), 3)
 
+    def _degraded_error(self) -> DatasetDegradedError:
+        return DatasetDegradedError(
+            f"dataset {self.name!r} is degraded (read-only): writer died"
+            + (f" [{self.death_reason}]" if self.death_reason else "")
+        )
+
     # ------------------------------------------------------------------
-    async def submit(self, spec: Any) -> Any:
+    async def submit(
+        self,
+        spec: Any,
+        *,
+        idem: Optional[str] = None,
+        deadline: Optional[float] = None,
+    ) -> Any:
         """Enqueue one mutating spec; await its (possibly failed) outcome.
 
         Raises :class:`OverloadedError` immediately when the write queue
         is at capacity — the caller turns that into a structured
         ``overloaded`` response, it never blocks the event loop.
+        Duplicate ``idem`` keys resolve from the recorded window (or the
+        in-flight original) without a second apply.  *deadline* is an
+        absolute ``time.monotonic()`` instant: an entry whose budget
+        expired while queued is answered ``deadline_exceeded`` and never
+        applied.
         """
+        if idem is not None:
+            done = self._idem_done.get(idem)
+            if done is not None:
+                self._idem_hits.inc()
+                return done[1]
+            pending = self._idem_pending.get(idem)
+            if pending is not None:
+                self._idem_hits.inc()
+                # Shield: the duplicate's cancellation must not cancel
+                # the original submitter's apply.
+                return await asyncio.shield(pending)
+        if self.dead:
+            raise self._degraded_error()
         future: "asyncio.Future" = asyncio.get_running_loop().create_future()
         try:
-            self._queue.put_nowait((spec, future))
+            self._queue.put_nowait((spec, future, idem, deadline))
         except asyncio.QueueFull:
             self._rejected.inc()
             raise OverloadedError(
@@ -97,8 +163,45 @@ class SingleWriter:
                 f"({self._queue.maxsize} pending)",
                 retry_after_s=self.retry_after(),
             ) from None
+        if idem is not None:
+            self._idem_pending[idem] = future
         self._depth_gauge.set(self._queue.qsize())
-        return await future
+        # Shield the apply from the submitter's own cancellation (e.g. a
+        # client disconnecting mid-write): the mutation still completes
+        # and records under its idem key, so the client's retry on a new
+        # connection resolves exactly-once instead of double-applying.
+        return await asyncio.shield(future)
+
+    # ------------------------------------------------------------------
+    def _record(self, idem: Optional[str], result: Any) -> None:
+        if idem is None:
+            return
+        self._idem_pending.pop(idem, None)
+        if self._idem_window <= 0:
+            return
+        self._sequence += 1
+        self._idem_done[idem] = (self._sequence, result)
+        while len(self._idem_done) > self._idem_window:
+            self._idem_done.popitem(last=False)
+
+    def _die(self, exc: BaseException) -> None:
+        """Mark the writer dead; fail everything queued behind the cause."""
+        self.dead = True
+        self.death_reason = f"{type(exc).__name__}: {exc}"
+        self._deaths.inc()
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is _STOP:
+                continue
+            _spec, future, idem, _deadline = item
+            if idem is not None:
+                self._idem_pending.pop(idem, None)
+            if not future.done():
+                future.set_exception(self._degraded_error())
+        self._depth_gauge.set(0)
 
     async def _drain(self) -> None:
         loop = asyncio.get_running_loop()
@@ -107,20 +210,44 @@ class SingleWriter:
             self._depth_gauge.set(self._queue.qsize())
             if item is _STOP:
                 return
-            spec, future = item  # type: Tuple[Any, asyncio.Future]
+            spec, future, idem, deadline = item
+            if deadline is not None and time.monotonic() >= deadline:
+                # Expired while queued: the apply never runs, so the key
+                # stays unrecorded — a later retry (with a fresh budget)
+                # may legitimately apply it.
+                if idem is not None:
+                    self._idem_pending.pop(idem, None)
+                if not future.done():
+                    future.set_exception(DeadlineExceededError(
+                        "deadline expired in the write queue"
+                    ))
+                continue
             started = time.perf_counter()
             try:
                 outcome = await loop.run_in_executor(
                     self._pool, self._apply, spec
                 )
-            except Exception as exc:  # apply() already captures data errors
-                if not future.cancelled():
-                    future.set_exception(exc)
-                continue
+            except Exception as exc:
+                # apply() captures data errors into failed outcomes, so
+                # anything escaping it means the live session can no
+                # longer be trusted: degrade instead of carrying on.
+                if not future.done():
+                    future.set_exception(self._degraded_error_from(exc))
+                if idem is not None:
+                    self._idem_pending.pop(idem, None)
+                self._die(exc)
+                return
             self._write_latency_ema_s = (
                 0.8 * self._write_latency_ema_s
                 + 0.2 * (time.perf_counter() - started)
             )
             self._applied.inc()
-            if not future.cancelled():
+            self._record(idem, outcome)
+            if not future.done():
                 future.set_result(outcome)
+
+    def _degraded_error_from(self, exc: BaseException) -> DatasetDegradedError:
+        return DatasetDegradedError(
+            f"dataset {self.name!r} degraded to read-only: write failed "
+            f"fatally [{type(exc).__name__}: {exc}]"
+        )

@@ -1,0 +1,58 @@
+"""The seeded chaos suite: 52 generated fault schedules, end to end.
+
+Each serve scenario boots a real in-process server with a generated
+:class:`FaultPlan`, drives a mixed read/mutation/batch workload through a
+retrying client, and asserts the three resilience invariants (exactly one
+response per request, exactly-once retried mutations, successful reads
+bit-identical to a fault-free replay).  Executor scenarios cover the
+``worker.chunk`` seam with real SIGKILLs against the process pool.
+
+A failing seed prints its full schedule — `FaultPlan.from_dict` on that
+output reproduces the run exactly.
+"""
+
+import pytest
+
+from repro.faults.chaos import (
+    SERVE_SEAMS,
+    run_executor_chaos,
+    run_serve_chaos,
+)
+from repro.faults.plan import SEAMS, FaultPlan
+
+SERVE_SEEDS = list(range(42))
+EXECUTOR_SEEDS = list(range(10))
+
+
+def _fail(report):
+    raise AssertionError(
+        f"chaos seed {report['seed']} violated: {report['failures']}; "
+        f"schedule={report['plan']}"
+    )
+
+
+@pytest.mark.parametrize("seed", SERVE_SEEDS)
+def test_serve_chaos_seed(seed):
+    report = run_serve_chaos(seed)
+    if not report["ok"]:
+        _fail(report)
+
+
+@pytest.mark.parametrize("seed", EXECUTOR_SEEDS)
+def test_executor_chaos_seed(seed):
+    report = run_executor_chaos(seed)
+    if not report["ok"]:
+        _fail(report)
+
+
+def test_suite_spans_all_five_seams():
+    """The 52 schedules collectively include rules on every seam."""
+    covered = set()
+    for seed in SERVE_SEEDS:
+        covered.update(FaultPlan.generate(seed, seams=SERVE_SEAMS).seams())
+    for seed in EXECUTOR_SEEDS:
+        covered.update(
+            FaultPlan.generate(seed, seams=("worker.chunk",)).seams()
+        )
+    assert covered == set(SEAMS)
+    assert len(SERVE_SEEDS) + len(EXECUTOR_SEEDS) >= 50

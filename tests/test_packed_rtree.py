@@ -242,16 +242,17 @@ class TestWorkerHandoff:
         dataset = make_uncertain_dataset(rng, n=15)
         lazy = Session(dataset, build_index=False)
         assert dataset._rtree is None and dataset._packed is None
-        payload, _pdf, kwargs, traced = ParallelExecutor(
+        payload, _pdf, kwargs, traced, plan = ParallelExecutor(
             workers=2
         )._initargs(lazy)
         assert kwargs["build_index"] is False
         assert traced is False
+        assert plan is None  # no fault plan installed
         assert payload["packed"] is None  # laziness inherited end to end
         assert dataset._rtree is None  # _initargs itself stayed lazy
 
         eager = Session(make_uncertain_dataset(rng, n=15), use_numpy=True)
-        payload, _pdf, kwargs, _traced = ParallelExecutor(
+        payload, _pdf, kwargs, _traced, _plan = ParallelExecutor(
             workers=2
         )._initargs(eager)
         assert kwargs["build_index"] is True
@@ -259,7 +260,7 @@ class TestWorkerHandoff:
 
         scalar = Session(make_uncertain_dataset(rng, n=15), use_numpy=False)
         scalar.dataset.packed  # frozen by someone else (e.g. shared dataset)
-        payload, _pdf, kwargs, _traced = ParallelExecutor(
+        payload, _pdf, kwargs, _traced, _plan = ParallelExecutor(
             workers=2
         )._initargs(scalar)
         assert payload["packed"] is None  # scalar workers never query it

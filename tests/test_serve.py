@@ -153,6 +153,7 @@ class TestHandler:
             pong = await _one(handler, {"id": 7, "op": "ping"})
             assert pong == {
                 "id": 7, "ok": True, "pong": True, "datasets": ["default"],
+                "status": {"default": "ok"}, "degraded": [],
             }
             stats = await _one(handler, {"id": 8, "op": "stats"})
             assert stats["ok"] and "slo" in stats and "metrics" in stats
@@ -373,7 +374,7 @@ class TestEndToEnd:
 
     def test_per_connection_cap_sheds_excess_frames(self):
         async def main():
-            config = _config(per_connection=1)
+            config = _config(per_connection=1, max_inflight=1)
             async with ReproServer({"default": _dataset()}, config) as srv:
                 # hold the admission slot so the first request parks and
                 # the second must exceed the per-connection cap
